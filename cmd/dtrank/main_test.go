@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunGenWritesReadableCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "db.csv")
+	if err := runGen([]string{"-seed", "2", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBenchmarks() != 29 || d.NumMachines() != 117 {
+		t.Fatalf("CSV round trip %dx%d", d.NumBenchmarks(), d.NumMachines())
+	}
+}
+
+func TestRunGenBadPath(t *testing.T) {
+	if err := runGen([]string{"-o", "/no/such/dir/db.csv"}); err == nil {
+		t.Fatal("want file error")
+	}
+}
+
+func TestRunRankMethods(t *testing.T) {
+	for _, method := range []string{"nnt", "splt"} {
+		if err := runRank([]string{"-app", "gcc", "-family", "AMD Phenom", "-method", method, "-top", "2"}); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+	}
+}
+
+func TestRunRankErrors(t *testing.T) {
+	if err := runRank([]string{"-method", "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("want unknown-method error, got %v", err)
+	}
+	if err := runRank([]string{"-family", "No Such Family", "-method", "nnt"}); err == nil {
+		t.Fatal("want unknown-family error")
+	}
+	if err := runRank([]string{"-app", "no-such-bench", "-method", "nnt"}); err == nil {
+		t.Fatal("want unknown-benchmark error")
+	}
+	if err := runRank([]string{"-data", "/no/such/file.csv", "-method", "nnt"}); err == nil {
+		t.Fatal("want missing-data-file error")
+	}
+}
+
+func TestRunRankFromCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "db.csv")
+	if err := runGen([]string{"-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRank([]string{"-data", out, "-app", "namd", "-family", "Intel Itanium", "-method", "nnt", "-top", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	if err := runSummary([]string{"-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSummary([]string{"-family", "Intel Itanium", "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSummary([]string{"-family", "No Such Family"}); err == nil {
+		t.Fatal("want unknown-family error")
+	}
+}
+
+func TestRunCompareFastPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GA-kNN run in -short mode")
+	}
+	// A small family keeps the GA-kNN leg quick.
+	if err := runCompare([]string{"-app", "gcc", "-family", "AMD Turion"}); err != nil {
+		t.Fatal(err)
+	}
+}

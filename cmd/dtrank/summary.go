@@ -1,0 +1,124 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// runSummary prints SPEC-style aggregate scores (geometric means over the
+// integer and FP suites) per machine, the way consortium result tables do.
+func runSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "dataset seed")
+	family := fs.String("family", "", "restrict to one processor family (default: all)")
+	top := fs.Int("top", 20, "number of machines to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := repro.Generate(repro.DefaultDatasetOptions(*seed))
+	if err != nil {
+		return err
+	}
+	matrix := data.Matrix
+	if *family != "" {
+		matrix = matrix.SelectMachines(func(m repro.MachineInfo) bool { return m.Family == *family })
+		if matrix.NumMachines() == 0 {
+			return fmt.Errorf("no machines in family %q", *family)
+		}
+	}
+	suite := map[string]string{}
+	for _, w := range repro.SPEC2006Workloads() {
+		suite[w.Name] = string(w.Suite)
+	}
+	type row struct {
+		m           repro.MachineInfo
+		intGM, fpGM float64
+	}
+	rows := make([]row, 0, matrix.NumMachines())
+	for i := 0; i < matrix.NumMachines(); i++ {
+		col := matrix.Col(i)
+		var ints, fps []float64
+		for b, name := range matrix.Benchmarks {
+			if suite[name] == "CINT2006" {
+				ints = append(ints, col[b])
+			} else {
+				fps = append(fps, col[b])
+			}
+		}
+		ig, err := stats.GeoMean(ints)
+		if err != nil {
+			return err
+		}
+		fg, err := stats.GeoMean(fps)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{matrix.Machines[i], ig, fg})
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		return rows[a].intGM+rows[a].fpGM > rows[b].intGM+rows[b].fpGM
+	})
+	fmt.Printf("%-4s %-36s %6s %10s %8s\n", "#", "machine", "year", "int(geom)", "fp(geom)")
+	for i, r := range rows {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%-4d %-36s %6d %10.1f %8.1f\n", i+1, r.m.ID, r.m.Year, r.intGM, r.fpGM)
+	}
+	return nil
+}
+
+// runCompare evaluates all four predictors on one application and target
+// family, side by side.
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "dataset seed")
+	app := fs.String("app", "libquantum", "benchmark playing the application of interest")
+	family := fs.String("family", "Intel Xeon", "target processor family")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := repro.Generate(repro.DefaultDatasetOptions(*seed))
+	if err != nil {
+		return err
+	}
+	targets, predictive, err := data.Matrix.FamilySplit(*family)
+	if err != nil {
+		return err
+	}
+	predictors := []repro.Predictor{
+		repro.NewNNT(),
+		repro.NewSPLT(),
+		repro.NewMLPT(*seed + 1),
+		repro.NewGAKNN(*seed + 2),
+	}
+	fold, appOnTgt, err := repro.NewFold(predictive, targets, *app, data.Characteristics)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application %q, target family %q (%d machines)\n\n", *app, *family, targets.NumMachines())
+	fmt.Printf("%-8s %8s %10s %10s %-30s\n", "method", "rank", "top-1 %", "mean %", "recommended machine")
+	for _, p := range predictors {
+		predicted, err := p.PredictApp(fold)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name(), err)
+		}
+		m, err := repro.Evaluate(appOnTgt, predicted)
+		if err != nil {
+			return err
+		}
+		best := 0
+		for i := range predicted {
+			if predicted[i] > predicted[best] {
+				best = i
+			}
+		}
+		fmt.Printf("%-8s %8.3f %10.1f %10.1f %-30s\n",
+			p.Name(), m.RankCorr, m.Top1Err, m.MeanErr, fold.Tgt.Machines[best].ID)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleRankFold demonstrates the paper's workflow end to end: split the
+// database into target and predictive machines, hold a benchmark out as
+// the application of interest, and rank the targets with MLPᵀ.
+func ExampleRankFold() {
+	data, err := repro.Generate(repro.DefaultDatasetOptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	targets, predictive, err := data.Matrix.FamilySplit("AMD Opteron (K10)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fold, _, err := repro.NewFold(predictive, targets, "gcc", data.Characteristics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := repro.RankFold(fold, repro.NewMLPT(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("machines ranked:", len(ranked))
+	fmt.Println("best:", ranked[0].Machine.Nickname)
+	// Output:
+	// machines ranked: 9
+	// best: Istanbul
+}
+
+// ExamplePredictSPECRatio evaluates the analytic performance model directly
+// — the substrate standing in for published SPEC measurements.
+func ExamplePredictSPECRatio() {
+	ref := repro.ReferenceMachine()
+	w := repro.SPEC2006Workloads()[0] // astar
+	ratio, err := repro.PredictSPECRatio(ref, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The reference machine scores 1.0 against itself by construction.
+	fmt.Printf("%s on the reference machine: %.2f\n", w.Name, ratio)
+	// Output:
+	// astar on the reference machine: 1.00
+}
+
+// ExampleEvaluate computes the paper's three accuracy metrics for a
+// prediction vector.
+func ExampleEvaluate() {
+	actual := []float64{10, 20, 30, 40}
+	predicted := []float64{12, 19, 33, 38}
+	m, err := repro.Evaluate(actual, predicted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rank correlation: %.2f\n", m.RankCorr)
+	fmt.Printf("top-1 deficiency: %.1f%%\n", m.Top1Err)
+	// Output:
+	// rank correlation: 1.00
+	// top-1 deficiency: 0.0%
+}

@@ -1,0 +1,100 @@
+// Designspace: the paper's §4 fast design-space exploration application.
+//
+// An architect explores variants of a baseline core (cache sizes, issue
+// width, memory bandwidth). Simulating every design point on every workload
+// is prohibitively slow, so only a handful of "benchmark" workloads are
+// simulated everywhere; the performance of the remaining workloads on every
+// design point is then *predicted* through data transposition, with a few
+// fully simulated design points acting as the predictive machines.
+//
+// The substrate simulator here is the repository's analytic performance
+// model; the point of the example is the workflow, which is exactly the
+// paper's: scores for (benchmarks × all designs) and (all workloads × a few
+// designs) suffice to rank all designs for every workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Baseline: a Core 2 class machine, swept across three design axes.
+	roster, err := repro.Roster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base repro.MachineConfig
+	for _, c := range roster {
+		if c.ID == "intel-core-2-conroe-2" {
+			base = c
+		}
+	}
+	var designs []repro.MachineConfig
+	for _, l2 := range []float64{512, 4096, 32768} {
+		for _, width := range []int{2, 4} {
+			for _, bw := range []float64{3.0, 8.0} {
+				d := base
+				d.ID = fmt.Sprintf("design-l2_%gk-w%d-bw%g", l2, width, bw)
+				d.L2KB = l2
+				d.Width = width
+				d.MemBWGBs = bw
+				designs = append(designs, d)
+			}
+		}
+	}
+	data, err := repro.GenerateFor(designs, repro.SPEC2006Workloads(), repro.DatasetOptions{Seed: 3, ScoreNoise: 0.01})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design space: %d points × %d workloads (analytic simulator)\n\n", len(designs), data.Matrix.NumBenchmarks())
+
+	// Only four design points are simulated on *all* workloads (the
+	// predictive machines); every other point only ran the "benchmarks".
+	simulated := map[string]bool{designs[0].ID: true, designs[5].ID: true, designs[7].ID: true, designs[10].ID: true}
+	predictive := data.Matrix.SelectMachines(func(m repro.MachineInfo) bool { return simulated[m.ID] })
+	targets := data.Matrix.SelectMachines(func(m repro.MachineInfo) bool { return !simulated[m.ID] })
+
+	// The workload whose best design we want, without simulating it
+	// everywhere: the cache-hungry soplex (64 MB working set).
+	const workload = "soplex"
+	fold, actual, err := repro.NewFold(predictive, targets, workload, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := repro.RankFold(fold, repro.NewMLPT(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	actualByID := map[string]float64{}
+	for i, m := range fold.Tgt.Machines {
+		actualByID[m.ID] = actual[i]
+	}
+	fmt.Printf("predicted design ranking for %s (four simulated points, %d predicted):\n", workload, len(ranked))
+	fmt.Printf("%-4s %-28s %10s %10s\n", "#", "design point", "predicted", "simulated")
+	for i, r := range ranked {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("%-4d %-28s %10.2f %10.2f\n", i+1, r.Machine.ID, r.Predicted, actualByID[r.Machine.ID])
+	}
+	predicted := make([]float64, len(actual))
+	for i, m := range fold.Tgt.Machines {
+		for _, r := range ranked {
+			if r.Machine.ID == m.ID {
+				predicted[i] = r.Predicted
+			}
+		}
+	}
+	metrics, err := repro.Evaluate(actual, predicted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrank correlation vs full simulation: %.3f (top-1 deficiency %.1f%%)\n", metrics.RankCorr, metrics.Top1Err)
+	fmt.Println("one full-simulation design evaluation avoided per predicted cell —")
+	fmt.Printf("here %d of %d cells, i.e. %.0f%% of the simulation budget.\n",
+		len(actual), len(actual)+predictive.NumMachines(),
+		100*float64(len(actual))/float64(len(actual)+predictive.NumMachines()))
+}

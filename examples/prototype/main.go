@@ -1,0 +1,61 @@
+// Prototype: the paper's §4 "performance prediction of unavailable
+// hardware" application.
+//
+// A vendor demos a prototype system (here: a Nehalem-EP Gainestown box
+// before general availability). The benchmark suite was run on it exactly
+// once — that single column of scores is all anyone outside the lab has.
+// Data transposition predicts how *our* applications would perform on the
+// prototype without ever touching it: the applications are measured on the
+// machines we own, and the empirical model carries them over.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	data, err := repro.Generate(repro.DefaultDatasetOptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The prototype: one specific 2009 machine. Our lab: every pre-2008
+	// machine (we certainly do not own unreleased 2009 hardware).
+	const prototypeID = "intel-xeon-gainestown-2"
+	prototype := data.Matrix.SelectMachines(func(m repro.MachineInfo) bool { return m.ID == prototypeID })
+	lab := data.Matrix.SelectMachines(func(m repro.MachineInfo) bool { return m.Year <= 2008 })
+	if prototype.NumMachines() != 1 {
+		log.Fatalf("prototype %q not found", prototypeID)
+	}
+	fmt.Printf("prototype:  %s (benchmarks published once)\n", prototypeID)
+	fmt.Printf("lab fleet:  %d machines from 2008 and earlier\n\n", lab.NumMachines())
+
+	// Our "proprietary applications": four held-out benchmarks spanning
+	// the workload space.
+	apps := []string{"lbm", "namd", "gcc", "mcf"}
+	fmt.Printf("%-8s %12s %12s %8s\n", "app", "predicted", "measured", "error")
+	var worst float64
+	for _, app := range apps {
+		fold, actual, err := repro.NewFold(lab, prototype, app, data.Characteristics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ranked, err := repro.RankFold(fold, repro.NewMLPT(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred := ranked[0].Predicted
+		rel := 100 * math.Abs(pred-actual[0]) / actual[0]
+		if rel > worst {
+			worst = rel
+		}
+		fmt.Printf("%-8s %12.1f %12.1f %7.1f%%\n", app, pred, actual[0], rel)
+	}
+	fmt.Printf("\nworst prediction error: %.1f%% — obtained without running a single\n", worst)
+	fmt.Println("application on the prototype, from one published benchmark column and")
+	fmt.Println("measurements on machines at least a generation older.")
+}

@@ -1,0 +1,66 @@
+// Purchasing: the paper's §6.2 outlier story as a buying decision.
+//
+// The application of interest behaves like libquantum — a streaming,
+// bandwidth-hungry code whose measured microarchitecture-independent
+// characteristics look deceptively like an ordinary compute kernel. The
+// prior-art workload-similarity method (GA-kNN) recommends a machine that
+// is excellent for the codes the application *resembles*; data
+// transposition observes the application's actual behaviour on the user's
+// own machines and recommends the machine that is best for how it *runs*.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	data, err := repro.Generate(repro.DefaultDatasetOptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const app = "libquantum"
+	targets, predictive, err := data.Matrix.FamilySplit("Intel Xeon")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fold, appOnTargets, err := repro.NewFold(predictive, targets, app, data.Characteristics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actualBest, bestID := 0.0, ""
+	actual := map[string]float64{}
+	for i, m := range fold.Tgt.Machines {
+		actual[m.ID] = appOnTargets[i]
+		if appOnTargets[i] > actualBest {
+			actualBest, bestID = appOnTargets[i], m.ID
+		}
+	}
+	fmt.Printf("application of interest: %s-like streaming code\n", app)
+	fmt.Printf("candidate machines:      the %d Intel Xeon systems\n", fold.Tgt.NumMachines())
+	fmt.Printf("truly best machine:      %s (score %.1f)\n\n", bestID, actualBest)
+
+	predictors := []repro.Predictor{
+		repro.NewMLPT(7),
+		repro.NewNNT(),
+		repro.NewGAKNN(7),
+	}
+	fmt.Printf("%-8s %-34s %9s %12s\n", "method", "recommended machine", "score", "deficiency")
+	for _, p := range predictors {
+		ranked, err := repro.RankFold(fold, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pick := ranked[0].Machine.ID
+		got := actual[pick]
+		deficiency := 100 * (actualBest - got) / got
+		fmt.Printf("%-8s %-34s %9.1f %11.1f%%\n", p.Name(), pick, got, deficiency)
+	}
+	fmt.Println("\nThe workload-similarity baseline recommends a machine chosen for the")
+	fmt.Println("codes the application merely resembles; buying it forfeits a large part")
+	fmt.Println("of the achievable performance. Data transposition keeps the loss at or")
+	fmt.Println("near zero because outlier behaviour on the predictive machines carries")
+	fmt.Println("over to the target machines (the paper's central claim).")
+}

@@ -1,0 +1,67 @@
+// Quickstart: generate the synthetic SPEC CPU2006 database, hold one
+// benchmark out as the "application of interest", and rank the machines of
+// a target processor family with the paper's MLPᵀ predictor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The database the paper downloads from the SPEC website: 29 benchmarks
+	// on 117 commercial machines (Table 1), here synthesised from an
+	// analytic performance model.
+	data, err := repro.Generate(repro.DefaultDatasetOptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d benchmarks × %d machines, %d processor families\n\n",
+		data.Matrix.NumBenchmarks(), data.Matrix.NumMachines(), len(data.Matrix.Families()))
+
+	// Scenario: we are choosing among the Intel Xeon machines (targets) and
+	// we own everything else (predictive machines). Our application of
+	// interest is played by the held-out benchmark sphinx3.
+	targets, predictive, err := data.Matrix.FamilySplit("Intel Xeon")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fold, appOnTargets, err := repro.NewFold(predictive, targets, "sphinx3", data.Characteristics)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Predict and rank with data transposition (MLPᵀ).
+	ranked, err := repro.RankFold(fold, repro.NewMLPT(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual := map[string]float64{}
+	for i, m := range fold.Tgt.Machines {
+		actual[m.ID] = appOnTargets[i]
+	}
+	fmt.Println("top 5 Intel Xeon machines for the application of interest (sphinx3):")
+	fmt.Printf("%-4s %-34s %10s %10s\n", "#", "machine", "predicted", "measured")
+	for i, r := range ranked[:5] {
+		fmt.Printf("%-4d %-34s %10.1f %10.1f\n", i+1, r.Machine.ID, r.Predicted, actual[r.Machine.ID])
+	}
+
+	// How good was the full ranking?
+	predicted := make([]float64, len(appOnTargets))
+	for i, m := range fold.Tgt.Machines {
+		for _, r := range ranked {
+			if r.Machine.ID == m.ID {
+				predicted[i] = r.Predicted
+			}
+		}
+	}
+	metrics, err := repro.Evaluate(appOnTargets, predicted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSpearman rank correlation: %.3f\n", metrics.RankCorr)
+	fmt.Printf("top-1 deficiency:          %.1f%%\n", metrics.Top1Err)
+	fmt.Printf("mean prediction error:     %.1f%%\n", metrics.MeanErr)
+}

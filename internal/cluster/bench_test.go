@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPoints(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, dim)
+		for j := range pts[i] {
+			pts[i][j] = rng.NormFloat64()
+		}
+	}
+	return pts
+}
+
+// BenchmarkPAM24 mirrors the Figure 8 setting: clustering the 24 machines
+// of the 2008 predictive pool in 28-dimensional score space.
+func BenchmarkPAM24(b *testing.B) {
+	pts := benchPoints(24, 28)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PAM(pts, 5, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPAM117(b *testing.B) {
+	pts := benchPoints(117, 29)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PAM(pts, 10, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeans117(b *testing.B) {
+	pts := benchPoints(117, 29)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(pts, 10, rand.New(rand.NewSource(int64(i))), 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package dataset models the performance database at the heart of the
+// methodology: a benchmarks × machines matrix of SPEC-style speed ratios
+// plus machine metadata (vendor, processor family, CPU nickname, ISA,
+// release year). It provides the selections the experiments need — by
+// processor family, by release year, by benchmark leave-one-out — and CSV
+// persistence.
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Machine identifies one commercial system in the database.
+type Machine struct {
+	// ID is unique within a Matrix, e.g. "intel-xeon-gainestown-2".
+	ID string
+	// Vendor is the system vendor (not the CPU vendor).
+	Vendor string
+	// Family is the processor family, e.g. "Intel Xeon" (Table 1 rows).
+	Family string
+	// Nickname is the CPU nickname, e.g. "Gainestown" (Table 1 column 2).
+	Nickname string
+	// ISA is the instruction-set architecture, e.g. "x86-64".
+	ISA string
+	// Year is the system release year.
+	Year int
+}
+
+// String renders a short human-readable identifier.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s (%s %s, %d)", m.ID, m.Family, m.Nickname, m.Year)
+}
+
+// Matrix is a benchmarks × machines table of performance scores.
+// Scores[b][m] is the score of benchmark b on machine m; higher is better
+// (SPEC speed ratios versus the reference machine).
+type Matrix struct {
+	Benchmarks []string
+	Machines   []Machine
+	Scores     [][]float64
+}
+
+// New constructs a zero-filled Matrix and validates metadata uniqueness.
+func New(benchmarks []string, machines []Machine) (*Matrix, error) {
+	if err := checkUnique(benchmarks, machines); err != nil {
+		return nil, err
+	}
+	scores := make([][]float64, len(benchmarks))
+	for b := range scores {
+		scores[b] = make([]float64, len(machines))
+	}
+	return &Matrix{
+		Benchmarks: append([]string(nil), benchmarks...),
+		Machines:   append([]Machine(nil), machines...),
+		Scores:     scores,
+	}, nil
+}
+
+func checkUnique(benchmarks []string, machines []Machine) error {
+	seenB := make(map[string]bool, len(benchmarks))
+	for _, b := range benchmarks {
+		if b == "" {
+			return errors.New("dataset: empty benchmark name")
+		}
+		if seenB[b] {
+			return fmt.Errorf("dataset: duplicate benchmark %q", b)
+		}
+		seenB[b] = true
+	}
+	seenM := make(map[string]bool, len(machines))
+	for _, m := range machines {
+		if m.ID == "" {
+			return errors.New("dataset: machine with empty ID")
+		}
+		if seenM[m.ID] {
+			return fmt.Errorf("dataset: duplicate machine ID %q", m.ID)
+		}
+		seenM[m.ID] = true
+	}
+	return nil
+}
+
+// Validate checks structural consistency and that every score is finite and
+// strictly positive (SPEC ratios are positive by construction).
+func (d *Matrix) Validate() error {
+	if err := checkUnique(d.Benchmarks, d.Machines); err != nil {
+		return err
+	}
+	if len(d.Scores) != len(d.Benchmarks) {
+		return fmt.Errorf("dataset: %d score rows for %d benchmarks", len(d.Scores), len(d.Benchmarks))
+	}
+	for b, row := range d.Scores {
+		if len(row) != len(d.Machines) {
+			return fmt.Errorf("dataset: row %q has %d scores for %d machines", d.Benchmarks[b], len(row), len(d.Machines))
+		}
+		for m, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return fmt.Errorf("dataset: invalid score %v for %q on %q", v, d.Benchmarks[b], d.Machines[m].ID)
+			}
+		}
+	}
+	return nil
+}
+
+// NumBenchmarks returns the number of benchmark rows.
+func (d *Matrix) NumBenchmarks() int { return len(d.Benchmarks) }
+
+// NumMachines returns the number of machine columns.
+func (d *Matrix) NumMachines() int { return len(d.Machines) }
+
+// BenchmarkIndex returns the row of the named benchmark, or an error.
+func (d *Matrix) BenchmarkIndex(name string) (int, error) {
+	for i, b := range d.Benchmarks {
+		if b == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: unknown benchmark %q", name)
+}
+
+// MachineIndex returns the column of the machine with the given ID.
+func (d *Matrix) MachineIndex(id string) (int, error) {
+	for i, m := range d.Machines {
+		if m.ID == id {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: unknown machine %q", id)
+}
+
+// Row returns a copy of the scores of benchmark b across all machines.
+func (d *Matrix) Row(b int) []float64 {
+	return append([]float64(nil), d.Scores[b]...)
+}
+
+// Col returns a copy of the scores of machine m across all benchmarks.
+func (d *Matrix) Col(m int) []float64 {
+	out := make([]float64, len(d.Benchmarks))
+	for b := range d.Benchmarks {
+		out[b] = d.Scores[b][m]
+	}
+	return out
+}
+
+// SelectMachines returns a new Matrix containing only the machines for
+// which keep returns true, preserving order. Scores are copied.
+func (d *Matrix) SelectMachines(keep func(Machine) bool) *Matrix {
+	var idx []int
+	var machines []Machine
+	for i, m := range d.Machines {
+		if keep(m) {
+			idx = append(idx, i)
+			machines = append(machines, m)
+		}
+	}
+	scores := make([][]float64, len(d.Benchmarks))
+	for b := range d.Benchmarks {
+		row := make([]float64, len(idx))
+		for j, i := range idx {
+			row[j] = d.Scores[b][i]
+		}
+		scores[b] = row
+	}
+	return &Matrix{
+		Benchmarks: append([]string(nil), d.Benchmarks...),
+		Machines:   machines,
+		Scores:     scores,
+	}
+}
+
+// SelectBenchmarks returns a new Matrix restricted to the named benchmarks,
+// in the given order.
+func (d *Matrix) SelectBenchmarks(names []string) (*Matrix, error) {
+	scores := make([][]float64, 0, len(names))
+	for _, n := range names {
+		b, err := d.BenchmarkIndex(n)
+		if err != nil {
+			return nil, err
+		}
+		scores = append(scores, append([]float64(nil), d.Scores[b]...))
+	}
+	return &Matrix{
+		Benchmarks: append([]string(nil), names...),
+		Machines:   append([]Machine(nil), d.Machines...),
+		Scores:     scores,
+	}, nil
+}
+
+// DropBenchmark returns a new Matrix without the named benchmark, plus that
+// benchmark's score row. This is the leave-one-out split: the dropped
+// benchmark plays the application of interest.
+func (d *Matrix) DropBenchmark(name string) (*Matrix, []float64, error) {
+	b, err := d.BenchmarkIndex(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	rest := make([]string, 0, len(d.Benchmarks)-1)
+	scores := make([][]float64, 0, len(d.Benchmarks)-1)
+	for i, bn := range d.Benchmarks {
+		if i == b {
+			continue
+		}
+		rest = append(rest, bn)
+		scores = append(scores, append([]float64(nil), d.Scores[i]...))
+	}
+	return &Matrix{
+		Benchmarks: rest,
+		Machines:   append([]Machine(nil), d.Machines...),
+		Scores:     scores,
+	}, d.Row(b), nil
+}
+
+// Families returns the distinct processor families, sorted.
+func (d *Matrix) Families() []string {
+	seen := make(map[string]bool)
+	for _, m := range d.Machines {
+		seen[m.Family] = true
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Years returns the distinct release years, ascending.
+func (d *Matrix) Years() []int {
+	seen := make(map[int]bool)
+	for _, m := range d.Machines {
+		seen[m.Year] = true
+	}
+	out := make([]int, 0, len(seen))
+	for y := range seen {
+		out = append(out, y)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FamilySplit returns (target, predictive) sub-matrices for processor-family
+// cross-validation: machines of the named family versus all others.
+func (d *Matrix) FamilySplit(family string) (target, predictive *Matrix, err error) {
+	found := false
+	for _, m := range d.Machines {
+		if m.Family == family {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, nil, fmt.Errorf("dataset: unknown processor family %q", family)
+	}
+	target = d.SelectMachines(func(m Machine) bool { return m.Family == family })
+	predictive = d.SelectMachines(func(m Machine) bool { return m.Family != family })
+	return target, predictive, nil
+}
+
+// YearSplit returns machines released in targetYear as targets and machines
+// matching the predicate on year as the predictive set.
+func (d *Matrix) YearSplit(targetYear int, predictive func(year int) bool) (tgt, pred *Matrix, err error) {
+	tgt = d.SelectMachines(func(m Machine) bool { return m.Year == targetYear })
+	pred = d.SelectMachines(func(m Machine) bool { return predictive(m.Year) })
+	if tgt.NumMachines() == 0 {
+		return nil, nil, fmt.Errorf("dataset: no machines released in %d", targetYear)
+	}
+	if pred.NumMachines() == 0 {
+		return nil, nil, errors.New("dataset: empty predictive set")
+	}
+	return tgt, pred, nil
+}
+
+// WriteCSV writes the matrix with a header row of machine IDs and one
+// metadata block of four leading comment-style rows (vendor, family,
+// nickname, ISA, year are encoded in dedicated rows prefixed with '#').
+func (d *Matrix) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"benchmark"}, ids(d.Machines)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	meta := map[string]func(Machine) string{
+		"#vendor":   func(m Machine) string { return m.Vendor },
+		"#family":   func(m Machine) string { return m.Family },
+		"#nickname": func(m Machine) string { return m.Nickname },
+		"#isa":      func(m Machine) string { return m.ISA },
+		"#year":     func(m Machine) string { return strconv.Itoa(m.Year) },
+	}
+	for _, key := range []string{"#vendor", "#family", "#nickname", "#isa", "#year"} {
+		row := make([]string, 1, len(d.Machines)+1)
+		row[0] = key
+		for _, m := range d.Machines {
+			row = append(row, meta[key](m))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for b, name := range d.Benchmarks {
+		row := make([]string, 1, len(d.Machines)+1)
+		row[0] = name
+		for _, v := range d.Scores[b] {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a matrix written by WriteCSV.
+func ReadCSV(r io.Reader) (*Matrix, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if len(records) < 6 {
+		return nil, errors.New("dataset: CSV too short (need header + 5 metadata rows)")
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "benchmark" {
+		return nil, errors.New("dataset: malformed CSV header")
+	}
+	n := len(header) - 1
+	machines := make([]Machine, n)
+	for i := range machines {
+		machines[i].ID = header[i+1]
+	}
+	metaRows := map[string]int{}
+	for ri := 1; ri <= 5; ri++ {
+		if len(records[ri]) != n+1 {
+			return nil, fmt.Errorf("dataset: metadata row %d has %d fields, want %d", ri, len(records[ri]), n+1)
+		}
+		metaRows[records[ri][0]] = ri
+	}
+	for _, key := range []string{"#vendor", "#family", "#nickname", "#isa", "#year"} {
+		ri, ok := metaRows[key]
+		if !ok {
+			return nil, fmt.Errorf("dataset: missing metadata row %q", key)
+		}
+		for i := 0; i < n; i++ {
+			v := records[ri][i+1]
+			switch key {
+			case "#vendor":
+				machines[i].Vendor = v
+			case "#family":
+				machines[i].Family = v
+			case "#nickname":
+				machines[i].Nickname = v
+			case "#isa":
+				machines[i].ISA = v
+			case "#year":
+				y, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: bad year %q for machine %q: %w", v, machines[i].ID, err)
+				}
+				machines[i].Year = y
+			}
+		}
+	}
+	var benchmarks []string
+	var scores [][]float64
+	for _, rec := range records[6:] {
+		if len(rec) != n+1 {
+			return nil, fmt.Errorf("dataset: row %q has %d fields, want %d", rec[0], len(rec), n+1)
+		}
+		benchmarks = append(benchmarks, rec[0])
+		row := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v, err := strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: bad score %q for %q: %w", rec[i+1], rec[0], err)
+			}
+			row[i] = v
+		}
+		scores = append(scores, row)
+	}
+	d := &Matrix{Benchmarks: benchmarks, Machines: machines, Scores: scores}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func ids(machines []Machine) []string {
+	out := make([]string, len(machines))
+	for i, m := range machines {
+		out[i] = m.ID
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample(t *testing.T) *Matrix {
+	t.Helper()
+	machines := []Machine{
+		{ID: "m1", Vendor: "A", Family: "Fam1", Nickname: "N1", ISA: "x86-64", Year: 2007},
+		{ID: "m2", Vendor: "B", Family: "Fam1", Nickname: "N2", ISA: "x86-64", Year: 2008},
+		{ID: "m3", Vendor: "C", Family: "Fam2", Nickname: "N3", ISA: "Power", Year: 2009},
+	}
+	d, err := New([]string{"b1", "b2"}, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Scores[0] = []float64{1, 2, 3}
+	d.Scores[1] = []float64{4, 5, 6}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]string{"a", "a"}, nil); err == nil {
+		t.Fatal("want duplicate-benchmark error")
+	}
+	if _, err := New([]string{""}, nil); err == nil {
+		t.Fatal("want empty-name error")
+	}
+	if _, err := New(nil, []Machine{{ID: "x"}, {ID: "x"}}); err == nil {
+		t.Fatal("want duplicate-machine error")
+	}
+	if _, err := New(nil, []Machine{{}}); err == nil {
+		t.Fatal("want empty-ID error")
+	}
+}
+
+func TestValidateScores(t *testing.T) {
+	d := sample(t)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d.Scores[0][1] = -1
+	if err := d.Validate(); err == nil {
+		t.Fatal("want error for non-positive score")
+	}
+	d.Scores[0][1] = 2
+	d.Scores[0] = d.Scores[0][:2]
+	if err := d.Validate(); err == nil {
+		t.Fatal("want error for short row")
+	}
+}
+
+func TestIndexLookups(t *testing.T) {
+	d := sample(t)
+	b, err := d.BenchmarkIndex("b2")
+	if err != nil || b != 1 {
+		t.Fatalf("BenchmarkIndex = %d, %v", b, err)
+	}
+	if _, err := d.BenchmarkIndex("nope"); err == nil {
+		t.Fatal("want unknown-benchmark error")
+	}
+	m, err := d.MachineIndex("m3")
+	if err != nil || m != 2 {
+		t.Fatalf("MachineIndex = %d, %v", m, err)
+	}
+	if _, err := d.MachineIndex("nope"); err == nil {
+		t.Fatal("want unknown-machine error")
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	d := sample(t)
+	r := d.Row(0)
+	r[0] = 99
+	if d.Scores[0][0] != 1 {
+		t.Fatal("Row must copy")
+	}
+	c := d.Col(1)
+	if c[0] != 2 || c[1] != 5 {
+		t.Fatalf("Col = %v", c)
+	}
+	c[0] = 99
+	if d.Scores[0][1] != 2 {
+		t.Fatal("Col must copy")
+	}
+}
+
+func TestSelectMachines(t *testing.T) {
+	d := sample(t)
+	sub := d.SelectMachines(func(m Machine) bool { return m.Family == "Fam1" })
+	if sub.NumMachines() != 2 || sub.NumBenchmarks() != 2 {
+		t.Fatalf("submatrix %dx%d", sub.NumBenchmarks(), sub.NumMachines())
+	}
+	if sub.Scores[1][1] != 5 {
+		t.Fatalf("submatrix scores wrong: %v", sub.Scores)
+	}
+	// Copies, not views.
+	sub.Scores[0][0] = 42
+	if d.Scores[0][0] != 1 {
+		t.Fatal("SelectMachines must copy scores")
+	}
+	empty := d.SelectMachines(func(Machine) bool { return false })
+	if empty.NumMachines() != 0 {
+		t.Fatal("empty selection must have no machines")
+	}
+}
+
+func TestSelectBenchmarks(t *testing.T) {
+	d := sample(t)
+	sub, err := d.SelectBenchmarks([]string{"b2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumBenchmarks() != 1 || sub.Scores[0][2] != 6 {
+		t.Fatalf("SelectBenchmarks wrong: %+v", sub)
+	}
+	if _, err := d.SelectBenchmarks([]string{"zzz"}); err == nil {
+		t.Fatal("want unknown-benchmark error")
+	}
+}
+
+func TestDropBenchmark(t *testing.T) {
+	d := sample(t)
+	rest, row, err := d.DropBenchmark("b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.NumBenchmarks() != 1 || rest.Benchmarks[0] != "b2" {
+		t.Fatalf("rest = %+v", rest.Benchmarks)
+	}
+	if row[0] != 1 || row[2] != 3 {
+		t.Fatalf("dropped row = %v", row)
+	}
+	// Original untouched.
+	if d.NumBenchmarks() != 2 {
+		t.Fatal("DropBenchmark must not mutate the source")
+	}
+	if _, _, err := d.DropBenchmark("zzz"); err == nil {
+		t.Fatal("want unknown-benchmark error")
+	}
+}
+
+func TestFamiliesYears(t *testing.T) {
+	d := sample(t)
+	fams := d.Families()
+	if len(fams) != 2 || fams[0] != "Fam1" || fams[1] != "Fam2" {
+		t.Fatalf("Families = %v", fams)
+	}
+	years := d.Years()
+	if len(years) != 3 || years[0] != 2007 || years[2] != 2009 {
+		t.Fatalf("Years = %v", years)
+	}
+}
+
+func TestFamilySplit(t *testing.T) {
+	d := sample(t)
+	tgt, pred, err := d.FamilySplit("Fam1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.NumMachines() != 2 || pred.NumMachines() != 1 {
+		t.Fatalf("split %d/%d", tgt.NumMachines(), pred.NumMachines())
+	}
+	if _, _, err := d.FamilySplit("FamX"); err == nil {
+		t.Fatal("want unknown-family error")
+	}
+}
+
+func TestYearSplit(t *testing.T) {
+	d := sample(t)
+	tgt, pred, err := d.YearSplit(2009, func(y int) bool { return y < 2009 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.NumMachines() != 1 || pred.NumMachines() != 2 {
+		t.Fatalf("split %d/%d", tgt.NumMachines(), pred.NumMachines())
+	}
+	if _, _, err := d.YearSplit(1990, func(int) bool { return true }); err == nil {
+		t.Fatal("want no-targets error")
+	}
+	if _, _, err := d.YearSplit(2009, func(int) bool { return false }); err == nil {
+		t.Fatal("want empty-predictive error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumBenchmarks() != 2 || back.NumMachines() != 3 {
+		t.Fatalf("round trip %dx%d", back.NumBenchmarks(), back.NumMachines())
+	}
+	for b := range d.Scores {
+		for m := range d.Scores[b] {
+			if back.Scores[b][m] != d.Scores[b][m] {
+				t.Fatalf("score (%d,%d) = %v, want %v", b, m, back.Scores[b][m], d.Scores[b][m])
+			}
+		}
+	}
+	if back.Machines[2] != d.Machines[2] {
+		t.Fatalf("machine metadata lost: %+v vs %+v", back.Machines[2], d.Machines[2])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\n", // no data rows is fine, but malformed below
+		"notbenchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,1\n",
+		"benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,xyz\nb1,1\n",
+		"benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,notanumber\n",
+		"benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,-3\n",
+		"benchmark,m1\n#vendor,A\n#wrong,F\n#nickname,N\n#isa,I\n#year,2000\nb1,1\n",
+	}
+	for i, c := range cases {
+		if i == 1 {
+			continue // header-only file exercised separately below
+		}
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected parse error", i)
+		}
+	}
+	// A metadata-only file round-trips to an empty matrix.
+	d, err := ReadCSV(strings.NewReader(cases[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBenchmarks() != 0 || d.NumMachines() != 1 {
+		t.Fatalf("metadata-only matrix %dx%d", d.NumBenchmarks(), d.NumMachines())
+	}
+}
+
+func TestMachineString(t *testing.T) {
+	m := Machine{ID: "x", Family: "F", Nickname: "N", Year: 2009}
+	if s := m.String(); !strings.Contains(s, "x") || !strings.Contains(s, "2009") {
+		t.Fatalf("String = %q", s)
+	}
+}

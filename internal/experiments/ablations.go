@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/transpose"
+)
+
+// Ablations probe the reproduction's own design choices, beyond the
+// paper's tables:
+//
+//   - HonestChars: how much of GA-kNN's outlier failure is caused by the
+//     simulated characterisation failure (DESIGN.md §2)?
+//   - MLPTDecay: what does the learning-rate-decay deviation from the WEKA
+//     defaults buy?
+//   - Predictors: NNᵀ vs SPLᵀ (spline transposition, an extension after
+//     Lee & Brooks) vs MLPᵀ — how much model flexibility does the
+//     transposition step need?
+//   - Selection: PAM k-medoids vs k-means vs random predictive-machine
+//     selection (extends Figure 8 with a second clustering algorithm).
+
+// AblationHonestChars reruns GA-kNN family CV with truthful outlier
+// characteristics and compares against the default (distorted) run.
+type AblationHonestChars struct {
+	// Distorted is the default setting (characterisation failure
+	// simulated); Honest hands GA-kNN the ground-truth profiles.
+	Distorted, Honest Summary
+}
+
+// RunAblationHonestChars executes the characterisation ablation.
+func RunAblationHonestChars(cfg Config) (*AblationHonestChars, error) {
+	run := func(honest bool) (Summary, error) {
+		opts := cfg.synthOptions()
+		opts.HonestCharacteristics = honest
+		data, err := synth.Generate(opts)
+		if err != nil {
+			return Summary{}, err
+		}
+		rs, err := transpose.FamilyCV(data.Matrix, data.Characteristics, cfg.newGAKNN)
+		if err != nil {
+			return Summary{}, err
+		}
+		return summarize(rs, data.Matrix.Benchmarks)
+	}
+	distorted, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	honest, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationHonestChars{Distorted: distorted, Honest: honest}, nil
+}
+
+// Render formats the ablation.
+func (a *AblationHonestChars) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: GA-kNN with simulated characterisation failure vs honest profiles\n\n")
+	sb.WriteString(renderSummaryRows([]string{"distorted (default)", "honest"},
+		[]Summary{a.Distorted, a.Honest}))
+	sb.WriteString("\nThe gap between the rows is the share of GA-kNN's outlier failure that\n")
+	sb.WriteString("the simulated MICA measurement failure accounts for.\n")
+	return sb.String()
+}
+
+// AblationMLPTDecay compares MLPᵀ with learning-rate decay (this
+// repository's default) against the pure WEKA defaults.
+type AblationMLPTDecay struct {
+	Decay, PureWEKA Summary
+}
+
+// RunAblationMLPTDecay executes the MLPᵀ training ablation.
+func RunAblationMLPTDecay(cfg Config) (*AblationMLPTDecay, error) {
+	data, err := synth.Generate(cfg.synthOptions())
+	if err != nil {
+		return nil, err
+	}
+	run := func(decay bool) (Summary, error) {
+		rs, err := transpose.FamilyCV(data.Matrix, data.Characteristics, func() transpose.Predictor {
+			p := transpose.NewMLPT(cfg.Seed + 1)
+			p.Config.Decay = decay
+			if cfg.Fast {
+				p.Config.Epochs = 60
+			}
+			return p
+		})
+		if err != nil {
+			return Summary{}, err
+		}
+		return summarize(rs, data.Matrix.Benchmarks)
+	}
+	withDecay, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	pure, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationMLPTDecay{Decay: withDecay, PureWEKA: pure}, nil
+}
+
+// Render formats the ablation.
+func (a *AblationMLPTDecay) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: MLP^T with learning-rate decay (default here) vs pure WEKA defaults\n\n")
+	sb.WriteString(renderSummaryRows([]string{"decay (default)", "pure WEKA"},
+		[]Summary{a.Decay, a.PureWEKA}))
+	return sb.String()
+}
+
+// AblationPredictors compares the three transposition model families.
+type AblationPredictors struct {
+	Names     []string
+	Summaries []Summary
+}
+
+// RunAblationPredictors executes the model-flexibility ablation: linear
+// (NNᵀ), spline (SPLᵀ) and neural (MLPᵀ) data transposition.
+func RunAblationPredictors(cfg Config) (*AblationPredictors, error) {
+	data, err := synth.Generate(cfg.synthOptions())
+	if err != nil {
+		return nil, err
+	}
+	factories := []struct {
+		name string
+		mk   func() transpose.Predictor
+	}{
+		{"NN^T", func() transpose.Predictor { return transpose.NNT{} }},
+		{"SPL^T", func() transpose.Predictor { return transpose.NewSPLT() }},
+		{"MLP^T", cfg.newMLPT},
+	}
+	out := &AblationPredictors{}
+	for _, f := range factories {
+		rs, err := transpose.FamilyCV(data.Matrix, data.Characteristics, f.mk)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: predictor ablation %s: %w", f.name, err)
+		}
+		s, err := summarize(rs, data.Matrix.Benchmarks)
+		if err != nil {
+			return nil, err
+		}
+		out.Names = append(out.Names, f.name)
+		out.Summaries = append(out.Summaries, s)
+	}
+	return out, nil
+}
+
+// Render formats the ablation.
+func (a *AblationPredictors) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: model flexibility of the transposition step (family CV)\n\n")
+	sb.WriteString(renderSummaryRows(a.Names, a.Summaries))
+	sb.WriteString("\nSPL^T (cubic regression splines per machine pair, after Lee & Brooks) is\n")
+	sb.WriteString("an extension beyond the paper's NN^T/MLP^T pair.\n")
+	return sb.String()
+}
+
+// AblationSelection extends Figure 8: mean MLPᵀ goodness of fit under
+// three predictive-machine selection strategies.
+type AblationSelection struct {
+	Ks     []int
+	Medoid []float64
+	KMeans []float64
+	Random []float64
+	Draws  int
+}
+
+// RunAblationSelection executes the selection-strategy ablation on the
+// 2008 pool → 2009 targets split.
+func RunAblationSelection(cfg Config) (*AblationSelection, error) {
+	data, err := synth.Generate(cfg.synthOptions())
+	if err != nil {
+		return nil, err
+	}
+	tgt, pool, err := data.Matrix.YearSplit(TargetYear, func(y int) bool { return y == 2008 })
+	if err != nil {
+		return nil, err
+	}
+	mlpt, err := cfg.method("MLP^T")
+	if err != nil {
+		return nil, err
+	}
+	maxK := cfg.maxK()
+	if maxK > pool.NumMachines() {
+		maxK = pool.NumMachines()
+	}
+	out := &AblationSelection{Draws: cfg.draws()}
+	if out.Draws > 10 {
+		out.Draws = 10
+	}
+	kmeansSel := func(k int) func(*dataset.Matrix) (*dataset.Matrix, error) {
+		return func(d *dataset.Matrix) (*dataset.Matrix, error) {
+			pts := make([][]float64, d.NumMachines())
+			for i := range pts {
+				pts[i] = d.Col(i)
+			}
+			res, err := cluster.KMeans(pts, k, rand.New(rand.NewSource(cfg.Seed)), 100)
+			if err != nil {
+				return nil, err
+			}
+			keep := map[string]bool{}
+			for _, mi := range res.Medoids {
+				keep[d.Machines[mi].ID] = true
+			}
+			sub := d.SelectMachines(func(m dataset.Machine) bool { return keep[m.ID] })
+			return sub, nil
+		}
+	}
+	for k := 3; k <= maxK; k++ {
+		out.Ks = append(out.Ks, k)
+		fit := func(sel func(*dataset.Matrix) (*dataset.Matrix, error)) (float64, error) {
+			sub, err := sel(pool)
+			if err != nil {
+				return 0, err
+			}
+			return transpose.GoodnessOfFit(sub, tgt, data.Characteristics, mlpt.New)
+		}
+		med, err := fit(transpose.MedoidSubset(k))
+		if err != nil {
+			return nil, err
+		}
+		out.Medoid = append(out.Medoid, med)
+		km, err := fit(kmeansSel(k))
+		if err != nil {
+			return nil, err
+		}
+		out.KMeans = append(out.KMeans, km)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(500+k)))
+		var r2s []float64
+		for d := 0; d < out.Draws; d++ {
+			r2, err := fit(transpose.RandomSubset(k, rng))
+			if err != nil {
+				return nil, err
+			}
+			r2s = append(r2s, r2)
+		}
+		out.Random = append(out.Random, stats.Mean(r2s))
+	}
+	return out, nil
+}
+
+// Render formats the ablation.
+func (a *AblationSelection) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: predictive-machine selection strategies (MLP^T goodness of fit,\nrandom averaged over %d draws)\n\n", a.Draws)
+	fmt.Fprintf(&sb, "%-4s %10s %10s %10s\n", "k", "k-medoids", "k-means", "random")
+	for i, k := range a.Ks {
+		fmt.Fprintf(&sb, "%-4d %10.3f %10.3f %10.3f\n", k, a.Medoid[i], a.KMeans[i], a.Random[i])
+	}
+	return sb.String()
+}
+
+// renderSummaryRows formats labelled summaries as aligned rows.
+func renderSummaryRows(labels []string, ss []Summary) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %16s %16s %16s %12s\n", "", "rank (worst)", "top-1 (worst)", "mean% (worst)", "worst fold")
+	for i, l := range labels {
+		s := ss[i]
+		fmt.Fprintf(&sb, "%-22s %16s %16s %16s %11.0f%%\n", l,
+			fmt.Sprintf("%.2f (%.2f)", s.Mean.RankCorr, s.Worst.RankCorr),
+			fmt.Sprintf("%.2f (%.1f)", s.Mean.Top1Err, s.Worst.Top1Err),
+			fmt.Sprintf("%.2f (%.1f)", s.Mean.MeanErr, s.Worst.MeanErr),
+			s.WorstFoldTop1)
+	}
+	return sb.String()
+}

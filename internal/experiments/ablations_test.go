@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationHonestChars(t *testing.T) {
+	a, err := RunAblationHonestChars(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Honest characteristics must remove most of GA-kNN's outlier failure:
+	// the worst single-fold top-1 deficiency should shrink substantially.
+	if a.Honest.WorstFoldTop1 >= a.Distorted.WorstFoldTop1 {
+		t.Fatalf("honest worst fold %.0f%% should be below distorted %.0f%%",
+			a.Honest.WorstFoldTop1, a.Distorted.WorstFoldTop1)
+	}
+	if a.Distorted.WorstFoldTop1 < 100 {
+		t.Fatalf("distorted worst fold %.0f%% should exceed 100%%", a.Distorted.WorstFoldTop1)
+	}
+	out := a.Render()
+	if !strings.Contains(out, "honest") || !strings.Contains(out, "distorted") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAblationMLPTDecay(t *testing.T) {
+	a, err := RunAblationMLPTDecay(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Decay.Folds != a.PureWEKA.Folds || a.Decay.Folds != 17*29 {
+		t.Fatalf("fold counts %d / %d", a.Decay.Folds, a.PureWEKA.Folds)
+	}
+	if !strings.Contains(a.Render(), "WEKA") {
+		t.Fatal("render missing WEKA row")
+	}
+}
+
+func TestAblationPredictors(t *testing.T) {
+	a, err := RunAblationPredictors(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Names) != 3 || a.Names[1] != "SPL^T" {
+		t.Fatalf("names = %v", a.Names)
+	}
+	// SPL^T is at least as flexible as NN^T: its mean rank correlation
+	// should not collapse relative to NN^T's.
+	nnt, splt := a.Summaries[0], a.Summaries[1]
+	if splt.Mean.RankCorr < nnt.Mean.RankCorr-0.15 {
+		t.Fatalf("SPL^T rank %.3f collapsed vs NN^T %.3f", splt.Mean.RankCorr, nnt.Mean.RankCorr)
+	}
+	if !strings.Contains(a.Render(), "SPL^T") {
+		t.Fatal("render missing SPL^T")
+	}
+}
+
+func TestAblationSelection(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MaxK = 5
+	a, err := RunAblationSelection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ks) != 3 || a.Ks[0] != 3 || a.Ks[2] != 5 {
+		t.Fatalf("ks = %v", a.Ks)
+	}
+	if len(a.Medoid) != 3 || len(a.KMeans) != 3 || len(a.Random) != 3 {
+		t.Fatal("series lengths")
+	}
+	out := a.Render()
+	for _, want := range []string{"k-medoids", "k-means", "random"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}

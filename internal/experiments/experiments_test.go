@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// fastConfig keeps experiment tests quick: tiny GA, short MLP training,
+// few draws.
+func fastConfig() Config {
+	return Config{Seed: 1, RandomDraws: 2, MaxK: 3, Fast: true}
+}
+
+func TestMethods(t *testing.T) {
+	cfg := fastConfig()
+	ms := cfg.Methods()
+	if len(ms) != 3 {
+		t.Fatalf("%d methods", len(ms))
+	}
+	for i, name := range MethodNames {
+		if ms[i].Name != name {
+			t.Fatalf("method %d = %q, want %q", i, ms[i].Name, name)
+		}
+		p := ms[i].New()
+		if p.Name() != name {
+			t.Fatalf("predictor name %q != method name %q", p.Name(), name)
+		}
+	}
+	if _, err := cfg.method("nope"); err == nil {
+		t.Fatal("want unknown-method error")
+	}
+}
+
+func TestRunFamilyCVAndReductions(t *testing.T) {
+	fr, err := RunFamilyCV(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Order) != 29 {
+		t.Fatalf("%d benchmarks", len(fr.Order))
+	}
+	for _, name := range MethodNames {
+		if len(fr.Results[name]) != 17*29 {
+			t.Fatalf("%s: %d folds, want %d", name, len(fr.Results[name]), 17*29)
+		}
+	}
+
+	t2, err := fr.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range MethodNames {
+		s := t2.Summary[name]
+		if s.Mean.RankCorr < -1 || s.Mean.RankCorr > 1 || math.IsNaN(s.Mean.RankCorr) {
+			t.Fatalf("%s: rank %v", name, s.Mean.RankCorr)
+		}
+		if s.Worst.RankCorr > s.Mean.RankCorr {
+			t.Fatalf("%s: worst rank %v above mean %v", name, s.Worst.RankCorr, s.Mean.RankCorr)
+		}
+		if s.Worst.Top1Err < s.Mean.Top1Err {
+			t.Fatalf("%s: worst top-1 below mean", name)
+		}
+		if s.WorstFoldTop1 < s.Worst.Top1Err {
+			t.Fatalf("%s: single-fold worst %v below per-benchmark worst %v", name, s.WorstFoldTop1, s.Worst.Top1Err)
+		}
+	}
+	out := t2.Render()
+	for _, want := range []string{"Table 2", "NN^T", "MLP^T", "GA-kNN", "Rank correlation", "Top-1 error", "Mean error"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 2 render missing %q:\n%s", want, out)
+		}
+	}
+
+	f6, err := fr.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f6.Metric != "rank" || len(f6.Values["NN^T"]) != 29 {
+		t.Fatalf("figure 6 shape: %+v", f6.Metric)
+	}
+	for _, name := range MethodNames {
+		if f6.Extreme[name] > f6.Average[name] {
+			t.Fatalf("%s: figure 6 minimum above average", name)
+		}
+	}
+	if !strings.Contains(f6.Render(), "Minimum") {
+		t.Fatal("figure 6 render missing Minimum group")
+	}
+
+	f7, err := fr.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.Metric != "top1" {
+		t.Fatalf("figure 7 metric %q", f7.Metric)
+	}
+	for _, name := range MethodNames {
+		if f7.Extreme[name] < f7.Average[name] {
+			t.Fatalf("%s: figure 7 maximum below average", name)
+		}
+	}
+	if !strings.Contains(f7.Render(), "Maximum") {
+		t.Fatal("figure 7 render missing Maximum group")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	t3, err := RunTable3(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range MethodNames {
+		for _, split := range Table3Splits {
+			s, ok := t3.Summary[m][split]
+			if !ok {
+				t.Fatalf("missing %s/%s", m, split)
+			}
+			if s.Folds != 29 {
+				t.Fatalf("%s/%s: %d folds", m, split, s.Folds)
+			}
+		}
+	}
+	out := t3.Render()
+	for _, want := range []string{"Table 3", "2008", "2007", "older"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestRunTable4(t *testing.T) {
+	t4, err := RunTable4(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.Draws != 2 {
+		t.Fatalf("draws = %d", t4.Draws)
+	}
+	for _, m := range t4.Methods {
+		for _, size := range Table4Sizes {
+			s, ok := t4.Summary[m][size]
+			if !ok {
+				t.Fatalf("missing %s/%d", m, size)
+			}
+			if s.Folds != 2*29 {
+				t.Fatalf("%s/%d: %d folds, want 58", m, size, s.Folds)
+			}
+		}
+	}
+	if !strings.Contains(t4.Render(), "Subset size") {
+		t.Fatal("render missing subset header")
+	}
+}
+
+func TestRunFigure8(t *testing.T) {
+	f8, err := RunFigure8(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8.Ks) != 3 || f8.Ks[0] != 1 || f8.Ks[2] != 3 {
+		t.Fatalf("ks = %v", f8.Ks)
+	}
+	if len(f8.Medoid) != 3 || len(f8.Random) != 3 {
+		t.Fatal("series lengths wrong")
+	}
+	for i := range f8.Medoid {
+		if math.IsNaN(f8.Medoid[i]) || math.IsNaN(f8.Random[i]) {
+			t.Fatalf("NaN at k=%d", f8.Ks[i])
+		}
+	}
+	out := f8.Render()
+	for _, want := range []string{"Figure 8", "k-medoids", "random"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(fastConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Figure 6", "Figure 7", "Table 3", "Table 4", "Figure 8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RunAll output missing %q", want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := DefaultConfig(9)
+	if cfg.Seed != 9 || cfg.RandomDraws != 50 || cfg.MaxK != 10 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	var zero Config
+	if zero.draws() != 50 || zero.maxK() != 10 {
+		t.Fatal("zero-value fallbacks wrong")
+	}
+	opts := synth.Options{Seed: 3}
+	cfg.Synth = &opts
+	if cfg.synthOptions().Seed != 3 {
+		t.Fatal("synth override ignored")
+	}
+}
+
+func TestSplitKeep(t *testing.T) {
+	for _, split := range Table3Splits {
+		keep, err := splitKeep(split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if keep(2009) {
+			t.Fatalf("split %s must exclude the target year", split)
+		}
+	}
+	k2008, _ := splitKeep("2008")
+	if !k2008(2008) || k2008(2007) {
+		t.Fatal("2008 split wrong")
+	}
+	kOld, _ := splitKeep("older")
+	if !kOld(2005) || kOld(2007) {
+		t.Fatal("older split wrong")
+	}
+	if _, err := splitKeep("bogus"); err == nil {
+		t.Fatal("want unknown-split error")
+	}
+}

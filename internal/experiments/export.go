@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports Table 2 as machine-readable rows:
+// method,metric,mean,worst.
+func (t *Table2) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "metric", "mean", "worst"}); err != nil {
+		return err
+	}
+	for _, m := range t.Methods {
+		s := t.Summary[m]
+		rows := [][2]interface{}{
+			{"rank_correlation", [2]float64{s.Mean.RankCorr, s.Worst.RankCorr}},
+			{"top1_error", [2]float64{s.Mean.Top1Err, s.Worst.Top1Err}},
+			{"mean_error", [2]float64{s.Mean.MeanErr, s.Worst.MeanErr}},
+		}
+		for _, r := range rows {
+			v := r[1].([2]float64)
+			if err := cw.Write([]string{m, r[0].(string), ftoa(v[0]), ftoa(v[1])}); err != nil {
+				return err
+			}
+		}
+		if err := cw.Write([]string{m, "worst_fold_top1", ftoa(s.WorstFoldTop1), ""}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports the per-benchmark figure as rows:
+// benchmark,method,value (plus extreme/average pseudo-benchmarks).
+func (f *PerBenchFigure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "method", f.Metric}); err != nil {
+		return err
+	}
+	for _, app := range f.Order {
+		for _, m := range f.Methods {
+			if err := cw.Write([]string{app, m, ftoa(f.Values[m][app])}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, m := range f.Methods {
+		if err := cw.Write([]string{"extreme", m, ftoa(f.Extreme[m])}); err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"average", m, ftoa(f.Average[m])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Table 3 as rows: method,split,metric,mean,worst.
+func (t *Table3) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "split", "metric", "mean", "worst"}); err != nil {
+		return err
+	}
+	for _, m := range t.Methods {
+		for _, split := range t.Splits {
+			s := t.Summary[m][split]
+			if err := writeMetricRows(cw, []string{m, split}, s); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Table 4 as rows: method,size,metric,mean,worst.
+func (t *Table4) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "subset_size", "metric", "mean", "worst"}); err != nil {
+		return err
+	}
+	for _, m := range t.Methods {
+		for _, size := range t.Sizes {
+			s := t.Summary[m][size]
+			if err := writeMetricRows(cw, []string{m, strconv.Itoa(size)}, s); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV exports Figure 8 as rows: k,medoid,random.
+func (f *Figure8) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"k", "medoid_r2", "random_r2"}); err != nil {
+		return err
+	}
+	for i, k := range f.Ks {
+		if err := cw.Write([]string{strconv.Itoa(k), ftoa(f.Medoid[i]), ftoa(f.Random[i])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeMetricRows(cw *csv.Writer, prefix []string, s Summary) error {
+	rows := []struct {
+		name        string
+		mean, worst float64
+	}{
+		{"rank_correlation", s.Mean.RankCorr, s.Worst.RankCorr},
+		{"top1_error", s.Mean.Top1Err, s.Worst.Top1Err},
+		{"mean_error", s.Mean.MeanErr, s.Worst.MeanErr},
+	}
+	for _, r := range rows {
+		rec := append(append([]string(nil), prefix...), r.name, ftoa(r.mean), ftoa(r.worst))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ftoa(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

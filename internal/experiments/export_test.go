@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestTable2CSV(t *testing.T) {
+	fr, err := RunFamilyCV(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := fr.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := t2.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	// header + 3 methods × 4 metric rows.
+	if len(recs) != 1+3*4 {
+		t.Fatalf("%d rows", len(recs))
+	}
+	if recs[0][0] != "method" {
+		t.Fatalf("header = %v", recs[0])
+	}
+
+	f6, err := fr.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f6.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	recs = parseCSV(t, &buf)
+	// header + 29 benchmarks × 3 methods + 3 methods × 2 summary rows.
+	if len(recs) != 1+29*3+6 {
+		t.Fatalf("%d figure rows", len(recs))
+	}
+	if !strings.Contains(raw, "libquantum") {
+		t.Fatal("figure CSV missing benchmarks")
+	}
+}
+
+func TestTable3And4CSV(t *testing.T) {
+	cfg := fastConfig()
+	t3, err := RunTable3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := t3.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 1+3*3*3 { // methods × splits × metrics
+		t.Fatalf("%d table3 rows", len(recs))
+	}
+
+	t4, err := RunTable4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := t4.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs = parseCSV(t, &buf)
+	if len(recs) != 1+2*3*3 { // methods × sizes × metrics
+		t.Fatalf("%d table4 rows", len(recs))
+	}
+}
+
+func TestFigure8CSV(t *testing.T) {
+	f8, err := RunFigure8(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f8.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 1+len(f8.Ks) {
+		t.Fatalf("%d fig8 rows", len(recs))
+	}
+	if recs[0][1] != "medoid_r2" {
+		t.Fatalf("header = %v", recs[0])
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/textplot"
+	"repro/internal/transpose"
+)
+
+// Figure8 is the paper's Figure 8: goodness of fit R² of MLPᵀ predictions
+// as a function of the number of predictive machines, for k-medoids versus
+// random selection (random averaged over Draws draws).
+type Figure8 struct {
+	Ks     []int
+	Medoid []float64
+	Random []float64
+	Draws  int
+}
+
+// RunFigure8 executes the §6.5 experiment. The predictive pool is the 2008
+// machines, the targets the 2009 machines, matching the setting of §6.4
+// that the selection question arises from.
+func RunFigure8(cfg Config) (*Figure8, error) {
+	data, err := synth.Generate(cfg.synthOptions())
+	if err != nil {
+		return nil, err
+	}
+	keep2008 := func(y int) bool { return y == 2008 }
+	tgt, pool, err := data.Matrix.YearSplit(TargetYear, keep2008)
+	if err != nil {
+		return nil, err
+	}
+	maxK := cfg.maxK()
+	if maxK > pool.NumMachines() {
+		maxK = pool.NumMachines()
+	}
+	out := &Figure8{Draws: cfg.draws()}
+	mlpt, err := cfg.method("MLP^T")
+	if err != nil {
+		return nil, err
+	}
+	for k := 1; k <= maxK; k++ {
+		out.Ks = append(out.Ks, k)
+
+		sel := transpose.MedoidSubset(k)
+		sub, err := sel(pool)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := transpose.GoodnessOfFit(sub, tgt, data.Characteristics, mlpt.New)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Figure 8 medoid k=%d: %w", k, err)
+		}
+		out.Medoid = append(out.Medoid, r2)
+
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(1000+k)))
+		var r2s []float64
+		for d := 0; d < out.Draws; d++ {
+			sub, err := transpose.RandomSubset(k, rng)(pool)
+			if err != nil {
+				return nil, err
+			}
+			r2, err := transpose.GoodnessOfFit(sub, tgt, data.Characteristics, mlpt.New)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: Figure 8 random k=%d draw %d: %w", k, d, err)
+			}
+			r2s = append(r2s, r2)
+		}
+		out.Random = append(out.Random, stats.Mean(r2s))
+	}
+	return out, nil
+}
+
+// Render draws the figure as an ASCII line chart plus the raw series.
+func (f *Figure8) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 8: goodness of fit R² vs number of predictive machines (MLP^T)\n")
+	fmt.Fprintf(&sb, "(random selection averaged over %d draws)\n\n", f.Draws)
+	xs := make([]float64, len(f.Ks))
+	for i, k := range f.Ks {
+		xs[i] = float64(k)
+	}
+	chart, err := textplot.Line(xs, []textplot.Series{
+		{Name: "k-medoids", Values: f.Medoid},
+		{Name: "random", Values: f.Random},
+	}, 50, 12)
+	if err != nil {
+		fmt.Fprintf(&sb, "(render error: %v)\n", err)
+	} else {
+		sb.WriteString(chart)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%-4s %10s %10s\n", "k", "k-medoids", "random")
+	for i, k := range f.Ks {
+		fmt.Fprintf(&sb, "%-4d %10.3f %10.3f\n", k, f.Medoid[i], f.Random[i])
+	}
+	return sb.String()
+}

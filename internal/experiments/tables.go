@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/synth"
+	"repro/internal/transpose"
+)
+
+// TargetYear is the release year of the paper's future-machine targets.
+const TargetYear = 2009
+
+// Table3Splits lists the §6.3 predictive sets in the paper's column order.
+var Table3Splits = []string{"2008", "2007", "older"}
+
+func splitKeep(split string) (func(int) bool, error) {
+	switch split {
+	case "2008":
+		return func(y int) bool { return y == 2008 }, nil
+	case "2007":
+		return func(y int) bool { return y == 2007 }, nil
+	case "older":
+		return func(y int) bool { return y < 2007 }, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown Table 3 split %q", split)
+	}
+}
+
+// Table3 is the paper's Table 3: predicting the 2009 machines from
+// progressively older predictive sets, per method and split.
+type Table3 struct {
+	Methods []string
+	Splits  []string
+	// Summary[method][split]
+	Summary map[string]map[string]Summary
+}
+
+// RunTable3 executes the §6.3 experiment.
+func RunTable3(cfg Config) (*Table3, error) {
+	data, err := synth.Generate(cfg.synthOptions())
+	if err != nil {
+		return nil, err
+	}
+	order := data.Matrix.Benchmarks
+	out := &Table3{Methods: MethodNames, Splits: Table3Splits, Summary: map[string]map[string]Summary{}}
+	for _, m := range cfg.Methods() {
+		out.Summary[m.Name] = map[string]Summary{}
+		for _, split := range Table3Splits {
+			keep, err := splitKeep(split)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := transpose.YearCV(data.Matrix, data.Characteristics, TargetYear, keep, split, m.New)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: Table 3 %s/%s: %w", m.Name, split, err)
+			}
+			s, err := summarize(rs, order)
+			if err != nil {
+				return nil, err
+			}
+			out.Summary[m.Name][split] = s
+		}
+	}
+	return out, nil
+}
+
+// Render formats Table 3 in the paper's layout (one block per method).
+func (t *Table3) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: predicting the 2009 machines from older machines — mean (worst case)\n")
+	for _, m := range t.Methods {
+		fmt.Fprintf(&sb, "\n(%s)\n%-18s", m, "")
+		for _, split := range t.Splits {
+			fmt.Fprintf(&sb, "%22s", split)
+		}
+		sb.WriteByte('\n')
+		row := func(label string, get func(Summary) (float64, float64), format string) {
+			fmt.Fprintf(&sb, "%-18s", label)
+			for _, split := range t.Splits {
+				mean, worst := get(t.Summary[m][split])
+				fmt.Fprintf(&sb, "%22s", fmt.Sprintf(format, mean, worst))
+			}
+			sb.WriteByte('\n')
+		}
+		row("Rank correlation", func(s Summary) (float64, float64) { return s.Mean.RankCorr, s.Worst.RankCorr }, "%.2f (%.2f)")
+		row("Top-1 error", func(s Summary) (float64, float64) { return s.Mean.Top1Err, s.Worst.Top1Err }, "%.2f (%.1f)")
+		row("Mean error", func(s Summary) (float64, float64) { return s.Mean.MeanErr, s.Worst.MeanErr }, "%.2f (%.1f)")
+	}
+	return sb.String()
+}
+
+// Table4Sizes lists the §6.4 predictive-subset sizes.
+var Table4Sizes = []int{10, 5, 3}
+
+// Table4 is the paper's Table 4: prediction quality with small random
+// subsets of the 2008 machines as the predictive set. Values are averaged
+// over Config.RandomDraws subset draws.
+type Table4 struct {
+	Methods []string
+	Sizes   []int
+	// Summary[method][size]
+	Summary map[string]map[int]Summary
+	Draws   int
+}
+
+// RunTable4 executes the §6.4 experiment for the two data-transposition
+// methods (the paper's Table 4 reports MLPᵀ and NNᵀ).
+func RunTable4(cfg Config) (*Table4, error) {
+	data, err := synth.Generate(cfg.synthOptions())
+	if err != nil {
+		return nil, err
+	}
+	order := data.Matrix.Benchmarks
+	draws := cfg.draws()
+	// Table 4 subset draws: the paper does not specify averaging; a single
+	// unlucky 3-machine draw is meaningless, so we average a handful.
+	if draws > 10 {
+		draws = 10
+	}
+	methods := []string{"MLP^T", "NN^T"}
+	out := &Table4{Methods: methods, Sizes: Table4Sizes, Summary: map[string]map[int]Summary{}, Draws: draws}
+	keep2008 := func(y int) bool { return y == 2008 }
+	for _, name := range methods {
+		m, err := cfg.method(name)
+		if err != nil {
+			return nil, err
+		}
+		out.Summary[name] = map[int]Summary{}
+		for _, size := range Table4Sizes {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(size)))
+			var all []transpose.FoldResult
+			for d := 0; d < draws; d++ {
+				label := fmt.Sprintf("2008/%d#%d", size, d)
+				rs, err := transpose.SubsetCV(data.Matrix, data.Characteristics, TargetYear, keep2008,
+					transpose.RandomSubset(size, rng), label, m.New)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: Table 4 %s size %d: %w", name, size, err)
+				}
+				all = append(all, rs...)
+			}
+			s, err := summarize(all, order)
+			if err != nil {
+				return nil, err
+			}
+			out.Summary[name][size] = s
+		}
+	}
+	return out, nil
+}
+
+// Render formats Table 4 in the paper's layout.
+func (t *Table4) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 4: 2009 targets from small 2008 predictive subsets — mean over %d draws\n", t.Draws)
+	for _, m := range t.Methods {
+		fmt.Fprintf(&sb, "\n(%s)\n%-18s", m, "Subset size")
+		for _, size := range t.Sizes {
+			fmt.Fprintf(&sb, "%14d", size)
+		}
+		sb.WriteByte('\n')
+		row := func(label string, get func(Summary) float64, format string) {
+			fmt.Fprintf(&sb, "%-18s", label)
+			for _, size := range t.Sizes {
+				fmt.Fprintf(&sb, "%14s", fmt.Sprintf(format, get(t.Summary[m][size])))
+			}
+			sb.WriteByte('\n')
+		}
+		row("Rank correlation", func(s Summary) float64 { return s.Mean.RankCorr }, "%.2f")
+		row("Top-1 error", func(s Summary) float64 { return s.Mean.Top1Err }, "%.2f")
+		row("Mean error", func(s Summary) float64 { return s.Mean.MeanErr }, "%.2f")
+	}
+	return sb.String()
+}

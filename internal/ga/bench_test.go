@@ -1,0 +1,25 @@
+package ga
+
+import "testing"
+
+// BenchmarkRunSphere mirrors the GA-kNN weight-learning budget: a
+// 12-gene genome with the default population and generation counts.
+func BenchmarkRunSphere(b *testing.B) {
+	cfg := Config{Genes: 12, Pop: 30, Generations: 40, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Run(sphere, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSphereParallel(b *testing.B) {
+	cfg := Config{Genes: 12, Pop: 30, Generations: 40, Seed: 1, Parallel: true}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Run(sphere, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

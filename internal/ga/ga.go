@@ -1,0 +1,270 @@
+// Package ga implements a generic real-coded genetic algorithm: tournament
+// selection, BLX-α blend crossover, Gaussian mutation and elitism. It is the
+// optimisation substrate of the GA-kNN baseline (Hoste et al.), which uses
+// it to learn the per-dimension weights of a workload-similarity metric.
+package ga
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Fitness scores a genome; the GA MINIMISES this value.
+type Fitness func(genome []float64) float64
+
+// Config controls the evolutionary run.
+type Config struct {
+	// Genes is the genome length.
+	Genes int
+	// Pop is the population size (default 50).
+	Pop int
+	// Generations is the number of generations to evolve (default 100).
+	Generations int
+	// Lo and Hi bound every gene value (defaults 0 and 1).
+	Lo, Hi float64
+	// TournamentK is the tournament size for selection (default 3).
+	TournamentK int
+	// CrossoverRate is the probability of crossover per offspring pair
+	// (default 0.9).
+	CrossoverRate float64
+	// BlendAlpha is the BLX-α expansion factor (default 0.5).
+	BlendAlpha float64
+	// MutationRate is the per-gene probability of Gaussian mutation
+	// (default 1/Genes).
+	MutationRate float64
+	// MutationSigma is the Gaussian mutation step relative to the gene
+	// range (default 0.1).
+	MutationSigma float64
+	// Elite is the number of best individuals copied unchanged into the
+	// next generation (default 2).
+	Elite int
+	// Seed drives all randomness.
+	Seed int64
+	// Parallel evaluates fitness concurrently when true. The fitness
+	// function must then be safe for concurrent use.
+	Parallel bool
+	// Patience stops early after this many generations without improvement
+	// of the best fitness. Zero disables early stopping.
+	Patience int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Pop == 0 {
+		c.Pop = 50
+	}
+	if c.Generations == 0 {
+		c.Generations = 100
+	}
+	if c.Lo == 0 && c.Hi == 0 {
+		c.Hi = 1
+	}
+	if c.TournamentK == 0 {
+		c.TournamentK = 3
+	}
+	if c.CrossoverRate == 0 {
+		c.CrossoverRate = 0.9
+	}
+	if c.BlendAlpha == 0 {
+		c.BlendAlpha = 0.5
+	}
+	if c.MutationRate == 0 && c.Genes > 0 {
+		c.MutationRate = 1 / float64(c.Genes)
+	}
+	if c.MutationSigma == 0 {
+		c.MutationSigma = 0.1
+	}
+	if c.Elite == 0 {
+		c.Elite = 2
+	}
+}
+
+func (c Config) validate() error {
+	if c.Genes < 1 {
+		return fmt.Errorf("ga: genome length %d must be >= 1", c.Genes)
+	}
+	if c.Pop < 2 {
+		return fmt.Errorf("ga: population %d must be >= 2", c.Pop)
+	}
+	if c.Hi <= c.Lo {
+		return fmt.Errorf("ga: gene range [%v, %v] is empty", c.Lo, c.Hi)
+	}
+	if c.Elite >= c.Pop {
+		return fmt.Errorf("ga: elite %d must be < population %d", c.Elite, c.Pop)
+	}
+	if c.TournamentK < 1 || c.TournamentK > c.Pop {
+		return fmt.Errorf("ga: tournament size %d out of [1, %d]", c.TournamentK, c.Pop)
+	}
+	if c.CrossoverRate < 0 || c.CrossoverRate > 1 {
+		return fmt.Errorf("ga: crossover rate %v out of [0, 1]", c.CrossoverRate)
+	}
+	if c.MutationRate < 0 || c.MutationRate > 1 {
+		return fmt.Errorf("ga: mutation rate %v out of [0, 1]", c.MutationRate)
+	}
+	return nil
+}
+
+// Result reports the outcome of an evolutionary run.
+type Result struct {
+	// Best is the best genome found.
+	Best []float64
+	// BestFitness is its fitness value.
+	BestFitness float64
+	// Generations is the number of generations actually run.
+	Generations int
+	// History records the best fitness after every generation.
+	History []float64
+}
+
+type individual struct {
+	genome  []float64
+	fitness float64
+}
+
+// Run evolves a population against fit and returns the best genome found.
+// fit must return a finite value; NaN is treated as +Inf (worst).
+func Run(fit Fitness, cfg Config) (*Result, error) {
+	if fit == nil {
+		return nil, errors.New("ga: nil fitness function")
+	}
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pop := make([]individual, cfg.Pop)
+	for i := range pop {
+		g := make([]float64, cfg.Genes)
+		for j := range g {
+			g[j] = cfg.Lo + rng.Float64()*(cfg.Hi-cfg.Lo)
+		}
+		pop[i] = individual{genome: g}
+	}
+	evaluate(pop, fit, cfg.Parallel)
+	sortByFitness(pop)
+
+	res := &Result{}
+	best := clone(pop[0])
+	stale := 0
+	for gen := 1; gen <= cfg.Generations; gen++ {
+		next := make([]individual, 0, cfg.Pop)
+		for i := 0; i < cfg.Elite; i++ {
+			next = append(next, clone(pop[i]))
+		}
+		for len(next) < cfg.Pop {
+			p1 := tournament(pop, cfg.TournamentK, rng)
+			p2 := tournament(pop, cfg.TournamentK, rng)
+			c1 := append([]float64(nil), p1.genome...)
+			c2 := append([]float64(nil), p2.genome...)
+			if rng.Float64() < cfg.CrossoverRate {
+				blend(c1, c2, cfg, rng)
+			}
+			mutate(c1, cfg, rng)
+			mutate(c2, cfg, rng)
+			next = append(next, individual{genome: c1})
+			if len(next) < cfg.Pop {
+				next = append(next, individual{genome: c2})
+			}
+		}
+		pop = next
+		evaluate(pop, fit, cfg.Parallel)
+		sortByFitness(pop)
+		if pop[0].fitness < best.fitness {
+			best = clone(pop[0])
+			stale = 0
+		} else {
+			stale++
+		}
+		res.History = append(res.History, best.fitness)
+		res.Generations = gen
+		if cfg.Patience > 0 && stale >= cfg.Patience {
+			break
+		}
+	}
+	res.Best = best.genome
+	res.BestFitness = best.fitness
+	return res, nil
+}
+
+func clone(ind individual) individual {
+	return individual{genome: append([]float64(nil), ind.genome...), fitness: ind.fitness}
+}
+
+func evaluate(pop []individual, fit Fitness, parallel bool) {
+	eval := func(i int) {
+		f := fit(pop[i].genome)
+		if math.IsNaN(f) {
+			f = math.Inf(1)
+		}
+		pop[i].fitness = f
+	}
+	if !parallel {
+		for i := range pop {
+			eval(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range pop {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eval(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func sortByFitness(pop []individual) {
+	sort.SliceStable(pop, func(a, b int) bool { return pop[a].fitness < pop[b].fitness })
+}
+
+func tournament(pop []individual, k int, rng *rand.Rand) individual {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.fitness < best.fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// blend applies BLX-α crossover in place: each child gene is drawn uniformly
+// from the parental interval expanded by α on each side, clamped to range.
+func blend(a, b []float64, cfg Config, rng *rand.Rand) {
+	for j := range a {
+		lo, hi := a[j], b[j]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		span := hi - lo
+		lo -= cfg.BlendAlpha * span
+		hi += cfg.BlendAlpha * span
+		a[j] = clamp(lo+rng.Float64()*(hi-lo), cfg.Lo, cfg.Hi)
+		b[j] = clamp(lo+rng.Float64()*(hi-lo), cfg.Lo, cfg.Hi)
+	}
+}
+
+func mutate(g []float64, cfg Config, rng *rand.Rand) {
+	sigma := cfg.MutationSigma * (cfg.Hi - cfg.Lo)
+	for j := range g {
+		if rng.Float64() < cfg.MutationRate {
+			g[j] = clamp(g[j]+rng.NormFloat64()*sigma, cfg.Lo, cfg.Hi)
+		}
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

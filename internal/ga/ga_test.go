@@ -1,0 +1,196 @@
+package ga
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sphere(g []float64) float64 {
+	s := 0.0
+	for _, x := range g {
+		s += (x - 0.5) * (x - 0.5)
+	}
+	return s
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Config{Genes: 2}); err == nil {
+		t.Fatal("want error for nil fitness")
+	}
+	if _, err := Run(sphere, Config{Genes: 0}); err == nil {
+		t.Fatal("want error for zero genes")
+	}
+	if _, err := Run(sphere, Config{Genes: 2, Pop: 1}); err == nil {
+		t.Fatal("want error for tiny population")
+	}
+	if _, err := Run(sphere, Config{Genes: 2, Lo: 1, Hi: 1}); err == nil {
+		t.Fatal("want error for empty range")
+	}
+	if _, err := Run(sphere, Config{Genes: 2, Pop: 4, Elite: 4}); err == nil {
+		t.Fatal("want error for elite >= pop")
+	}
+	if _, err := Run(sphere, Config{Genes: 2, Pop: 4, TournamentK: 9}); err == nil {
+		t.Fatal("want error for tournament > pop")
+	}
+	if _, err := Run(sphere, Config{Genes: 2, CrossoverRate: 1.5}); err == nil {
+		t.Fatal("want error for crossover rate")
+	}
+	if _, err := Run(sphere, Config{Genes: 2, MutationRate: -0.5}); err == nil {
+		t.Fatal("want error for mutation rate")
+	}
+}
+
+func TestOptimisesSphere(t *testing.T) {
+	res, err := Run(sphere, Config{Genes: 4, Pop: 60, Generations: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > 0.01 {
+		t.Fatalf("best fitness = %v, expected < 0.01", res.BestFitness)
+	}
+	for _, g := range res.Best {
+		if math.Abs(g-0.5) > 0.2 {
+			t.Fatalf("gene %v far from optimum 0.5", g)
+		}
+	}
+}
+
+func TestOptimisesRastriginLike(t *testing.T) {
+	// Multi-modal objective; the GA should still find a decent basin.
+	fit := func(g []float64) float64 {
+		s := 0.0
+		for _, x := range g {
+			d := x - 0.5
+			s += d*d + 0.05*(1-math.Cos(20*math.Pi*d))
+		}
+		return s
+	}
+	res, err := Run(fit, Config{Genes: 3, Pop: 80, Generations: 150, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > 0.06 {
+		t.Fatalf("best fitness = %v, expected < 0.06", res.BestFitness)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Genes: 3, Pop: 30, Generations: 40, Seed: 9}
+	r1, err := Run(sphere, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sphere, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.BestFitness != r2.BestFitness {
+		t.Fatalf("same seed, different results: %v vs %v", r1.BestFitness, r2.BestFitness)
+	}
+	for i := range r1.Best {
+		if r1.Best[i] != r2.Best[i] {
+			t.Fatal("same seed, different genomes")
+		}
+	}
+}
+
+func TestParallelMatchesQuality(t *testing.T) {
+	// Parallel evaluation must still optimise (exact equality is not
+	// required — scheduling does not affect RNG use here, but keep the
+	// check loose on purpose).
+	res, err := Run(sphere, Config{Genes: 4, Pop: 60, Generations: 100, Seed: 3, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > 0.02 {
+		t.Fatalf("parallel best fitness = %v", res.BestFitness)
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	flat := func(g []float64) float64 { return 1 } // nothing to improve
+	res, err := Run(flat, Config{Genes: 2, Pop: 10, Generations: 500, Seed: 4, Patience: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations >= 500 {
+		t.Fatalf("ran %d generations, expected early stop", res.Generations)
+	}
+	if res.BestFitness != 1 {
+		t.Fatalf("best fitness = %v, want 1", res.BestFitness)
+	}
+}
+
+func TestNaNFitnessTreatedAsWorst(t *testing.T) {
+	fit := func(g []float64) float64 {
+		if g[0] < 0.5 {
+			return math.NaN()
+		}
+		return g[0]
+	}
+	res, err := Run(fit, Config{Genes: 1, Pop: 20, Generations: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.BestFitness) || math.IsInf(res.BestFitness, 0) {
+		t.Fatalf("best fitness = %v", res.BestFitness)
+	}
+	if res.Best[0] < 0.5 {
+		t.Fatalf("best genome %v is in the NaN region", res.Best)
+	}
+}
+
+func TestHistoryMonotone(t *testing.T) {
+	res, err := Run(sphere, Config{Genes: 3, Pop: 20, Generations: 50, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != res.Generations {
+		t.Fatalf("history length %d != generations %d", len(res.History), res.Generations)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1] {
+			t.Fatalf("best-so-far fitness increased at generation %d", i)
+		}
+	}
+}
+
+// Property: all genes of the best genome stay within [Lo, Hi].
+func TestGenesWithinBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		res, err := Run(sphere, Config{Genes: 3, Pop: 12, Generations: 10, Lo: -2, Hi: 3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, g := range res.Best {
+			if g < -2 || g > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: elitism guarantees the best fitness never regresses between
+// generations within a run (checked via History).
+func TestElitismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		res, err := Run(sphere, Config{Genes: 2, Pop: 10, Generations: 15, Seed: seed, Elite: 2})
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.History); i++ {
+			if res.History[i] > res.History[i-1]+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package gaknn reimplements the prior-art baseline the paper compares
+// against: performance prediction based on inherent program similarity
+// (Hoste et al., PACT 2006), referred to as GA-kNN.
+//
+// The method works in workload space rather than machine space: a genetic
+// algorithm learns per-dimension weights of a distance over
+// microarchitecture-independent program characteristics, such that
+// benchmarks close under that distance have similar performance. The
+// application of interest is then predicted, on every target machine, as
+// the similarity-weighted mean score of its k = 10 nearest benchmarks on
+// that machine.
+//
+// Note the asymmetry the paper highlights in §6.3: GA-kNN uses only the
+// target machines' published scores and the benchmark characterisation — it
+// needs no runs on predictive machines, but it also cannot extrapolate
+// outlier applications that resemble no benchmark.
+package gaknn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ga"
+	"repro/internal/knn"
+	"repro/internal/stats"
+	"repro/internal/transpose"
+)
+
+// Predictor implements transpose.Predictor with the GA-kNN method.
+type Predictor struct {
+	// K is the number of nearest-neighbour benchmarks (the paper uses 10).
+	K int
+	// GA configures the weight-learning run; Genes is filled in from the
+	// characteristic dimensionality at prediction time.
+	GA ga.Config
+}
+
+// New returns a GA-kNN predictor with the paper's k = 10 and a moderate,
+// seeded GA budget.
+func New(seed int64) *Predictor {
+	return &Predictor{
+		K: 10,
+		GA: ga.Config{
+			Pop:         30,
+			Generations: 40,
+			Patience:    10,
+			Seed:        seed,
+		},
+	}
+}
+
+// Name implements transpose.Predictor.
+func (p *Predictor) Name() string { return "GA-kNN" }
+
+// PredictApp implements transpose.Predictor.
+func (p *Predictor) PredictApp(f transpose.Fold) ([]float64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if p.K < 1 {
+		return nil, fmt.Errorf("gaknn: k = %d must be >= 1", p.K)
+	}
+	if f.Chars == nil {
+		return nil, errors.New("gaknn: fold carries no workload characteristics")
+	}
+	benchNames := f.Tgt.Benchmarks
+	nb := len(benchNames)
+	if nb < 2 {
+		return nil, fmt.Errorf("gaknn: need >= 2 benchmarks, have %d", nb)
+	}
+	appVec, ok := f.Chars[f.AppName]
+	if !ok {
+		return nil, fmt.Errorf("gaknn: no characteristics for application %q", f.AppName)
+	}
+	dim := len(appVec)
+	vectors := make([][]float64, nb)
+	for i, name := range benchNames {
+		v, ok := f.Chars[name]
+		if !ok {
+			return nil, fmt.Errorf("gaknn: no characteristics for benchmark %q", name)
+		}
+		if len(v) != dim {
+			return nil, fmt.Errorf("gaknn: benchmark %q has %d characteristic dims, application has %d", name, len(v), dim)
+		}
+		vectors[i] = v
+	}
+
+	// Z-normalise per dimension over benchmarks + application so that the
+	// learned weights are scale-free.
+	zBench, zApp := normalise(vectors, appVec)
+
+	// Learn distance weights: minimise the leave-one-out kNN prediction
+	// error over the training benchmarks on the target machines.
+	cfg := p.GA
+	cfg.Genes = dim
+	res, err := ga.Run(func(w []float64) float64 {
+		return p.looError(w, zBench, f.Tgt.Scores)
+	}, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("gaknn: weight learning: %w", err)
+	}
+
+	// Predict the application on every target machine from its k nearest
+	// benchmarks under the learned metric.
+	nbrs, err := p.neighbours(res.Best, zBench, zApp, -1)
+	if err != nil {
+		return nil, err
+	}
+	nt := f.Tgt.NumMachines()
+	out := make([]float64, nt)
+	for t := 0; t < nt; t++ {
+		out[t] = weightedMean(nbrs, func(b int) float64 { return f.Tgt.Scores[b][t] })
+	}
+	return out, nil
+}
+
+// looError is the GA fitness: mean relative error of leave-one-out kNN
+// prediction over the training benchmarks and all target machines.
+func (p *Predictor) looError(w []float64, zBench [][]float64, scores [][]float64) float64 {
+	total, count := 0.0, 0
+	for b := range zBench {
+		nbrs, err := p.neighbours(w, zBench, zBench[b], b)
+		if err != nil {
+			return math.Inf(1)
+		}
+		for t := range scores[b] {
+			pred := weightedMean(nbrs, func(nb int) float64 { return scores[nb][t] })
+			actual := scores[b][t]
+			total += math.Abs(pred-actual) / actual
+			count++
+		}
+	}
+	if count == 0 {
+		return math.Inf(1)
+	}
+	return total / float64(count)
+}
+
+// neighbours returns the k nearest benchmarks to query under the weighted
+// metric, excluding index skip (pass -1 to keep all).
+func (p *Predictor) neighbours(w []float64, zBench [][]float64, query []float64, skip int) ([]knn.Neighbour, error) {
+	points := make([][]float64, 0, len(zBench))
+	idx := make([]int, 0, len(zBench))
+	for i, v := range zBench {
+		if i == skip {
+			continue
+		}
+		points = append(points, v)
+		idx = append(idx, i)
+	}
+	targets := make([]float64, len(points)) // unused; Neighbours only
+	reg, err := knn.NewRegressor(points, targets, p.K, knn.WeightedEuclidean(w))
+	if err != nil {
+		return nil, err
+	}
+	nbrs, err := reg.Neighbours(query)
+	if err != nil {
+		return nil, err
+	}
+	for i := range nbrs {
+		nbrs[i].Index = idx[nbrs[i].Index]
+	}
+	return nbrs, nil
+}
+
+// weightedMean combines neighbour values with inverse-squared-distance
+// weights (the standard distance weighting of kNN regression, cf. WEKA's
+// IBk -I): nearby benchmarks dominate the vote.
+func weightedMean(nbrs []knn.Neighbour, value func(benchIdx int) float64) float64 {
+	const eps = 1e-6
+	var num, den float64
+	for _, n := range nbrs {
+		w := 1 / (n.Distance*n.Distance + eps)
+		num += w * value(n.Index)
+		den += w
+	}
+	return num / den
+}
+
+// normalise z-scores each dimension over the benchmark vectors plus the
+// application vector. Zero-variance dimensions map to zero.
+func normalise(bench [][]float64, app []float64) (zBench [][]float64, zApp []float64) {
+	dim := len(app)
+	all := make([][]float64, 0, len(bench)+1)
+	all = append(all, bench...)
+	all = append(all, app)
+	mean := make([]float64, dim)
+	sd := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		col := make([]float64, len(all))
+		for i, v := range all {
+			col[i] = v[j]
+		}
+		mean[j] = stats.Mean(col)
+		sd[j] = stats.StdDev(col)
+	}
+	z := func(v []float64) []float64 {
+		out := make([]float64, dim)
+		for j, x := range v {
+			if sd[j] > 0 {
+				out[j] = (x - mean[j]) / sd[j]
+			}
+		}
+		return out
+	}
+	zBench = make([][]float64, len(bench))
+	for i, v := range bench {
+		zBench[i] = z(v)
+	}
+	return zBench, z(app)
+}

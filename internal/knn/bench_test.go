@@ -1,0 +1,36 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkPredict mirrors the GA-kNN inner loop: a 10-NN query over 28
+// benchmarks in 12-dimensional weighted characteristic space.
+func BenchmarkPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, 28)
+	ts := make([]float64, 28)
+	w := make([]float64, 12)
+	for i := range pts {
+		pts[i] = make([]float64, 12)
+		for j := range pts[i] {
+			pts[i][j] = rng.NormFloat64()
+		}
+		ts[i] = rng.NormFloat64()
+	}
+	for j := range w {
+		w[j] = rng.Float64()
+	}
+	r, err := NewRegressor(pts, ts, 10, WeightedEuclidean(w))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := make([]float64, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Predict(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

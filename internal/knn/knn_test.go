@@ -1,0 +1,230 @@
+package knn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := Euclidean(a, b); got != 5 {
+		t.Fatalf("Euclidean = %v, want 5", got)
+	}
+	if got := Manhattan(a, b); got != 7 {
+		t.Fatalf("Manhattan = %v, want 7", got)
+	}
+	w := WeightedEuclidean([]float64{1, 0})
+	if got := w(a, b); got != 3 {
+		t.Fatalf("WeightedEuclidean = %v, want 3 (second dim zeroed)", got)
+	}
+	// Uniform unit weights reduce to Euclidean.
+	u := WeightedEuclidean([]float64{1, 1})
+	if got := u(a, b); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("unit WeightedEuclidean = %v, want 5", got)
+	}
+}
+
+func TestDistanceMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+func TestWeightedDimMismatchPanics(t *testing.T) {
+	w := WeightedEuclidean([]float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w([]float64{1, 2}, []float64{3, 4})
+}
+
+func TestNewRegressorValidation(t *testing.T) {
+	if _, err := NewRegressor(nil, nil, 1, nil); !errors.Is(err, ErrNoNeighbours) {
+		t.Fatalf("want ErrNoNeighbours, got %v", err)
+	}
+	if _, err := NewRegressor([][]float64{{1}}, []float64{1, 2}, 1, nil); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := NewRegressor([][]float64{{1}}, []float64{1}, 0, nil); err == nil {
+		t.Fatal("want k error")
+	}
+	if _, err := NewRegressor([][]float64{{1}, {1, 2}}, []float64{1, 2}, 1, nil); err == nil {
+		t.Fatal("want dim error")
+	}
+}
+
+func TestNeighboursOrderAndTies(t *testing.T) {
+	pts := [][]float64{{2}, {1}, {3}, {1}}
+	r, err := NewRegressor(pts, []float64{20, 10, 30, 11}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, err := r.Neighbours([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distances: idx1=0, idx3=0, idx0=1, idx2=2. Ties by index: 1 before 3.
+	if nbrs[0].Index != 1 || nbrs[1].Index != 3 || nbrs[2].Index != 0 {
+		t.Fatalf("neighbours = %+v", nbrs)
+	}
+	if _, err := r.Neighbours([]float64{1, 2}); err == nil {
+		t.Fatal("want dim error")
+	}
+}
+
+func TestPredictUniformMean(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}}
+	r, err := NewRegressor(pts, []float64{0, 2, 100}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Predict([]float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 { // mean of targets 0 and 2
+		t.Fatalf("Predict = %v, want 1", got)
+	}
+}
+
+func TestPredictKClamped(t *testing.T) {
+	r, err := NewRegressor([][]float64{{0}, {1}}, []float64{3, 5}, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Predict([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("Predict = %v, want mean 4 with clamped k", got)
+	}
+}
+
+func TestPredictInverseDistance(t *testing.T) {
+	r, err := NewRegressor([][]float64{{0}, {2}}, []float64{0, 10}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.InverseDistanceWeighting = true
+	got, err := r.Predict([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d0=0.5 (w=2), d1=1.5 (w=2/3): prediction = (2*0 + 2/3*10)/(2+2/3) = 2.5
+	if math.Abs(got-2.5) > 1e-6 {
+		t.Fatalf("Predict = %v, want 2.5", got)
+	}
+	// Exact hit must return (approximately) the stored target.
+	got, err = r.Predict([]float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-6 {
+		t.Fatalf("exact-hit Predict = %v, want ≈ 10", got)
+	}
+}
+
+func TestWeightedMetricChangesNeighbours(t *testing.T) {
+	// Point A is near in dim 0, point B near in dim 1; weights decide.
+	pts := [][]float64{{0, 5}, {5, 0}}
+	r0, err := NewRegressor(pts, []float64{1, 2}, 1, WeightedEuclidean([]float64{1, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r0.Predict([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("weight dim0: Predict = %v, want 1", got)
+	}
+	r1, err := NewRegressor(pts, []float64{1, 2}, 1, WeightedEuclidean([]float64{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = r1.Predict([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("weight dim1: Predict = %v, want 2", got)
+	}
+}
+
+// Property: prediction is always within [min, max] of the targets.
+func TestPredictionWithinTargetRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(n8, k8 uint8, q float64) bool {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			return true
+		}
+		n := int(n8%20) + 1
+		k := int(k8%5) + 1
+		pts := make([][]float64, n)
+		ts := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64()}
+			ts[i] = rng.NormFloat64()
+			if ts[i] < lo {
+				lo = ts[i]
+			}
+			if ts[i] > hi {
+				hi = ts[i]
+			}
+		}
+		r, err := NewRegressor(pts, ts, k, nil)
+		if err != nil {
+			return false
+		}
+		got, err := r.Predict([]float64{q})
+		if err != nil {
+			return false
+		}
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distances satisfy symmetry and the triangle inequality.
+func TestDistanceAxiomsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed uint8) bool {
+		dim := int(seed%5) + 1
+		v := func() []float64 {
+			x := make([]float64, dim)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			return x
+		}
+		a, b, c := v(), v(), v()
+		for _, d := range []Distance{Euclidean, Manhattan} {
+			if math.Abs(d(a, b)-d(b, a)) > 1e-12 {
+				return false
+			}
+			if d(a, c) > d(a, b)+d(b, c)+1e-9 {
+				return false
+			}
+			if d(a, a) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

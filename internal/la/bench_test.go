@@ -1,0 +1,62 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n int) *Matrix {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+		m.Add(i, i, float64(n))
+	}
+	return m
+}
+
+func BenchmarkMul64(b *testing.B) {
+	m := benchMatrix(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Mul(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve64(b *testing.B) {
+	m := benchMatrix(64)
+	rhs := make([]float64, 64)
+	for i := range rhs {
+		rhs[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(m, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQRLeastSquares(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewMatrix(120, 29)
+	for i := 0; i < 120; i++ {
+		for j := 0; j < 29; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	rhs := make([]float64, 120)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

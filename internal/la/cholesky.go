@@ -1,0 +1,91 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when a matrix is not symmetric positive definite.
+var ErrNotSPD = fmt.Errorf("la: matrix is not symmetric positive definite")
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+	n int
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a. Only the
+// lower triangle of a is read; asymmetry beyond tolerance is rejected.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("la: Cholesky of %d×%d matrix: %w", a.rows, a.cols, ErrShape)
+	}
+	scale := a.MaxAbs()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > 1e-8*(1+scale) {
+				return nil, fmt.Errorf("la: asymmetric at (%d,%d): %w", i, j, ErrNotSPD)
+			}
+		}
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		sum := a.At(j, j)
+		for k := 0; k < j; k++ {
+			sum -= l.At(j, k) * l.At(j, k)
+		}
+		if sum <= 0 || math.IsNaN(sum) {
+			return nil, fmt.Errorf("la: non-positive pivot %v at %d: %w", sum, j, ErrNotSPD)
+		}
+		d := math.Sqrt(sum)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return &Cholesky{l: l, n: n}, nil
+}
+
+// Solve solves A·x = b using the factorisation.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("la: Cholesky.Solve rhs length %d, want %d: %w", len(b), c.n, ErrShape)
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// Det returns the determinant of the factored matrix.
+func (c *Cholesky) Det() float64 {
+	d := 1.0
+	for i := 0; i < c.n; i++ {
+		v := c.l.At(i, i)
+		d *= v * v
+	}
+	return d
+}

@@ -1,0 +1,123 @@
+package la
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSPD returns a random symmetric positive-definite matrix AᵀA + I.
+func randSPD(rng *rand.Rand, n int) *Matrix {
+	a := randMatrix(rng, n, n)
+	at := a.T()
+	spd, err := at.Mul(a)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		spd.Add(i, i, 1)
+	}
+	return spd
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{4, 2}, {2, 3}})
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := c.L()
+	// L = [[2, 0], [1, sqrt(2)]]
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(l.At(1, 1)-math.Sqrt2) > 1e-12 || l.At(0, 1) != 0 {
+		t.Fatalf("L = %v", l)
+	}
+	if math.Abs(c.Det()-8) > 1e-9 { // det = 4*3-2*2 = 8
+		t.Fatalf("Det = %v, want 8", c.Det())
+	}
+	x, err := c.Solve([]float64{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x+2y=2, 2x+3y=5 -> x=-0.5, y=2
+	if math.Abs(x[0]+0.5) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("Solve = %v", x)
+	}
+}
+
+func TestCholeskyRejections(t *testing.T) {
+	if _, err := NewCholesky(NewMatrix(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	asym, _ := NewMatrixFromRows([][]float64{{1, 5}, {0, 1}})
+	if _, err := NewCholesky(asym); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("want ErrNotSPD, got %v", err)
+	}
+	indef, _ := NewMatrixFromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := NewCholesky(indef); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("want ErrNotSPD, got %v", err)
+	}
+	spd, _ := NewMatrixFromRows([][]float64{{1, 0}, {0, 1}})
+	c, err := NewCholesky(spd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want rhs shape error, got %v", err)
+	}
+}
+
+// Property: L·Lᵀ reconstructs A for random SPD matrices.
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(n8 uint8) bool {
+		n := int(n8%8) + 1
+		a := randSPD(rng, n)
+		c, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		l := c.L()
+		llt, err := l.Mul(l.T())
+		if err != nil {
+			return false
+		}
+		return llt.Equal(a, 1e-8*(1+a.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cholesky solve agrees with Gaussian elimination.
+func TestCholeskySolveAgreesWithGaussianProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	f := func(n8 uint8) bool {
+		n := int(n8%8) + 1
+		a := randSPD(rng, n)
+		b := randVec(rng, n)
+		c, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x1, err := c.Solve(b)
+		if err != nil {
+			return false
+		}
+		x2, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-6*(1+math.Abs(x2[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package machine models commercial computer systems at the granularity the
+// analytic performance model needs: clock, pipeline, cache hierarchy,
+// memory system, and qualitative microarchitecture traits. It also ships
+// the full 117-machine roster of the paper's Table 1 (17 processor
+// families, 39 CPU nicknames, 3 systems per nickname).
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config is the microarchitectural description of one system.
+type Config struct {
+	// Identity.
+	ID       string
+	Vendor   string // system vendor
+	Family   string // processor family (Table 1, column 1)
+	Nickname string // CPU nickname (Table 1, column 2)
+	ISA      string
+	Year     int // system release year
+
+	// Core.
+	FreqGHz       float64 // core clock
+	Width         int     // sustained issue width
+	PipelineDepth int     // stages to redirect on a branch mispredict
+	OutOfOrder    bool    // dynamic scheduling
+	FPThroughput  float64 // FP ops/cycle multiplier relative to 1.0 baseline
+	BPAccuracy    float64 // fraction of hard branches predicted correctly, [0,1]
+	// VectorThroughput (>= 1) multiplies compute throughput on
+	// data-parallel code: SIMD lanes plus compiler software pipelining.
+	// EPIC machines (Itanium) carry large values — that is what makes
+	// regular, high-DLP codes such as hmmer and namd their niche.
+	VectorThroughput float64
+
+	// Memory hierarchy (per-core effective capacities).
+	L1KB      float64 // L1 data cache
+	L2KB      float64 // L2 cache
+	L3KB      float64 // last-level cache (0 if absent)
+	L2LatCy   float64 // L2 hit latency, cycles
+	L3LatCy   float64 // L3 hit latency, cycles
+	MemLatNs  float64 // DRAM access latency
+	MemBWGBs  float64 // sustainable per-core memory bandwidth
+	Prefetch  float64 // hardware prefetcher effectiveness for streams, [0,1]
+	MLPWindow float64 // overlappable outstanding misses (memory-level parallelism)
+}
+
+// Validate rejects physically impossible configurations.
+func (c Config) Validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("machine: config without ID")
+	}
+	pos := []struct {
+		name string
+		v    float64
+	}{
+		{"FreqGHz", c.FreqGHz}, {"FPThroughput", c.FPThroughput},
+		{"L1KB", c.L1KB}, {"L2KB", c.L2KB},
+		{"L2LatCy", c.L2LatCy}, {"MemLatNs", c.MemLatNs},
+		{"MemBWGBs", c.MemBWGBs}, {"MLPWindow", c.MLPWindow},
+	}
+	for _, p := range pos {
+		if p.v <= 0 || math.IsNaN(p.v) || math.IsInf(p.v, 0) {
+			return fmt.Errorf("machine: %s: %s = %v must be positive and finite", c.ID, p.name, p.v)
+		}
+	}
+	if c.Width < 1 {
+		return fmt.Errorf("machine: %s: width %d must be >= 1", c.ID, c.Width)
+	}
+	if c.PipelineDepth < 1 {
+		return fmt.Errorf("machine: %s: pipeline depth %d must be >= 1", c.ID, c.PipelineDepth)
+	}
+	if c.BPAccuracy < 0 || c.BPAccuracy > 1 {
+		return fmt.Errorf("machine: %s: branch predictor accuracy %v out of [0,1]", c.ID, c.BPAccuracy)
+	}
+	if c.VectorThroughput < 1 || math.IsNaN(c.VectorThroughput) {
+		return fmt.Errorf("machine: %s: vector throughput %v must be >= 1", c.ID, c.VectorThroughput)
+	}
+	if c.Prefetch < 0 || c.Prefetch > 1 {
+		return fmt.Errorf("machine: %s: prefetch effectiveness %v out of [0,1]", c.ID, c.Prefetch)
+	}
+	if c.L3KB < 0 {
+		return fmt.Errorf("machine: %s: negative L3 size", c.ID)
+	}
+	if c.L3KB > 0 && c.L3LatCy <= 0 {
+		return fmt.Errorf("machine: %s: L3 present but L3 latency %v", c.ID, c.L3LatCy)
+	}
+	return nil
+}
+
+// Reference returns the model of the SPEC CPU2006 reference machine, a SUN
+// Ultra5_10 workstation with a 296 MHz UltraSPARC IIi: a narrow in-order
+// core with small caches and a slow memory system. All SPEC ratios are
+// speedups over this configuration.
+func Reference() Config {
+	return Config{
+		ID:       "sun-ultra5_10-296",
+		Vendor:   "Sun",
+		Family:   "UltraSPARC IIi",
+		Nickname: "Sabre",
+		ISA:      "SPARC V9",
+		Year:     1998,
+
+		FreqGHz:          0.296,
+		Width:            2,
+		PipelineDepth:    9,
+		OutOfOrder:       false,
+		FPThroughput:     0.5,
+		BPAccuracy:       0.62,
+		VectorThroughput: 1.0,
+
+		L1KB:      16,
+		L2KB:      2048,
+		L3KB:      0,
+		L2LatCy:   22,
+		L3LatCy:   0,
+		MemLatNs:  220,
+		MemBWGBs:  0.35,
+		Prefetch:  0,
+		MLPWindow: 1,
+	}
+}

@@ -1,0 +1,197 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRosterShape(t *testing.T) {
+	roster, err := Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roster) != 117 {
+		t.Fatalf("roster has %d machines, want 117 (Table 1)", len(roster))
+	}
+	// 17 processor families, 39 nicknames, 3 systems per nickname.
+	families := map[string]bool{}
+	nicknames := map[string]int{}
+	ids := map[string]bool{}
+	for _, c := range roster {
+		families[c.Family] = true
+		nicknames[c.Family+"/"+c.Nickname]++
+		if ids[c.ID] {
+			t.Fatalf("duplicate machine ID %q", c.ID)
+		}
+		ids[c.ID] = true
+	}
+	if len(families) != 17 {
+		t.Fatalf("%d families, want 17", len(families))
+	}
+	if len(nicknames) != 39 {
+		t.Fatalf("%d nicknames, want 39", len(nicknames))
+	}
+	for nk, n := range nicknames {
+		if n != SystemsPerNickname {
+			t.Fatalf("nickname %s has %d systems, want %d", nk, n, SystemsPerNickname)
+		}
+	}
+}
+
+func TestRosterAllValid(t *testing.T) {
+	roster, err := Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range roster {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("machine %s invalid: %v", c.ID, err)
+		}
+	}
+}
+
+func TestRosterTable1Families(t *testing.T) {
+	want := []string{
+		"AMD Opteron (K10)", "AMD Opteron (K8)", "AMD Phenom", "AMD Turion",
+		"IBM POWER 5", "IBM POWER 6",
+		"Intel Core 2", "Intel Core Duo", "Intel Core i7", "Intel Itanium",
+		"Intel Pentium D", "Intel Pentium Dual-Core", "Intel Pentium M",
+		"Intel Xeon",
+		"SPARC64 VI", "SPARC64 VII", "UltraSPARC III",
+	}
+	roster, err := Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, c := range roster {
+		got[c.Family] = true
+	}
+	for _, f := range want {
+		if !got[f] {
+			t.Fatalf("family %q missing from roster", f)
+		}
+	}
+}
+
+func TestRosterVariantsDiffer(t *testing.T) {
+	roster, err := Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three systems of one nickname must differ in clock and memory.
+	byNick := map[string][]Config{}
+	for _, c := range roster {
+		k := c.Family + "/" + c.Nickname
+		byNick[k] = append(byNick[k], c)
+	}
+	for nk, cs := range byNick {
+		if cs[0].FreqGHz == cs[1].FreqGHz || cs[1].FreqGHz == cs[2].FreqGHz {
+			t.Fatalf("%s variants share a clock", nk)
+		}
+		if cs[0].MemBWGBs == cs[1].MemBWGBs {
+			t.Fatalf("%s variants share memory bandwidth", nk)
+		}
+	}
+}
+
+func TestRosterYears(t *testing.T) {
+	roster, err := Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := map[int]int{}
+	for _, c := range roster {
+		years[c.Year]++
+	}
+	// Table 3 needs 2009 targets and 2008/2007/pre-2007 predictive sets.
+	for _, y := range []int{2009, 2008, 2007} {
+		if years[y] == 0 {
+			t.Fatalf("no machines released in %d", y)
+		}
+	}
+	pre2007 := 0
+	for y, n := range years {
+		if y < 2007 {
+			pre2007 += n
+		}
+	}
+	if pre2007 == 0 {
+		t.Fatal("no pre-2007 machines")
+	}
+	// At least 10 machines in 2008 (Table 4 subsets go up to 10).
+	if years[2008] < 10 {
+		t.Fatalf("only %d machines from 2008, Table 4 needs >= 10", years[2008])
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	good := Reference()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("reference invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"empty ID", func(c *Config) { c.ID = "" }},
+		{"zero freq", func(c *Config) { c.FreqGHz = 0 }},
+		{"zero width", func(c *Config) { c.Width = 0 }},
+		{"zero depth", func(c *Config) { c.PipelineDepth = 0 }},
+		{"bp > 1", func(c *Config) { c.BPAccuracy = 1.5 }},
+		{"vt < 1", func(c *Config) { c.VectorThroughput = 0.5 }},
+		{"prefetch > 1", func(c *Config) { c.Prefetch = 2 }},
+		{"negative L3", func(c *Config) { c.L3KB = -1 }},
+		{"L3 without latency", func(c *Config) { c.L3KB = 1024; c.L3LatCy = 0 }},
+		{"zero bandwidth", func(c *Config) { c.MemBWGBs = 0 }},
+		{"zero mlp", func(c *Config) { c.MLPWindow = 0 }},
+	}
+	for _, tc := range cases {
+		c := good
+		tc.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Intel Xeon":        "intel-xeon",
+		"AMD Opteron (K10)": "amd-opteron-k10",
+		"Merom-2M":          "merom-2m",
+		"POWER5+":           "power5",
+		"Cheetah+":          "cheetah",
+		"Bloomfield XE":     "bloomfield-xe",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Fatalf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRosterIDsAreSlugs(t *testing.T) {
+	roster, err := Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range roster {
+		if strings.ToLower(c.ID) != c.ID || strings.Contains(c.ID, " ") {
+			t.Fatalf("ID %q is not a slug", c.ID)
+		}
+	}
+}
+
+func TestReferenceIsSlow(t *testing.T) {
+	ref := Reference()
+	roster, err := Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range roster {
+		if c.FreqGHz <= ref.FreqGHz {
+			t.Fatalf("machine %s is not faster-clocked than the 296 MHz reference", c.ID)
+		}
+	}
+}

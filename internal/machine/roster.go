@@ -1,0 +1,245 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// baseConfigs returns one representative configuration per CPU nickname of
+// the paper's Table 1 (39 nicknames across 17 processor families). The
+// microarchitectural parameters are plausible public-spec values for each
+// design; Roster expands each into the three systems per nickname the paper
+// uses.
+func baseConfigs() []Config {
+	return []Config{
+		// AMD Opteron (K10) — integrated memory controller, modest L3.
+		{Family: "AMD Opteron (K10)", Nickname: "Barcelona", ISA: "x86-64", Year: 2007,
+			FreqGHz: 2.3, Width: 3, PipelineDepth: 12, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.86, VectorThroughput: 1.30,
+			L1KB: 64, L2KB: 512, L3KB: 2048, L2LatCy: 12, L3LatCy: 40, MemLatNs: 80, MemBWGBs: 6.0, Prefetch: 0.60, MLPWindow: 6},
+		{Family: "AMD Opteron (K10)", Nickname: "Shanghai", ISA: "x86-64", Year: 2008,
+			FreqGHz: 2.7, Width: 3, PipelineDepth: 12, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.87, VectorThroughput: 1.30,
+			L1KB: 64, L2KB: 512, L3KB: 6144, L2LatCy: 12, L3LatCy: 42, MemLatNs: 75, MemBWGBs: 7.0, Prefetch: 0.65, MLPWindow: 6},
+		{Family: "AMD Opteron (K10)", Nickname: "Istanbul", ISA: "x86-64", Year: 2009,
+			FreqGHz: 2.8, Width: 3, PipelineDepth: 12, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.87, VectorThroughput: 1.30,
+			L1KB: 64, L2KB: 512, L3KB: 6144, L2LatCy: 12, L3LatCy: 42, MemLatNs: 72, MemBWGBs: 8.0, Prefetch: 0.70, MLPWindow: 6},
+
+		// AMD Opteron (K8) — integrated memory controller, no L3.
+		{Family: "AMD Opteron (K8)", Nickname: "Santa Rosa", ISA: "x86-64", Year: 2006,
+			FreqGHz: 2.8, Width: 3, PipelineDepth: 12, OutOfOrder: true, FPThroughput: 1.00, BPAccuracy: 0.84, VectorThroughput: 1.15,
+			L1KB: 64, L2KB: 1024, L3KB: 0, L2LatCy: 12, MemLatNs: 70, MemBWGBs: 4.5, Prefetch: 0.45, MLPWindow: 4},
+		{Family: "AMD Opteron (K8)", Nickname: "Troy", ISA: "x86-64", Year: 2005,
+			FreqGHz: 2.2, Width: 3, PipelineDepth: 12, OutOfOrder: true, FPThroughput: 1.00, BPAccuracy: 0.83, VectorThroughput: 1.15,
+			L1KB: 64, L2KB: 1024, L3KB: 0, L2LatCy: 12, MemLatNs: 75, MemBWGBs: 4.0, Prefetch: 0.40, MLPWindow: 4},
+
+		// AMD Phenom — desktop K10.
+		{Family: "AMD Phenom", Nickname: "Agena", ISA: "x86-64", Year: 2007,
+			FreqGHz: 2.3, Width: 3, PipelineDepth: 12, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.86, VectorThroughput: 1.30,
+			L1KB: 64, L2KB: 512, L3KB: 2048, L2LatCy: 12, L3LatCy: 40, MemLatNs: 70, MemBWGBs: 6.0, Prefetch: 0.60, MLPWindow: 6},
+		{Family: "AMD Phenom", Nickname: "Deneb", ISA: "x86-64", Year: 2009,
+			FreqGHz: 3.0, Width: 3, PipelineDepth: 12, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.88, VectorThroughput: 1.30,
+			L1KB: 64, L2KB: 512, L3KB: 6144, L2LatCy: 12, L3LatCy: 40, MemLatNs: 65, MemBWGBs: 8.0, Prefetch: 0.70, MLPWindow: 7},
+
+		// AMD Turion — mobile K8.
+		{Family: "AMD Turion", Nickname: "Trinidad", ISA: "x86-64", Year: 2006,
+			FreqGHz: 2.0, Width: 3, PipelineDepth: 12, OutOfOrder: true, FPThroughput: 0.95, BPAccuracy: 0.83, VectorThroughput: 1.15,
+			L1KB: 64, L2KB: 512, L3KB: 0, L2LatCy: 12, MemLatNs: 85, MemBWGBs: 3.0, Prefetch: 0.40, MLPWindow: 4},
+
+		// IBM POWER 5 — wide OoO, huge off-chip L3.
+		{Family: "IBM POWER 5", Nickname: "POWER5+", ISA: "Power", Year: 2005,
+			FreqGHz: 1.9, Width: 5, PipelineDepth: 16, OutOfOrder: true, FPThroughput: 1.30, BPAccuracy: 0.85, VectorThroughput: 1.40,
+			L1KB: 32, L2KB: 1920, L3KB: 36864, L2LatCy: 13, L3LatCy: 120, MemLatNs: 110, MemBWGBs: 6.0, Prefetch: 0.75, MLPWindow: 8},
+
+		// IBM POWER 6 — very high clock, in-order. Width 2 is the effective
+		// sustained issue rate (the front end is wider, but in-order hazards
+		// keep sustained IPC near 1-1.5 on SPEC).
+		{Family: "IBM POWER 6", Nickname: "POWER6", ISA: "Power", Year: 2007,
+			FreqGHz: 4.7, Width: 2, PipelineDepth: 13, OutOfOrder: false, FPThroughput: 1.20, BPAccuracy: 0.88, VectorThroughput: 1.20,
+			L1KB: 64, L2KB: 4096, L3KB: 32768, L2LatCy: 24, L3LatCy: 130, MemLatNs: 100, MemBWGBs: 8.0, Prefetch: 0.80, MLPWindow: 6},
+
+		// Intel Core 2 — FSB-based, big shared L2.
+		{Family: "Intel Core 2", Nickname: "Allendale", ISA: "x86-64", Year: 2007,
+			FreqGHz: 2.4, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.90, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 2048, L3KB: 0, L2LatCy: 14, MemLatNs: 80, MemBWGBs: 4.0, Prefetch: 0.70, MLPWindow: 6},
+		{Family: "Intel Core 2", Nickname: "Conroe", ISA: "x86-64", Year: 2006,
+			FreqGHz: 2.66, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.90, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 4096, L3KB: 0, L2LatCy: 14, MemLatNs: 75, MemBWGBs: 4.0, Prefetch: 0.70, MLPWindow: 6},
+		{Family: "Intel Core 2", Nickname: "Kentsfield", ISA: "x86-64", Year: 2007,
+			FreqGHz: 2.66, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.90, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 4096, L3KB: 0, L2LatCy: 14, MemLatNs: 78, MemBWGBs: 4.0, Prefetch: 0.70, MLPWindow: 6},
+		{Family: "Intel Core 2", Nickname: "Merom-2M", ISA: "x86-64", Year: 2007,
+			FreqGHz: 2.16, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.05, BPAccuracy: 0.90, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 2048, L3KB: 0, L2LatCy: 14, MemLatNs: 85, MemBWGBs: 3.0, Prefetch: 0.65, MLPWindow: 5},
+		{Family: "Intel Core 2", Nickname: "Penryn-3M", ISA: "x86-64", Year: 2008,
+			FreqGHz: 2.5, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.91, VectorThroughput: 1.35,
+			L1KB: 32, L2KB: 3072, L3KB: 0, L2LatCy: 14, MemLatNs: 78, MemBWGBs: 4.2, Prefetch: 0.72, MLPWindow: 6},
+		{Family: "Intel Core 2", Nickname: "Wolfdale", ISA: "x86-64", Year: 2008,
+			FreqGHz: 3.16, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.91, VectorThroughput: 1.35,
+			L1KB: 32, L2KB: 6144, L3KB: 0, L2LatCy: 15, MemLatNs: 72, MemBWGBs: 4.5, Prefetch: 0.75, MLPWindow: 6},
+		{Family: "Intel Core 2", Nickname: "Yorkfield", ISA: "x86-64", Year: 2008,
+			FreqGHz: 3.0, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.91, VectorThroughput: 1.35,
+			L1KB: 32, L2KB: 6144, L3KB: 0, L2LatCy: 15, MemLatNs: 74, MemBWGBs: 4.5, Prefetch: 0.75, MLPWindow: 6},
+
+		// Intel Core Duo — 32-bit mobile.
+		{Family: "Intel Core Duo", Nickname: "Yonah", ISA: "x86", Year: 2006,
+			FreqGHz: 2.16, Width: 3, PipelineDepth: 12, OutOfOrder: true, FPThroughput: 0.85, BPAccuracy: 0.88, VectorThroughput: 1.15,
+			L1KB: 32, L2KB: 2048, L3KB: 0, L2LatCy: 14, MemLatNs: 85, MemBWGBs: 2.5, Prefetch: 0.60, MLPWindow: 4},
+
+		// Intel Core i7 — Nehalem desktop extreme.
+		{Family: "Intel Core i7", Nickname: "Bloomfield XE", ISA: "x86-64", Year: 2008,
+			FreqGHz: 3.2, Width: 4, PipelineDepth: 16, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.92, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 256, L3KB: 8192, L2LatCy: 10, L3LatCy: 38, MemLatNs: 60, MemBWGBs: 12.5, Prefetch: 0.85, MLPWindow: 10},
+
+		// Intel Itanium — wide in-order EPIC with a large low-latency L3;
+		// shines on regular, compiler-schedulable FP codes.
+		{Family: "Intel Itanium", Nickname: "Montecito", ISA: "IA-64", Year: 2006,
+			FreqGHz: 1.6, Width: 6, PipelineDepth: 8, OutOfOrder: false, FPThroughput: 2.00, BPAccuracy: 0.82, VectorThroughput: 4.20,
+			L1KB: 32, L2KB: 1024, L3KB: 12288, L2LatCy: 6, L3LatCy: 15, MemLatNs: 110, MemBWGBs: 4.5, Prefetch: 0.55, MLPWindow: 4},
+
+		// Intel Pentium D — NetBurst: deep pipeline, high clock.
+		{Family: "Intel Pentium D", Nickname: "Presler", ISA: "x86-64", Year: 2006,
+			FreqGHz: 3.0, Width: 3, PipelineDepth: 31, OutOfOrder: true, FPThroughput: 0.95, BPAccuracy: 0.89, VectorThroughput: 1.20,
+			L1KB: 16, L2KB: 2048, L3KB: 0, L2LatCy: 19, MemLatNs: 85, MemBWGBs: 3.0, Prefetch: 0.65, MLPWindow: 5},
+
+		// Intel Pentium Dual-Core — cut-down Core 2.
+		{Family: "Intel Pentium Dual-Core", Nickname: "Allendale", ISA: "x86-64", Year: 2007,
+			FreqGHz: 1.8, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.05, BPAccuracy: 0.89, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 1024, L3KB: 0, L2LatCy: 14, MemLatNs: 80, MemBWGBs: 3.5, Prefetch: 0.65, MLPWindow: 5},
+
+		// Intel Pentium M — mobile, slow FSB, weak FP.
+		{Family: "Intel Pentium M", Nickname: "Dothan", ISA: "x86", Year: 2004,
+			FreqGHz: 2.0, Width: 3, PipelineDepth: 12, OutOfOrder: true, FPThroughput: 0.70, BPAccuracy: 0.88, VectorThroughput: 1.10,
+			L1KB: 32, L2KB: 2048, L3KB: 0, L2LatCy: 14, MemLatNs: 95, MemBWGBs: 2.0, Prefetch: 0.50, MLPWindow: 3},
+
+		// Intel Xeon — thirteen nicknames from NetBurst to Nehalem-EP.
+		{Family: "Intel Xeon", Nickname: "Bloomfield", ISA: "x86-64", Year: 2009,
+			FreqGHz: 3.2, Width: 4, PipelineDepth: 16, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.92, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 256, L3KB: 8192, L2LatCy: 10, L3LatCy: 38, MemLatNs: 58, MemBWGBs: 12.5, Prefetch: 0.88, MLPWindow: 10},
+		{Family: "Intel Xeon", Nickname: "Clovertown", ISA: "x86-64", Year: 2006,
+			FreqGHz: 2.66, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.90, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 4096, L3KB: 0, L2LatCy: 14, MemLatNs: 85, MemBWGBs: 4.0, Prefetch: 0.70, MLPWindow: 6},
+		{Family: "Intel Xeon", Nickname: "Conroe", ISA: "x86-64", Year: 2006,
+			FreqGHz: 2.66, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.90, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 4096, L3KB: 0, L2LatCy: 14, MemLatNs: 80, MemBWGBs: 4.0, Prefetch: 0.70, MLPWindow: 6},
+		{Family: "Intel Xeon", Nickname: "Dunnington", ISA: "x86-64", Year: 2008,
+			FreqGHz: 2.66, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.91, VectorThroughput: 1.35,
+			L1KB: 32, L2KB: 3072, L3KB: 16384, L2LatCy: 15, L3LatCy: 100, MemLatNs: 90, MemBWGBs: 4.2, Prefetch: 0.72, MLPWindow: 6},
+		{Family: "Intel Xeon", Nickname: "Gainestown", ISA: "x86-64", Year: 2009,
+			FreqGHz: 2.93, Width: 4, PipelineDepth: 16, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.92, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 256, L3KB: 8192, L2LatCy: 10, L3LatCy: 38, MemLatNs: 55, MemBWGBs: 12.0, Prefetch: 0.90, MLPWindow: 10},
+		{Family: "Intel Xeon", Nickname: "Harpertown", ISA: "x86-64", Year: 2007,
+			FreqGHz: 3.16, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.91, VectorThroughput: 1.35,
+			L1KB: 32, L2KB: 6144, L3KB: 0, L2LatCy: 15, MemLatNs: 80, MemBWGBs: 4.5, Prefetch: 0.72, MLPWindow: 6},
+		{Family: "Intel Xeon", Nickname: "Kentsfield", ISA: "x86-64", Year: 2007,
+			FreqGHz: 2.66, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.90, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 4096, L3KB: 0, L2LatCy: 14, MemLatNs: 80, MemBWGBs: 4.0, Prefetch: 0.70, MLPWindow: 6},
+		{Family: "Intel Xeon", Nickname: "Lynnfield", ISA: "x86-64", Year: 2009,
+			FreqGHz: 2.93, Width: 4, PipelineDepth: 16, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.92, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 256, L3KB: 8192, L2LatCy: 10, L3LatCy: 40, MemLatNs: 60, MemBWGBs: 10.5, Prefetch: 0.87, MLPWindow: 10},
+		{Family: "Intel Xeon", Nickname: "Tigerton", ISA: "x86-64", Year: 2007,
+			FreqGHz: 2.93, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.90, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 4096, L3KB: 0, L2LatCy: 14, MemLatNs: 88, MemBWGBs: 4.0, Prefetch: 0.70, MLPWindow: 6},
+		{Family: "Intel Xeon", Nickname: "Tulsa", ISA: "x86-64", Year: 2006,
+			FreqGHz: 3.4, Width: 3, PipelineDepth: 31, OutOfOrder: true, FPThroughput: 0.95, BPAccuracy: 0.89, VectorThroughput: 1.20,
+			L1KB: 16, L2KB: 1024, L3KB: 16384, L2LatCy: 19, L3LatCy: 90, MemLatNs: 95, MemBWGBs: 2.8, Prefetch: 0.65, MLPWindow: 5},
+		{Family: "Intel Xeon", Nickname: "Wolfdale-DP", ISA: "x86-64", Year: 2008,
+			FreqGHz: 3.33, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.91, VectorThroughput: 1.35,
+			L1KB: 32, L2KB: 6144, L3KB: 0, L2LatCy: 15, MemLatNs: 75, MemBWGBs: 5.0, Prefetch: 0.75, MLPWindow: 6},
+		{Family: "Intel Xeon", Nickname: "Woodcrest", ISA: "x86-64", Year: 2006,
+			FreqGHz: 3.0, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.10, BPAccuracy: 0.90, VectorThroughput: 1.30,
+			L1KB: 32, L2KB: 4096, L3KB: 0, L2LatCy: 14, MemLatNs: 80, MemBWGBs: 4.5, Prefetch: 0.70, MLPWindow: 6},
+		{Family: "Intel Xeon", Nickname: "Yorkfield", ISA: "x86-64", Year: 2008,
+			FreqGHz: 3.0, Width: 4, PipelineDepth: 14, OutOfOrder: true, FPThroughput: 1.15, BPAccuracy: 0.91, VectorThroughput: 1.35,
+			L1KB: 32, L2KB: 6144, L3KB: 0, L2LatCy: 15, MemLatNs: 76, MemBWGBs: 4.5, Prefetch: 0.73, MLPWindow: 6},
+
+		// SPARC64 — wide OoO with big on-chip L2, high memory latency.
+		{Family: "SPARC64 VI", Nickname: "Olympus-C", ISA: "SPARC V9", Year: 2007,
+			FreqGHz: 2.28, Width: 4, PipelineDepth: 15, OutOfOrder: true, FPThroughput: 1.20, BPAccuracy: 0.84, VectorThroughput: 1.30,
+			L1KB: 128, L2KB: 6144, L3KB: 0, L2LatCy: 15, MemLatNs: 105, MemBWGBs: 4.5, Prefetch: 0.50, MLPWindow: 5},
+		{Family: "SPARC64 VII", Nickname: "Jupiter", ISA: "SPARC V9", Year: 2008,
+			FreqGHz: 2.52, Width: 4, PipelineDepth: 15, OutOfOrder: true, FPThroughput: 1.30, BPAccuracy: 0.85, VectorThroughput: 1.40,
+			L1KB: 64, L2KB: 6144, L3KB: 0, L2LatCy: 15, MemLatNs: 100, MemBWGBs: 5.5, Prefetch: 0.55, MLPWindow: 6},
+		{Family: "UltraSPARC III", Nickname: "Cheetah+", ISA: "SPARC V9", Year: 2002,
+			FreqGHz: 1.05, Width: 4, PipelineDepth: 14, OutOfOrder: false, FPThroughput: 0.80, BPAccuracy: 0.72, VectorThroughput: 1.10,
+			L1KB: 64, L2KB: 8192, L3KB: 0, L2LatCy: 25, MemLatNs: 160, MemBWGBs: 2.0, Prefetch: 0.30, MLPWindow: 2},
+	}
+}
+
+// vendorsByFamily lists plausible system vendors per processor family; the
+// three systems of a nickname rotate through the family's vendor list.
+func vendorsByFamily(family string) []string {
+	switch {
+	case strings.HasPrefix(family, "AMD"):
+		return []string{"HP", "Dell", "Supermicro"}
+	case strings.HasPrefix(family, "IBM"):
+		return []string{"IBM", "IBM", "IBM"}
+	case strings.HasPrefix(family, "SPARC64"):
+		return []string{"Fujitsu", "Sun", "Fujitsu Siemens"}
+	case strings.HasPrefix(family, "UltraSPARC"):
+		return []string{"Sun", "Sun", "Sun"}
+	case family == "Intel Itanium":
+		return []string{"HP", "SGI", "Hitachi"}
+	default: // Intel x86 families
+		return []string{"Dell", "HP", "Fujitsu Siemens"}
+	}
+}
+
+// variant scale factors for the three systems of one nickname: systems
+// differ in clock bin and in memory configuration (DIMM speed/population),
+// exactly the kind of spread real SPEC submissions show. The factors
+// deliberately trade clock against memory — variant 1 is the server-style
+// build (lower bin, fast and wide memory), variant 3 the workstation-style
+// build (top bin, lean memory) — so compute-bound and memory-bound codes
+// rank the three systems of a nickname differently.
+var variantScales = [3]struct {
+	freq, bw, lat float64
+}{
+	{freq: 0.90, bw: 1.06, lat: 0.97},
+	{freq: 1.00, bw: 1.00, lat: 1.00},
+	{freq: 1.10, bw: 0.94, lat: 1.03},
+}
+
+// SystemsPerNickname is how many machines each CPU nickname contributes.
+const SystemsPerNickname = 3
+
+// Roster returns the full 117-machine population of Table 1: three systems
+// per CPU nickname, each a deterministic variant of the nickname's base
+// configuration. The result is ordered by the Table 1 family listing.
+func Roster() ([]Config, error) {
+	var out []Config
+	for _, base := range baseConfigs() {
+		vendors := vendorsByFamily(base.Family)
+		for k := 0; k < SystemsPerNickname; k++ {
+			c := base
+			s := variantScales[k]
+			c.FreqGHz *= s.freq
+			c.MemBWGBs *= s.bw
+			c.MemLatNs *= s.lat
+			c.Vendor = vendors[k%len(vendors)]
+			c.ID = fmt.Sprintf("%s-%s-%d", slug(base.Family), slug(base.Nickname), k+1)
+			if err := c.Validate(); err != nil {
+				return nil, fmt.Errorf("machine: roster: %w", err)
+			}
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// slug converts a display name into a lowercase, dash-separated identifier.
+func slug(s string) string {
+	var b strings.Builder
+	lastDash := true // trim leading dashes
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}

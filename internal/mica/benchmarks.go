@@ -1,0 +1,116 @@
+package mica
+
+// SPEC2006 returns the microarchitecture-independent profiles of the 29
+// SPEC CPU2006 benchmarks used throughout the paper.
+//
+// The numbers are hand-authored from the published characterisation
+// literature (working-set and instruction-mix studies of CPU2006) and are
+// deliberately shaped to reproduce the workload taxonomy the paper's
+// evaluation leans on:
+//
+//   - libquantum, lbm, leslie3d, GemsFDTD, milc, bwaves: streaming,
+//     bandwidth-bound codes with working sets far beyond any 2009 cache.
+//     These are the "outlier" benchmarks with higher-than-average scores on
+//     machines with integrated memory controllers (Xeon Gainestown class).
+//   - mcf, omnetpp, xalancbmk, astar: pointer-chasing, latency-bound codes
+//     with poor prefetchability.
+//   - namd, hmmer, calculix, gromacs, gamess: regular, compute-bound codes
+//     with small working sets and high ILP — the codes that favour wide
+//     in-order machines with large caches (Itanium Montecito class), the
+//     paper's lower-than-average-score outliers.
+//   - gcc, gobmk, sjeng, perlbench: branchy integer codes that reward
+//     accurate branch prediction and short pipelines.
+func SPEC2006() []Workload {
+	return []Workload{
+		{Name: "astar", Suite: Int, FracLoad: 0.27, FracStore: 0.08, FracBranch: 0.16, FracFP: 0.00,
+			ILP: 1.5, Regularity: 0.40, WorkingSetKB: 16384, Streaming: 0.20, BranchEntropy: 0.45,
+			BytesPerInstr: 0.30, CodeFootprintKB: 64, DLP: 0.10},
+		{Name: "bwaves", Suite: FP, FracLoad: 0.46, FracStore: 0.09, FracBranch: 0.04, FracFP: 0.38,
+			ILP: 3.2, Regularity: 0.90, WorkingSetKB: 196608, Streaming: 0.90, BranchEntropy: 0.05,
+			BytesPerInstr: 1.10, CodeFootprintKB: 96, DLP: 0.85},
+		{Name: "bzip2", Suite: Int, FracLoad: 0.30, FracStore: 0.11, FracBranch: 0.14, FracFP: 0.00,
+			ILP: 2.0, Regularity: 0.60, WorkingSetKB: 8192, Streaming: 0.45, BranchEntropy: 0.35,
+			BytesPerInstr: 0.15, CodeFootprintKB: 80, DLP: 0.30},
+		{Name: "cactusADM", Suite: FP, FracLoad: 0.42, FracStore: 0.12, FracBranch: 0.02, FracFP: 0.42,
+			ILP: 2.8, Regularity: 0.85, WorkingSetKB: 393216, Streaming: 0.75, BranchEntropy: 0.04,
+			BytesPerInstr: 1.10, CodeFootprintKB: 160, DLP: 0.80},
+		{Name: "calculix", Suite: FP, FracLoad: 0.33, FracStore: 0.07, FracBranch: 0.05, FracFP: 0.52,
+			ILP: 2.9, Regularity: 0.90, WorkingSetKB: 2048, Streaming: 0.55, BranchEntropy: 0.10,
+			BytesPerInstr: 0.05, CodeFootprintKB: 256, DLP: 0.75},
+		{Name: "dealII", Suite: FP, FracLoad: 0.36, FracStore: 0.09, FracBranch: 0.08, FracFP: 0.40,
+			ILP: 2.4, Regularity: 0.70, WorkingSetKB: 8192, Streaming: 0.45, BranchEntropy: 0.20,
+			BytesPerInstr: 0.12, CodeFootprintKB: 448, DLP: 0.50},
+		{Name: "gamess", Suite: FP, FracLoad: 0.34, FracStore: 0.08, FracBranch: 0.06, FracFP: 0.50,
+			ILP: 2.7, Regularity: 0.85, WorkingSetKB: 1024, Streaming: 0.40, BranchEntropy: 0.12,
+			BytesPerInstr: 0.03, CodeFootprintKB: 512, DLP: 0.60},
+		{Name: "gcc", Suite: Int, FracLoad: 0.26, FracStore: 0.13, FracBranch: 0.17, FracFP: 0.00,
+			ILP: 1.8, Regularity: 0.45, WorkingSetKB: 16384, Streaming: 0.30, BranchEntropy: 0.45,
+			BytesPerInstr: 0.20, CodeFootprintKB: 1024, DLP: 0.10},
+		{Name: "GemsFDTD", Suite: FP, FracLoad: 0.45, FracStore: 0.11, FracBranch: 0.03, FracFP: 0.40,
+			ILP: 3.0, Regularity: 0.88, WorkingSetKB: 262144, Streaming: 0.85, BranchEntropy: 0.05,
+			BytesPerInstr: 1.50, CodeFootprintKB: 128, DLP: 0.80},
+		{Name: "gobmk", Suite: Int, FracLoad: 0.25, FracStore: 0.10, FracBranch: 0.19, FracFP: 0.00,
+			ILP: 1.6, Regularity: 0.40, WorkingSetKB: 4096, Streaming: 0.15, BranchEntropy: 0.60,
+			BytesPerInstr: 0.06, CodeFootprintKB: 640, DLP: 0.10},
+		{Name: "gromacs", Suite: FP, FracLoad: 0.31, FracStore: 0.08, FracBranch: 0.04, FracFP: 0.52,
+			ILP: 3.0, Regularity: 0.90, WorkingSetKB: 1024, Streaming: 0.50, BranchEntropy: 0.08,
+			BytesPerInstr: 0.04, CodeFootprintKB: 192, DLP: 0.80},
+		{Name: "h264ref", Suite: Int, FracLoad: 0.34, FracStore: 0.11, FracBranch: 0.08, FracFP: 0.01,
+			ILP: 2.6, Regularity: 0.80, WorkingSetKB: 1024, Streaming: 0.55, BranchEntropy: 0.20,
+			BytesPerInstr: 0.05, CodeFootprintKB: 384, DLP: 0.70},
+		{Name: "hmmer", Suite: Int, FracLoad: 0.41, FracStore: 0.15, FracBranch: 0.07, FracFP: 0.00,
+			ILP: 3.2, Regularity: 0.95, WorkingSetKB: 256, Streaming: 0.60, BranchEntropy: 0.04,
+			BytesPerInstr: 0.01, CodeFootprintKB: 64, DLP: 0.95},
+		{Name: "lbm", Suite: FP, FracLoad: 0.38, FracStore: 0.11, FracBranch: 0.01, FracFP: 0.48,
+			ILP: 3.4, Regularity: 0.92, WorkingSetKB: 409600, Streaming: 0.95, BranchEntropy: 0.02,
+			BytesPerInstr: 3.00, CodeFootprintKB: 32, DLP: 0.90},
+		{Name: "leslie3d", Suite: FP, FracLoad: 0.44, FracStore: 0.10, FracBranch: 0.03, FracFP: 0.42,
+			ILP: 3.1, Regularity: 0.90, WorkingSetKB: 131072, Streaming: 0.90, BranchEntropy: 0.04,
+			BytesPerInstr: 1.30, CodeFootprintKB: 96, DLP: 0.85},
+		{Name: "libquantum", Suite: Int, FracLoad: 0.33, FracStore: 0.06, FracBranch: 0.13, FracFP: 0.00,
+			ILP: 3.2, Regularity: 0.92, WorkingSetKB: 32768, Streaming: 0.97, BranchEntropy: 0.02,
+			BytesPerInstr: 2.00, CodeFootprintKB: 32, DLP: 0.90},
+		{Name: "mcf", Suite: Int, FracLoad: 0.35, FracStore: 0.09, FracBranch: 0.19, FracFP: 0.00,
+			ILP: 1.3, Regularity: 0.30, WorkingSetKB: 524288, Streaming: 0.15, BranchEntropy: 0.50,
+			BytesPerInstr: 2.50, CodeFootprintKB: 24, DLP: 0.05},
+		{Name: "milc", Suite: FP, FracLoad: 0.40, FracStore: 0.12, FracBranch: 0.02, FracFP: 0.42,
+			ILP: 2.9, Regularity: 0.88, WorkingSetKB: 131072, Streaming: 0.80, BranchEntropy: 0.03,
+			BytesPerInstr: 1.30, CodeFootprintKB: 128, DLP: 0.80},
+		{Name: "namd", Suite: FP, FracLoad: 0.30, FracStore: 0.07, FracBranch: 0.05, FracFP: 0.55,
+			ILP: 3.4, Regularity: 0.95, WorkingSetKB: 512, Streaming: 0.50, BranchEntropy: 0.05,
+			BytesPerInstr: 0.02, CodeFootprintKB: 256, DLP: 0.85},
+		{Name: "omnetpp", Suite: Int, FracLoad: 0.31, FracStore: 0.14, FracBranch: 0.17, FracFP: 0.00,
+			ILP: 1.4, Regularity: 0.35, WorkingSetKB: 32768, Streaming: 0.15, BranchEntropy: 0.45,
+			BytesPerInstr: 0.60, CodeFootprintKB: 512, DLP: 0.05},
+		{Name: "perlbench", Suite: Int, FracLoad: 0.29, FracStore: 0.14, FracBranch: 0.16, FracFP: 0.00,
+			ILP: 1.9, Regularity: 0.50, WorkingSetKB: 8192, Streaming: 0.25, BranchEntropy: 0.40,
+			BytesPerInstr: 0.10, CodeFootprintKB: 512, DLP: 0.10},
+		{Name: "povray", Suite: FP, FracLoad: 0.32, FracStore: 0.10, FracBranch: 0.12, FracFP: 0.42,
+			ILP: 2.2, Regularity: 0.60, WorkingSetKB: 1024, Streaming: 0.25, BranchEntropy: 0.30,
+			BytesPerInstr: 0.02, CodeFootprintKB: 576, DLP: 0.30},
+		{Name: "sjeng", Suite: Int, FracLoad: 0.23, FracStore: 0.09, FracBranch: 0.19, FracFP: 0.00,
+			ILP: 1.7, Regularity: 0.45, WorkingSetKB: 2048, Streaming: 0.15, BranchEntropy: 0.55,
+			BytesPerInstr: 0.05, CodeFootprintKB: 128, DLP: 0.10},
+		{Name: "soplex", Suite: FP, FracLoad: 0.39, FracStore: 0.08, FracBranch: 0.11, FracFP: 0.30,
+			ILP: 2.1, Regularity: 0.60, WorkingSetKB: 65536, Streaming: 0.40, BranchEntropy: 0.35,
+			BytesPerInstr: 1.00, CodeFootprintKB: 384, DLP: 0.40},
+		{Name: "sphinx3", Suite: FP, FracLoad: 0.38, FracStore: 0.06, FracBranch: 0.10, FracFP: 0.35,
+			ILP: 2.3, Regularity: 0.70, WorkingSetKB: 16384, Streaming: 0.50, BranchEntropy: 0.25,
+			BytesPerInstr: 0.60, CodeFootprintKB: 192, DLP: 0.60},
+		{Name: "tonto", Suite: FP, FracLoad: 0.35, FracStore: 0.10, FracBranch: 0.06, FracFP: 0.46,
+			ILP: 2.5, Regularity: 0.80, WorkingSetKB: 4096, Streaming: 0.45, BranchEntropy: 0.15,
+			BytesPerInstr: 0.08, CodeFootprintKB: 768, DLP: 0.60},
+		{Name: "wrf", Suite: FP, FracLoad: 0.37, FracStore: 0.09, FracBranch: 0.06, FracFP: 0.44,
+			ILP: 2.7, Regularity: 0.80, WorkingSetKB: 32768, Streaming: 0.60, BranchEntropy: 0.12,
+			BytesPerInstr: 0.50, CodeFootprintKB: 1024, DLP: 0.70},
+		{Name: "xalancbmk", Suite: Int, FracLoad: 0.33, FracStore: 0.10, FracBranch: 0.19, FracFP: 0.00,
+			ILP: 1.6, Regularity: 0.40, WorkingSetKB: 16384, Streaming: 0.20, BranchEntropy: 0.40,
+			BytesPerInstr: 0.25, CodeFootprintKB: 2048, DLP: 0.10},
+		{Name: "zeusmp", Suite: FP, FracLoad: 0.36, FracStore: 0.10, FracBranch: 0.04, FracFP: 0.44,
+			ILP: 2.8, Regularity: 0.85, WorkingSetKB: 65536, Streaming: 0.70, BranchEntropy: 0.06,
+			BytesPerInstr: 0.65, CodeFootprintKB: 256, DLP: 0.75},
+	}
+}
+
+// SPEC2006Table returns SPEC2006() wrapped in a validated Table.
+func SPEC2006Table() (*Table, error) { return NewTable(SPEC2006()) }

@@ -1,0 +1,50 @@
+package mlp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchData mimics the MLPᵀ training shape: ~100 machines, 28 benchmark
+// scores in, one application score out.
+func benchData(n int) (inputs, targets [][]float64) {
+	rng := rand.New(rand.NewSource(1))
+	inputs = make([][]float64, n)
+	targets = make([][]float64, n)
+	for i := range inputs {
+		inputs[i] = make([]float64, 28)
+		speed := 1 + rng.Float64()*20
+		for j := range inputs[i] {
+			inputs[i][j] = speed * (0.8 + rng.Float64()*0.4)
+		}
+		targets[i] = []float64{speed * (0.9 + rng.Float64()*0.2)}
+	}
+	return inputs, targets
+}
+
+func BenchmarkTrainWEKADefaults(b *testing.B) {
+	inputs, targets := benchData(100)
+	cfg := DefaultConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(inputs, targets, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	inputs, targets := benchData(100)
+	cfg := DefaultConfig(1)
+	cfg.Epochs = 10
+	net, err := Train(inputs, targets, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Predict1(inputs[i%len(inputs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+// Package mlp implements a multilayer perceptron for regression, modelled on
+// the WEKA v3 MultilayerPerceptron the paper uses for the MLPᵀ predictor.
+//
+// Defaults match WEKA's: one hidden layer with (inputs+outputs)/2 sigmoid
+// units ("a" wildcard), a linear output unit for numeric targets, online
+// back-propagation with learning rate 0.3 and momentum 0.2 for 500 epochs,
+// and min/max normalisation of both attributes and the numeric class to
+// [-1, 1]. Training is deterministic for a fixed Config.Seed.
+package mlp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrNoData is returned when Train receives an empty training set.
+var ErrNoData = errors.New("mlp: no training data")
+
+// Config controls network topology and training.
+type Config struct {
+	// Hidden lists hidden-layer sizes. Empty means the WEKA "a" default:
+	// one layer of (inputs+outputs)/2 units (at least one).
+	Hidden []int
+	// LearningRate is the back-propagation step size (WEKA default 0.3).
+	LearningRate float64
+	// Momentum is the fraction of the previous weight update applied again
+	// (WEKA default 0.2).
+	Momentum float64
+	// Epochs is the number of passes over the training set (WEKA default 500).
+	Epochs int
+	// Seed drives weight initialisation and optional shuffling.
+	Seed int64
+	// Decay divides the learning rate by the epoch number, as WEKA's
+	// -D flag does. Off by default.
+	Decay bool
+	// Shuffle randomises instance order each epoch. WEKA trains in instance
+	// order, so this is off by default.
+	Shuffle bool
+}
+
+// DefaultConfig returns the WEKA-default training configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		LearningRate: 0.3,
+		Momentum:     0.2,
+		Epochs:       500,
+		Seed:         seed,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.3
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 500
+	}
+}
+
+// validate rejects configurations that cannot train.
+func (c Config) validate() error {
+	if c.LearningRate <= 0 || math.IsNaN(c.LearningRate) {
+		return fmt.Errorf("mlp: learning rate %v must be positive", c.LearningRate)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 || math.IsNaN(c.Momentum) {
+		return fmt.Errorf("mlp: momentum %v must be in [0, 1)", c.Momentum)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("mlp: epochs %d must be >= 1", c.Epochs)
+	}
+	for i, h := range c.Hidden {
+		if h < 1 {
+			return fmt.Errorf("mlp: hidden layer %d has %d units, need >= 1", i, h)
+		}
+	}
+	return nil
+}
+
+// layer holds the weights of one fully connected layer.
+// W[j] are the input weights of unit j; B[j] its bias.
+type layer struct {
+	W      [][]float64 `json:"w"`
+	B      []float64   `json:"b"`
+	Linear bool        `json:"linear"` // linear activation (output layer) vs sigmoid
+	// momentum state (not serialised)
+	dW [][]float64 `json:"-"`
+	dB []float64   `json:"-"`
+}
+
+// scaler maps a raw feature range to [-1, 1] and back.
+type scaler struct {
+	Min []float64 `json:"min"`
+	Max []float64 `json:"max"`
+}
+
+func fitScaler(rows [][]float64) scaler {
+	n := len(rows[0])
+	s := scaler{Min: make([]float64, n), Max: make([]float64, n)}
+	for j := 0; j < n; j++ {
+		s.Min[j], s.Max[j] = rows[0][j], rows[0][j]
+	}
+	for _, r := range rows {
+		for j, v := range r {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	return s
+}
+
+func (s scaler) apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		span := s.Max[j] - s.Min[j]
+		if span == 0 {
+			out[j] = 0
+			continue
+		}
+		out[j] = 2*(v-s.Min[j])/span - 1
+	}
+	return out
+}
+
+func (s scaler) invert(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for j, v := range y {
+		span := s.Max[j] - s.Min[j]
+		out[j] = s.Min[j] + (v+1)/2*span
+	}
+	return out
+}
+
+// Network is a trained multilayer perceptron.
+type Network struct {
+	Layers []layer `json:"layers"`
+	In     scaler  `json:"in"`
+	Out    scaler  `json:"out"`
+	NIn    int     `json:"nin"`
+	NOut   int     `json:"nout"`
+}
+
+// Train fits a network to the given instances. inputs[i] is the attribute
+// vector of instance i and targets[i] its numeric target vector (usually one
+// element). All instances must share the same arity.
+func Train(inputs, targets [][]float64, cfg Config) (*Network, error) {
+	if len(inputs) == 0 || len(targets) == 0 {
+		return nil, ErrNoData
+	}
+	if len(inputs) != len(targets) {
+		return nil, fmt.Errorf("mlp: %d inputs but %d targets", len(inputs), len(targets))
+	}
+	nIn, nOut := len(inputs[0]), len(targets[0])
+	if nIn == 0 || nOut == 0 {
+		return nil, fmt.Errorf("mlp: zero-width instance (inputs %d, targets %d)", nIn, nOut)
+	}
+	for i := range inputs {
+		if len(inputs[i]) != nIn || len(targets[i]) != nOut {
+			return nil, fmt.Errorf("mlp: instance %d has inconsistent arity", i)
+		}
+	}
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	hidden := cfg.Hidden
+	if len(hidden) == 0 {
+		h := (nIn + nOut) / 2
+		if h < 1 {
+			h = 1
+		}
+		hidden = []int{h}
+	}
+
+	net := &Network{NIn: nIn, NOut: nOut}
+	net.In = fitScaler(inputs)
+	net.Out = fitScaler(targets)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := append(append([]int{nIn}, hidden...), nOut)
+	for l := 1; l < len(sizes); l++ {
+		ly := layer{Linear: l == len(sizes)-1}
+		ly.W = make([][]float64, sizes[l])
+		ly.dW = make([][]float64, sizes[l])
+		ly.B = make([]float64, sizes[l])
+		ly.dB = make([]float64, sizes[l])
+		for j := range ly.W {
+			ly.W[j] = make([]float64, sizes[l-1])
+			ly.dW[j] = make([]float64, sizes[l-1])
+			for k := range ly.W[j] {
+				ly.W[j][k] = rng.Float64() - 0.5 // WEKA initialises in [-0.5, 0.5)
+			}
+			ly.B[j] = rng.Float64() - 0.5
+		}
+		net.Layers = append(net.Layers, ly)
+	}
+
+	// Pre-normalise the training set once.
+	xs := make([][]float64, len(inputs))
+	ys := make([][]float64, len(targets))
+	for i := range inputs {
+		xs[i] = net.In.apply(inputs[i])
+		ys[i] = net.Out.apply(targets[i])
+	}
+
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	acts := net.newActivations()
+	deltas := net.newActivations()
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate
+		if cfg.Decay {
+			lr /= float64(epoch)
+		}
+		if cfg.Shuffle {
+			rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		}
+		for _, i := range order {
+			net.backprop(xs[i], ys[i], lr, cfg.Momentum, acts, deltas)
+		}
+	}
+	return net, nil
+}
+
+// newActivations allocates per-layer activation buffers (layer 0 is input).
+func (n *Network) newActivations() [][]float64 {
+	acts := make([][]float64, len(n.Layers)+1)
+	acts[0] = make([]float64, n.NIn)
+	for l, ly := range n.Layers {
+		acts[l+1] = make([]float64, len(ly.W))
+	}
+	return acts
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// forward computes activations in place; acts[0] must hold the (normalised)
+// input.
+func (n *Network) forward(acts [][]float64) {
+	for l := range n.Layers {
+		ly := &n.Layers[l]
+		in, out := acts[l], acts[l+1]
+		for j := range ly.W {
+			s := ly.B[j]
+			w := ly.W[j]
+			for k, v := range in {
+				s += w[k] * v
+			}
+			if ly.Linear {
+				out[j] = s
+			} else {
+				out[j] = sigmoid(s)
+			}
+		}
+	}
+}
+
+// backprop performs one online gradient step with momentum.
+func (n *Network) backprop(x, y []float64, lr, momentum float64, acts, deltas [][]float64) {
+	copy(acts[0], x)
+	n.forward(acts)
+
+	// Output layer deltas: linear units, squared error => delta = (t - o).
+	last := len(n.Layers)
+	outAct := acts[last]
+	for j := range outAct {
+		deltas[last][j] = y[j] - outAct[j]
+	}
+	// Hidden layers: delta_j = o_j (1 - o_j) Σ_k w_kj delta_k.
+	for l := last - 1; l >= 1; l-- {
+		next := &n.Layers[l]
+		act := acts[l]
+		for j := range act {
+			s := 0.0
+			for k := range next.W {
+				s += next.W[k][j] * deltas[l+1][k]
+			}
+			deltas[l][j] = act[j] * (1 - act[j]) * s
+		}
+	}
+	// Weight updates with momentum.
+	for l := range n.Layers {
+		ly := &n.Layers[l]
+		in := acts[l]
+		d := deltas[l+1]
+		for j := range ly.W {
+			g := lr * d[j]
+			w, dw := ly.W[j], ly.dW[j]
+			for k, v := range in {
+				upd := g*v + momentum*dw[k]
+				w[k] += upd
+				dw[k] = upd
+			}
+			upd := g + momentum*ly.dB[j]
+			ly.B[j] += upd
+			ly.dB[j] = upd
+		}
+	}
+}
+
+// Predict returns the network output for attribute vector x.
+func (n *Network) Predict(x []float64) ([]float64, error) {
+	if len(x) != n.NIn {
+		return nil, fmt.Errorf("mlp: Predict with %d attributes, network has %d", len(x), n.NIn)
+	}
+	acts := n.newActivations()
+	copy(acts[0], n.In.apply(x))
+	n.forward(acts)
+	return n.Out.invert(acts[len(acts)-1]), nil
+}
+
+// Predict1 is Predict for single-output networks, returning the scalar.
+func (n *Network) Predict1(x []float64) (float64, error) {
+	out, err := n.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 1 {
+		return 0, fmt.Errorf("mlp: Predict1 on network with %d outputs", len(out))
+	}
+	return out[0], nil
+}
+
+// MarshalJSON serialises the trained network (momentum state excluded).
+func (n *Network) MarshalJSON() ([]byte, error) {
+	type alias Network
+	return json.Marshal((*alias)(n))
+}
+
+// UnmarshalJSON restores a network serialised with MarshalJSON and
+// reallocates the transient momentum buffers.
+func (n *Network) UnmarshalJSON(b []byte) error {
+	type alias Network
+	if err := json.Unmarshal(b, (*alias)(n)); err != nil {
+		return err
+	}
+	for l := range n.Layers {
+		ly := &n.Layers[l]
+		ly.dW = make([][]float64, len(ly.W))
+		for j := range ly.W {
+			ly.dW[j] = make([]float64, len(ly.W[j]))
+		}
+		ly.dB = make([]float64, len(ly.B))
+	}
+	return nil
+}
+
+// RMSE returns the root-mean-square error of the network on a labelled set.
+func (n *Network) RMSE(inputs, targets [][]float64) (float64, error) {
+	if len(inputs) != len(targets) {
+		return 0, fmt.Errorf("mlp: RMSE with %d inputs and %d targets", len(inputs), len(targets))
+	}
+	if len(inputs) == 0 {
+		return 0, ErrNoData
+	}
+	var se float64
+	var cnt int
+	for i := range inputs {
+		out, err := n.Predict(inputs[i])
+		if err != nil {
+			return 0, err
+		}
+		for j, o := range out {
+			d := targets[i][j] - o
+			se += d * d
+			cnt++
+		}
+	}
+	return math.Sqrt(se / float64(cnt)), nil
+}

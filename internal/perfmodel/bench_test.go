@@ -1,0 +1,44 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mica"
+)
+
+// BenchmarkSPECRatio measures a single analytic model evaluation (one cell
+// of the 29×117 score matrix).
+func BenchmarkSPECRatio(b *testing.B) {
+	roster, err := machine.Roster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := mica.SPEC2006()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SPECRatio(roster[i%len(roster)], ws[i%len(ws)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullMatrix measures evaluating the entire Table 1 roster on all
+// 29 benchmarks (3393 model evaluations).
+func BenchmarkFullMatrix(b *testing.B) {
+	roster, err := machine.Roster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := mica.SPEC2006()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range roster {
+			for _, w := range ws {
+				if _, err := SPECRatio(c, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/mica"
+)
+
+func mustGet(t *testing.T, name string) mica.Workload {
+	t.Helper()
+	tab, err := mica.SPEC2006Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tab.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func mustMachine(t *testing.T, id string) machine.Config {
+	t.Helper()
+	roster, err := machine.Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range roster {
+		if c.ID == id {
+			return c
+		}
+	}
+	t.Fatalf("machine %q not in roster", id)
+	return machine.Config{}
+}
+
+func TestCPIValidatesInputs(t *testing.T) {
+	w := mustGet(t, "gcc")
+	bad := machine.Reference()
+	bad.FreqGHz = -1
+	if _, err := CPI(bad, w); err == nil {
+		t.Fatal("expected machine validation error")
+	}
+	badW := w
+	badW.ILP = 0
+	if _, err := CPI(machine.Reference(), badW); err == nil {
+		t.Fatal("expected workload validation error")
+	}
+}
+
+func TestCPIBreakdownAdditive(t *testing.T) {
+	c := mustMachine(t, "intel-core-2-conroe-2")
+	for _, name := range []string{"gcc", "libquantum", "namd", "mcf"} {
+		b, err := CPI(c, mustGet(t, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.BWBound {
+			continue // total replaced by the bandwidth bound
+		}
+		sum := b.Base + b.FP + b.Branch + b.Memory + b.Fetch
+		if math.Abs(sum-b.Total) > 1e-12 {
+			t.Fatalf("%s: components sum to %v, total %v", name, sum, b.Total)
+		}
+	}
+}
+
+func TestCPIComponentsNonNegative(t *testing.T) {
+	roster, err := machine.Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range mica.SPEC2006() {
+		for _, c := range roster {
+			b, err := CPI(c, w)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", w.Name, c.ID, err)
+			}
+			for comp, v := range map[string]float64{
+				"base": b.Base, "fp": b.FP, "branch": b.Branch,
+				"memory": b.Memory, "fetch": b.Fetch, "total": b.Total,
+			} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s on %s: %s = %v", w.Name, c.ID, comp, v)
+				}
+			}
+			if b.Total <= 0 {
+				t.Fatalf("%s on %s: non-positive CPI %v", w.Name, c.ID, b.Total)
+			}
+		}
+	}
+}
+
+func TestSPECRatioPlausibleRange(t *testing.T) {
+	// Every modelled 2002-2009 machine must beat the 1998 reference, and by
+	// no more than ~80x (published CPU2006 ratios stay well under that).
+	roster, err := machine.Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range mica.SPEC2006() {
+		for _, c := range roster {
+			r, err := SPECRatio(c, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r < 1 || r > 80 {
+				t.Fatalf("%s on %s: ratio %v outside plausible [1, 80]", w.Name, c.ID, r)
+			}
+		}
+	}
+}
+
+func TestCore2ConroeGCCNearPublished(t *testing.T) {
+	// Calibration anchor: a Core 2 Conroe scores roughly 11-13 on gcc in
+	// the published CPU2006 results; the model must land in that vicinity.
+	c := mustMachine(t, "intel-core-2-conroe-2")
+	r, err := SPECRatio(c, mustGet(t, "gcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 8 || r > 16 {
+		t.Fatalf("Conroe gcc ratio %v, want within [8, 16]", r)
+	}
+}
+
+func TestStreamingOutlierPrefersNehalem(t *testing.T) {
+	// §6.2 of the paper: libquantum/cactusADM score highest on Nehalem
+	// Xeons (Gainestown class, integrated memory controller).
+	gainestown := mustMachine(t, "intel-xeon-gainestown-2")
+	conroe := mustMachine(t, "intel-core-2-conroe-2")
+	for _, name := range []string{"libquantum", "cactusADM", "lbm", "leslie3d"} {
+		w := mustGet(t, name)
+		rg, err := SPECRatio(gainestown, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := SPECRatio(conroe, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rg < rc*1.3 {
+			t.Fatalf("%s: Gainestown %v should dominate FSB Conroe %v by >= 1.3x", name, rg, rc)
+		}
+	}
+}
+
+func TestComputeOutlierPrefersMontecito(t *testing.T) {
+	// §6.2: namd and hmmer yield their best scores on Itanium Montecito.
+	montecito := mustMachine(t, "intel-itanium-montecito-3")
+	roster, err := machine.Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"namd", "hmmer"} {
+		w := mustGet(t, name)
+		rm, err := SPECRatio(montecito, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range roster {
+			if c.Family == "Intel Itanium" {
+				continue
+			}
+			r, err := SPECRatio(c, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r > rm {
+				t.Fatalf("%s: %s scores %v > Montecito's %v", name, c.ID, r, rm)
+			}
+		}
+	}
+}
+
+func TestBranchyCodePunishesDeepPipelines(t *testing.T) {
+	// NetBurst (Presler, 31 stages) must lose to Core 2 at similar clock on
+	// branchy gobmk by more than the clock ratio suggests.
+	presler := mustMachine(t, "intel-pentium-d-presler-2") // 3.0 GHz
+	conroe := mustMachine(t, "intel-core-2-conroe-2")      // 2.66 GHz
+	w := mustGet(t, "gobmk")
+	rp, err := SPECRatio(presler, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := SPECRatio(conroe, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc <= rp {
+		t.Fatalf("gobmk: Conroe %v must beat higher-clocked Presler %v", rc, rp)
+	}
+}
+
+func TestCacheFitNonLinearity(t *testing.T) {
+	// Removing POWER5+'s 36 MB L3 must hurt soplex (64 MB working set)
+	// substantially more than gamess (1 MB working set): the cache-fit
+	// mechanism is workload-dependent, which is exactly the machine ×
+	// benchmark interaction the methodology exploits.
+	p5 := mustMachine(t, "ibm-power-5-power5-2")
+	noL3 := p5
+	noL3.L3KB = 0
+	noL3.L3LatCy = 0
+	soplex, gamess := mustGet(t, "soplex"), mustGet(t, "gamess")
+	ratio := func(c machine.Config, w mica.Workload) float64 {
+		r, err := SPECRatio(c, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	soplexGain := ratio(p5, soplex)/ratio(noL3, soplex) - 1
+	gamessGain := ratio(p5, gamess)/ratio(noL3, gamess) - 1
+	if soplexGain < 3*gamessGain {
+		t.Fatalf("cache fit: soplex L3 speedup %.3f must be >= 3x gamess's %.3f",
+			soplexGain, gamessGain)
+	}
+}
+
+func TestInstructionRateScalesWithClock(t *testing.T) {
+	// Identical microarchitecture at higher clock is faster on a
+	// compute-bound code (memory effects would dampen, not reverse it).
+	lo := mustMachine(t, "intel-core-2-wolfdale-1")
+	hi := mustMachine(t, "intel-core-2-wolfdale-3")
+	w := mustGet(t, "gamess")
+	rlo, err := InstructionRate(lo, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhi, err := InstructionRate(hi, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhi <= rlo {
+		t.Fatalf("higher clock variant slower: %v vs %v", rhi, rlo)
+	}
+}
+
+// Property: enlarging any cache level never slows a machine down.
+func TestCacheMonotonicityProperty(t *testing.T) {
+	base := mustMachine(t, "intel-core-2-conroe-2")
+	ws := mica.SPEC2006()
+	f := func(wi uint8, grow uint8) bool {
+		w := ws[int(wi)%len(ws)]
+		factor := 1 + float64(grow%8)
+		big := base
+		big.L2KB *= factor
+		r0, err0 := SPECRatio(base, w)
+		r1, err1 := SPECRatio(big, w)
+		return err0 == nil && err1 == nil && r1 >= r0-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: improving the branch predictor never hurts.
+func TestBranchPredictorMonotonicityProperty(t *testing.T) {
+	base := mustMachine(t, "amd-opteron-k10-barcelona-2")
+	ws := mica.SPEC2006()
+	f := func(wi uint8) bool {
+		w := ws[int(wi)%len(ws)]
+		better := base
+		better.BPAccuracy = math.Min(1, base.BPAccuracy+0.05)
+		r0, err0 := SPECRatio(base, w)
+		r1, err1 := SPECRatio(better, w)
+		return err0 == nil && err1 == nil && r1 >= r0-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lowering memory latency never hurts.
+func TestMemLatencyMonotonicityProperty(t *testing.T) {
+	base := mustMachine(t, "intel-xeon-clovertown-2")
+	ws := mica.SPEC2006()
+	f := func(wi uint8) bool {
+		w := ws[int(wi)%len(ws)]
+		faster := base
+		faster.MemLatNs *= 0.7
+		r0, err0 := SPECRatio(base, w)
+		r1, err1 := SPECRatio(faster, w)
+		return err0 == nil && err1 == nil && r1 >= r0-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

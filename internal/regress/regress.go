@@ -1,0 +1,237 @@
+// Package regress implements the regression models used by data
+// transposition: simple (one-predictor) ordinary least squares — the
+// machine-pair model behind the NNᵀ predictor — plus multiple OLS and ridge
+// regression built on the Householder QR factorisation in internal/la.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+	"repro/internal/stats"
+)
+
+// ErrTooFew is returned when a fit has fewer observations than parameters.
+var ErrTooFew = errors.New("regress: too few observations")
+
+// ErrDegenerate is returned when the predictor has zero variance.
+var ErrDegenerate = errors.New("regress: degenerate predictor (zero variance)")
+
+// Simple is a fitted one-predictor linear model y ≈ Intercept + Slope·x.
+type Simple struct {
+	Intercept float64
+	Slope     float64
+	// R2 is the coefficient of determination on the training sample.
+	R2 float64
+	// RSS is the residual sum of squares on the training sample.
+	RSS float64
+	// N is the number of training observations.
+	N int
+}
+
+// FitSimple fits y ≈ a + b·x by ordinary least squares.
+// It requires at least two observations and a non-constant x.
+func FitSimple(x, y []float64) (*Simple, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("regress: FitSimple with %d x and %d y values: %w", len(x), len(y), stats.ErrLength)
+	}
+	n := len(x)
+	if n < 2 {
+		return nil, fmt.Errorf("regress: FitSimple with %d observations: %w", n, ErrTooFew)
+	}
+	mx, my := stats.Mean(x), stats.Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return nil, ErrDegenerate
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	m := &Simple{Intercept: a, Slope: b, N: n}
+	pred := make([]float64, n)
+	for i := range x {
+		pred[i] = m.Predict(x[i])
+		r := y[i] - pred[i]
+		m.RSS += r * r
+	}
+	r2, err := stats.RSquared(y, pred)
+	if err != nil {
+		return nil, err
+	}
+	m.R2 = r2
+	return m, nil
+}
+
+// Predict returns the model value at x.
+func (m *Simple) Predict(x float64) float64 { return m.Intercept + m.Slope*x }
+
+// String renders the fitted equation.
+func (m *Simple) String() string {
+	return fmt.Sprintf("y = %.6g + %.6g·x (R²=%.4f, n=%d)", m.Intercept, m.Slope, m.R2, m.N)
+}
+
+// Multiple is a fitted multiple linear regression y ≈ β₀ + Σ βⱼ·xⱼ.
+type Multiple struct {
+	// Coef holds β₀ (intercept) followed by one coefficient per predictor.
+	Coef []float64
+	R2   float64
+	RSS  float64
+	N    int
+}
+
+// FitMultiple fits a multiple OLS model with intercept. Each row of xs is an
+// observation of the predictors; ys are the responses.
+func FitMultiple(xs [][]float64, ys []float64) (*Multiple, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("regress: FitMultiple with %d rows and %d responses: %w", len(xs), len(ys), stats.ErrLength)
+	}
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("regress: FitMultiple: %w", ErrTooFew)
+	}
+	p := len(xs[0]) + 1 // +1 for the intercept
+	if n < p {
+		return nil, fmt.Errorf("regress: FitMultiple with %d observations for %d parameters: %w", n, p, ErrTooFew)
+	}
+	design := la.NewMatrix(n, p)
+	for i, row := range xs {
+		if len(row) != p-1 {
+			return nil, fmt.Errorf("regress: row %d has %d predictors, want %d: %w", i, len(row), p-1, stats.ErrLength)
+		}
+		design.Set(i, 0, 1)
+		for j, v := range row {
+			design.Set(i, j+1, v)
+		}
+	}
+	coef, err := la.LeastSquares(design, ys)
+	if err != nil {
+		return nil, fmt.Errorf("regress: FitMultiple: %w", err)
+	}
+	m := &Multiple{Coef: coef, N: n}
+	pred := make([]float64, n)
+	for i, row := range xs {
+		pred[i] = m.Predict(row)
+		r := ys[i] - pred[i]
+		m.RSS += r * r
+	}
+	r2, err := stats.RSquared(ys, pred)
+	if err != nil {
+		return nil, err
+	}
+	m.R2 = r2
+	return m, nil
+}
+
+// Predict returns the model value at predictor vector x.
+// It panics if len(x) does not match the fitted predictor count.
+func (m *Multiple) Predict(x []float64) float64 {
+	if len(x) != len(m.Coef)-1 {
+		panic(fmt.Sprintf("regress: Predict with %d predictors, model has %d", len(x), len(m.Coef)-1))
+	}
+	y := m.Coef[0]
+	for j, v := range x {
+		y += m.Coef[j+1] * v
+	}
+	return y
+}
+
+// Ridge is a fitted L2-regularised linear regression.
+type Ridge struct {
+	Coef   []float64 // β₀ then one per predictor; β₀ is not penalised
+	Lambda float64
+	N      int
+}
+
+// FitRidge fits ridge regression with penalty lambda ≥ 0 on all coefficients
+// except the intercept, by solving the regularised normal equations.
+func FitRidge(xs [][]float64, ys []float64, lambda float64) (*Ridge, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("regress: FitRidge with %d rows and %d responses: %w", len(xs), len(ys), stats.ErrLength)
+	}
+	if lambda < 0 || math.IsNaN(lambda) {
+		return nil, fmt.Errorf("regress: FitRidge with negative lambda %v", lambda)
+	}
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("regress: FitRidge: %w", ErrTooFew)
+	}
+	p := len(xs[0]) + 1
+	design := la.NewMatrix(n, p)
+	for i, row := range xs {
+		if len(row) != p-1 {
+			return nil, fmt.Errorf("regress: row %d has %d predictors, want %d: %w", i, len(row), p-1, stats.ErrLength)
+		}
+		design.Set(i, 0, 1)
+		for j, v := range row {
+			design.Set(i, j+1, v)
+		}
+	}
+	xt := design.T()
+	xtx, err := xt.Mul(design)
+	if err != nil {
+		return nil, err
+	}
+	for j := 1; j < p; j++ { // do not penalise the intercept
+		xtx.Add(j, j, lambda)
+	}
+	xty, err := xt.MulVec(ys)
+	if err != nil {
+		return nil, err
+	}
+	coef, err := la.Solve(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("regress: FitRidge: %w", err)
+	}
+	return &Ridge{Coef: coef, Lambda: lambda, N: n}, nil
+}
+
+// Predict returns the ridge model value at predictor vector x.
+func (m *Ridge) Predict(x []float64) float64 {
+	if len(x) != len(m.Coef)-1 {
+		panic(fmt.Sprintf("regress: Predict with %d predictors, model has %d", len(x), len(m.Coef)-1))
+	}
+	y := m.Coef[0]
+	for j, v := range x {
+		y += m.Coef[j+1] * v
+	}
+	return y
+}
+
+// BestSimple fits one Simple model per candidate predictor column and
+// returns the index and model of the best fit (highest R²; lowest RSS breaks
+// ties). Candidates that fail to fit (e.g. constant columns) are skipped; an
+// error is returned only if every candidate fails.
+//
+// This is the model-selection step of the NNᵀ predictor: each candidate
+// column is one predictive machine's benchmark scores, y is the target
+// machine's scores, and the winner is the "nearest neighbour" machine.
+func BestSimple(candidates [][]float64, y []float64) (int, *Simple, error) {
+	if len(candidates) == 0 {
+		return -1, nil, fmt.Errorf("regress: BestSimple with no candidates: %w", ErrTooFew)
+	}
+	bestIdx := -1
+	var best *Simple
+	var firstErr error
+	for i, x := range candidates {
+		m, err := FitSimple(x, y)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best == nil || m.R2 > best.R2 || (m.R2 == best.R2 && m.RSS < best.RSS) {
+			bestIdx, best = i, m
+		}
+	}
+	if best == nil {
+		return -1, nil, fmt.Errorf("regress: BestSimple: all %d candidates failed: %w", len(candidates), firstErr)
+	}
+	return bestIdx, best, nil
+}

@@ -1,0 +1,284 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitSimpleExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9, 11} // y = 3 + 2x
+	m, err := FitSimple(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-3) > 1e-12 || math.Abs(m.Slope-2) > 1e-12 {
+		t.Fatalf("fit = %v", m)
+	}
+	if math.Abs(m.R2-1) > 1e-12 || m.RSS > 1e-20 || m.N != 5 {
+		t.Fatalf("diagnostics wrong: %+v", m)
+	}
+	if got := m.Predict(10); math.Abs(got-23) > 1e-12 {
+		t.Fatalf("Predict(10) = %v, want 23", got)
+	}
+	if m.String() == "" {
+		t.Fatal("String must be non-empty")
+	}
+}
+
+func TestFitSimpleNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 10
+		y[i] = 1.5 + 0.7*x[i] + rng.NormFloat64()*0.1
+	}
+	m, err := FitSimple(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-1.5) > 0.05 || math.Abs(m.Slope-0.7) > 0.01 {
+		t.Fatalf("noisy fit off: %v", m)
+	}
+	if m.R2 < 0.99 {
+		t.Fatalf("R² = %v, expected > 0.99", m.R2)
+	}
+}
+
+func TestFitSimpleErrors(t *testing.T) {
+	if _, err := FitSimple([]float64{1}, []float64{1}); !errors.Is(err, ErrTooFew) {
+		t.Fatalf("want ErrTooFew, got %v", err)
+	}
+	if _, err := FitSimple([]float64{2, 2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("want ErrDegenerate, got %v", err)
+	}
+	if _, err := FitSimple([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestFitMultipleExact(t *testing.T) {
+	// y = 1 + 2a - 3b
+	xs := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}}
+	ys := make([]float64, len(xs))
+	for i, r := range xs {
+		ys[i] = 1 + 2*r[0] - 3*r[1]
+	}
+	m, err := FitMultiple(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -3}
+	for j, w := range want {
+		if math.Abs(m.Coef[j]-w) > 1e-10 {
+			t.Fatalf("Coef = %v, want %v", m.Coef, want)
+		}
+	}
+	if math.Abs(m.R2-1) > 1e-10 {
+		t.Fatalf("R² = %v", m.R2)
+	}
+	if got := m.Predict([]float64{3, 3}); math.Abs(got-(-2)) > 1e-9 {
+		t.Fatalf("Predict = %v, want -2", got)
+	}
+}
+
+func TestFitMultipleErrors(t *testing.T) {
+	if _, err := FitMultiple(nil, nil); !errors.Is(err, ErrTooFew) {
+		t.Fatalf("want ErrTooFew, got %v", err)
+	}
+	if _, err := FitMultiple([][]float64{{1, 2}}, []float64{1}); !errors.Is(err, ErrTooFew) {
+		t.Fatalf("want ErrTooFew for n<p, got %v", err)
+	}
+	if _, err := FitMultiple([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := FitMultiple([][]float64{{1, 2}, {3}, {4, 5}}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("want ragged-row error")
+	}
+}
+
+func TestPredictPanicsOnWrongArity(t *testing.T) {
+	m := &Multiple{Coef: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Predict([]float64{1, 2, 3})
+}
+
+func TestFitRidgeShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 100
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		xs[i] = []float64{a, b}
+		ys[i] = 2*a - b + rng.NormFloat64()*0.01
+	}
+	ols, err := FitMultiple(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := FitRidge(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lambda = 0 must agree with OLS.
+	for j := range ols.Coef {
+		if math.Abs(r0.Coef[j]-ols.Coef[j]) > 1e-8 {
+			t.Fatalf("ridge(0) = %v, ols = %v", r0.Coef, ols.Coef)
+		}
+	}
+	rBig, err := FitRidge(xs, ys, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy penalty shrinks slopes toward zero.
+	if math.Abs(rBig.Coef[1]) > 0.1 || math.Abs(rBig.Coef[2]) > 0.1 {
+		t.Fatalf("ridge(1e6) slopes not shrunk: %v", rBig.Coef)
+	}
+	if got := rBig.Predict([]float64{0, 0}); math.IsNaN(got) {
+		t.Fatal("Predict returned NaN")
+	}
+}
+
+func TestFitRidgeErrors(t *testing.T) {
+	if _, err := FitRidge(nil, nil, 1); !errors.Is(err, ErrTooFew) {
+		t.Fatalf("want ErrTooFew, got %v", err)
+	}
+	if _, err := FitRidge([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Fatal("want error for negative lambda")
+	}
+	if _, err := FitRidge([][]float64{{1}}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := FitRidge([][]float64{{1, 2}, {3}}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("want ragged-row error")
+	}
+}
+
+func TestRidgePredictPanics(t *testing.T) {
+	m := &Ridge{Coef: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Predict(nil)
+}
+
+func TestBestSimplePicksBestPredictor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 50
+	good := make([]float64, n)
+	noisy := make([]float64, n)
+	konst := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		good[i] = rng.Float64() * 10
+		y[i] = 4 + 3*good[i]
+		noisy[i] = good[i] + rng.NormFloat64()*5
+		konst[i] = 1
+	}
+	idx, m, err := BestSimple([][]float64{noisy, konst, good}, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 {
+		t.Fatalf("BestSimple picked %d, want 2 (exact predictor)", idx)
+	}
+	if math.Abs(m.R2-1) > 1e-10 {
+		t.Fatalf("winner R² = %v", m.R2)
+	}
+}
+
+func TestBestSimpleSkipsFailures(t *testing.T) {
+	y := []float64{1, 2, 3}
+	konst := []float64{5, 5, 5}
+	x := []float64{1, 2, 3}
+	idx, _, err := BestSimple([][]float64{konst, x}, y)
+	if err != nil || idx != 1 {
+		t.Fatalf("idx = %d, err = %v", idx, err)
+	}
+	// All-degenerate candidates must error.
+	if _, _, err := BestSimple([][]float64{konst, konst}, y); err == nil {
+		t.Fatal("expected error when all candidates fail")
+	}
+	if _, _, err := BestSimple(nil, y); err == nil {
+		t.Fatal("expected error for no candidates")
+	}
+}
+
+// Property: OLS residuals sum to ~0 (model with intercept).
+func TestSimpleResidualSumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(n8 uint8) bool {
+		n := int(n8%40) + 3
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		m, err := FitSimple(x, y)
+		if err != nil {
+			return true // degenerate draw
+		}
+		s := 0.0
+		for i := range x {
+			s += y[i] - m.Predict(x[i])
+		}
+		return math.Abs(s) < 1e-8*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: R² of simple OLS equals squared Pearson correlation.
+func TestSimpleR2EqualsPearsonSquaredProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(n8 uint8) bool {
+		n := int(n8%30) + 3
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = 0.5*x[i] + rng.NormFloat64()
+		}
+		m, err := FitSimple(x, y)
+		if err != nil {
+			return true
+		}
+		// Recompute Pearson inline to avoid importing stats in the property.
+		mx, my := 0.0, 0.0
+		for i := range x {
+			mx += x[i]
+			my += y[i]
+		}
+		mx /= float64(n)
+		my /= float64(n)
+		var sxy, sxx, syy float64
+		for i := range x {
+			sxy += (x[i] - mx) * (y[i] - my)
+			sxx += (x[i] - mx) * (x[i] - mx)
+			syy += (y[i] - my) * (y[i] - my)
+		}
+		if syy == 0 {
+			return true
+		}
+		r := sxy / math.Sqrt(sxx*syy)
+		return math.Abs(m.R2-r*r) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

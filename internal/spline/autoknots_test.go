@@ -1,0 +1,75 @@
+package spline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAutoKnotsPrefersLineOnLinearData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var x, y []float64
+	for i := 0; i < 25; i++ {
+		xi := rng.Float64() * 10
+		x = append(x, xi)
+		y = append(y, 2+3*xi+rng.NormFloat64()*0.05)
+	}
+	m, err := Fit(x, y, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extrapolation far outside the hull must stay near the line — the
+	// failure mode AutoKnots exists to prevent.
+	want := 2 + 3*25.0
+	if got := m.Predict(25); math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("extrapolation Predict(25) = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestAutoKnotsStillBendsOnKinkedData(t *testing.T) {
+	var x, y []float64
+	for i := 0; i <= 40; i++ {
+		xi := float64(i) / 4
+		x = append(x, xi)
+		if xi < 5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 1+3*(xi-5))
+		}
+	}
+	auto, err := Fit(x, y, Options{Knots: 4, Ridge: 1e-6, AutoKnots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.R2 < 0.99 {
+		t.Fatalf("auto-knot R² = %v on kinked data", auto.R2)
+	}
+	if len(auto.Knots) == 0 {
+		t.Fatal("auto selection should keep knots for genuinely kinked data")
+	}
+}
+
+func TestAutoKnotsSmallSamples(t *testing.T) {
+	// Tiny samples must not panic and must fall back to the fixed fit.
+	for n := 2; n <= 6; n++ {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i)
+			y[i] = 1 + 2*float64(i)
+		}
+		m, err := Fit(x, y, DefaultOptions())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := m.Predict(1.5); math.Abs(got-4) > 0.1 {
+			t.Fatalf("n=%d: Predict(1.5) = %v, want 4", n, got)
+		}
+	}
+}
+
+func TestAutoKnotsNegativeKnotsRejected(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, []float64{1, 2, 3}, Options{Knots: -1, AutoKnots: true}); err == nil {
+		t.Fatal("want error")
+	}
+}

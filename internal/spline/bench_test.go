@@ -1,0 +1,43 @@
+package spline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchXY(n int) (x, y []float64) {
+	rng := rand.New(rand.NewSource(1))
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 40
+		y[i] = 2 + 1.5*x[i] + rng.NormFloat64()
+	}
+	return x, y
+}
+
+// BenchmarkFitFixed measures one fixed-knot spline fit at the SPLᵀ shape
+// (28 benchmark points).
+func BenchmarkFitFixed(b *testing.B) {
+	x, y := benchXY(28)
+	opts := Options{Knots: 3, Ridge: 1e-6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(x, y, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitAutoKnots measures the leave-one-out knot selection used for
+// the winning candidate in BestFit.
+func BenchmarkFitAutoKnots(b *testing.B) {
+	x, y := benchXY(28)
+	opts := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(x, y, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

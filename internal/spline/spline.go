@@ -1,0 +1,327 @@
+// Package spline implements cubic regression splines — piecewise cubic
+// polynomials fitted by least squares on a truncated-power basis with
+// quantile-placed knots.
+//
+// The paper's related-work discussion (§7.1) singles out spline-based
+// regression (Lee & Brooks, ASPLOS 2006) as the classical middle ground
+// between linear regression and neural networks for empirical performance
+// models. This package provides that third model family, which
+// internal/transpose exposes as the SPLᵀ predictor: data transposition with
+// one spline per machine pair — an extension experiment beyond the paper's
+// NNᵀ/MLPᵀ pair.
+package spline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/la"
+	"repro/internal/stats"
+)
+
+// ErrTooFew is returned when a fit has fewer observations than basis terms.
+var ErrTooFew = errors.New("spline: too few observations")
+
+// ErrDegenerate is returned when the predictor has (almost) no spread.
+var ErrDegenerate = errors.New("spline: degenerate predictor")
+
+// Model is a fitted one-dimensional cubic regression spline.
+type Model struct {
+	// Knots are the interior knot locations (ascending).
+	Knots []float64
+	// Coef holds the basis coefficients: 1, x, x², x³, then one truncated
+	// cubic term per knot.
+	Coef []float64
+	// R2 is the coefficient of determination on the training sample.
+	R2 float64
+	// RSS is the residual sum of squares on the training sample.
+	RSS float64
+	// N is the number of training observations.
+	N int
+}
+
+// Options controls spline fitting.
+type Options struct {
+	// Knots is the number of interior knots (default 3, placed at
+	// quantiles of x). More knots mean more flexibility. With AutoKnots it
+	// is the maximum considered.
+	Knots int
+	// Ridge is an L2 penalty on all non-intercept coefficients; a small
+	// positive value (default 1e-6 relative to scale) keeps the fit stable
+	// when knots fall close together.
+	Ridge float64
+	// AutoKnots selects the knot count (0..Knots) by leave-one-out
+	// cross-validation instead of always using Knots. This guards against
+	// cubic extrapolation blow-ups when the relationship is really linear.
+	AutoKnots bool
+}
+
+// DefaultOptions returns the options used by the SPLᵀ predictor.
+func DefaultOptions() Options { return Options{Knots: 3, Ridge: 1e-6, AutoKnots: true} }
+
+// Fit fits y ≈ s(x) by least squares on the truncated-power cubic basis.
+// With Options.AutoKnots it tries every knot count from 0 to Options.Knots
+// and keeps the one with the smallest leave-one-out cross-validation error.
+func Fit(x, y []float64, opts Options) (*Model, error) {
+	if !opts.AutoKnots {
+		return fitFixed(x, y, opts)
+	}
+	if opts.Knots < 0 {
+		return nil, fmt.Errorf("spline: negative knot count %d", opts.Knots)
+	}
+	fixed := opts
+	fixed.AutoKnots = false
+	// Samples too small for meaningful cross-validation degrade to the
+	// fixed fit (which itself degrades towards a line).
+	if len(x) < 6 {
+		return fitFixed(x, y, fixed)
+	}
+	var best *Model
+	bestCV := math.Inf(1)
+	var firstErr error
+	for k := 0; k <= opts.Knots; k++ {
+		fixed.Knots = k
+		m, err := fitFixed(x, y, fixed)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		cv, err := looError(x, y, fixed)
+		if err != nil {
+			continue
+		}
+		if cv < bestCV || best == nil {
+			best, bestCV = m, cv
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+// looError computes the leave-one-out cross-validation SSE of a fixed-knot
+// spline configuration. Folds that fail to fit (degenerate after removal)
+// count the squared deviation from the training mean instead.
+func looError(x, y []float64, opts Options) (float64, error) {
+	n := len(x)
+	if n < 3 {
+		return math.Inf(1), nil
+	}
+	xs := make([]float64, 0, n-1)
+	ys := make([]float64, 0, n-1)
+	sse := 0.0
+	for i := 0; i < n; i++ {
+		xs = xs[:0]
+		ys = ys[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				xs = append(xs, x[j])
+				ys = append(ys, y[j])
+			}
+		}
+		m, err := fitFixed(xs, ys, opts)
+		var pred float64
+		if err != nil {
+			pred = stats.Mean(ys)
+		} else {
+			pred = m.Predict(x[i])
+		}
+		d := y[i] - pred
+		sse += d * d
+	}
+	return sse, nil
+}
+
+// fitFixed fits with exactly opts.Knots interior knots (shrunk only when
+// the sample cannot support them).
+func fitFixed(x, y []float64, opts Options) (*Model, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("spline: %d x values but %d y values", len(x), len(y))
+	}
+	n := len(x)
+	if opts.Knots < 0 {
+		return nil, fmt.Errorf("spline: negative knot count %d", opts.Knots)
+	}
+	if opts.Ridge < 0 || math.IsNaN(opts.Ridge) {
+		return nil, fmt.Errorf("spline: negative ridge penalty %v", opts.Ridge)
+	}
+	k := opts.Knots
+	p := 4 + k
+	if n < p+1 {
+		// Shrink the knot count to what the data supports rather than
+		// failing: with few points the spline degrades towards a cubic,
+		// then towards a line.
+		k = n - 5
+		if k < 0 {
+			k = 0
+		}
+		p = 4 + k
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("spline: %d observations: %w", n, ErrTooFew)
+	}
+	lo, _ := stats.Min(x)
+	hi, _ := stats.Max(x)
+	if hi-lo < 1e-12 {
+		return nil, ErrDegenerate
+	}
+	// Degenerate to straight-line fit when only 2-4 points are available.
+	if n < 5 {
+		p = 2
+		k = 0
+	}
+	knots := quantileKnots(x, k)
+
+	design := la.NewMatrix(n, p)
+	for i, xi := range x {
+		row := basis(xi, knots, p)
+		design.SetRow(i, row)
+	}
+	var coef []float64
+	var err error
+	if opts.Ridge > 0 {
+		xt := design.T()
+		xtx, merr := xt.Mul(design)
+		if merr != nil {
+			return nil, merr
+		}
+		scale := opts.Ridge * float64(n)
+		for j := 1; j < p; j++ {
+			xtx.Add(j, j, scale)
+		}
+		xty, merr := xt.MulVec(y)
+		if merr != nil {
+			return nil, merr
+		}
+		coef, err = la.Solve(xtx, xty)
+	} else {
+		coef, err = la.LeastSquares(design, y)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spline: fit: %w", err)
+	}
+	m := &Model{Knots: knots, Coef: coef, N: n}
+	pred := make([]float64, n)
+	for i, xi := range x {
+		pred[i] = m.Predict(xi)
+		r := y[i] - pred[i]
+		m.RSS += r * r
+	}
+	r2, err := stats.RSquared(y, pred)
+	if err != nil {
+		return nil, err
+	}
+	m.R2 = r2
+	return m, nil
+}
+
+// basis evaluates the truncated-power basis of dimension p at x.
+func basis(x float64, knots []float64, p int) []float64 {
+	row := make([]float64, p)
+	row[0] = 1
+	if p >= 2 {
+		row[1] = x
+	}
+	if p >= 3 {
+		row[2] = x * x
+	}
+	if p >= 4 {
+		row[3] = x * x * x
+	}
+	for j, kn := range knots {
+		if 4+j >= p {
+			break
+		}
+		if d := x - kn; d > 0 {
+			row[4+j] = d * d * d
+		}
+	}
+	return row
+}
+
+// quantileKnots places k interior knots at evenly spaced quantiles of x.
+func quantileKnots(x []float64, k int) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	knots := make([]float64, 0, k)
+	for j := 1; j <= k; j++ {
+		q := float64(j) / float64(k+1)
+		pos := q * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		frac := pos - float64(lo)
+		knots = append(knots, sorted[lo]*(1-frac)+sorted[hi]*frac)
+	}
+	// De-duplicate coincident knots (possible with tied x values).
+	out := knots[:0]
+	for i, kn := range knots {
+		if i == 0 || kn > out[len(out)-1]+1e-12 {
+			out = append(out, kn)
+		}
+	}
+	return out
+}
+
+// Predict evaluates the fitted spline at x.
+func (m *Model) Predict(x float64) float64 {
+	row := basis(x, m.Knots, len(m.Coef))
+	y := 0.0
+	for j, c := range m.Coef {
+		y += c * row[j]
+	}
+	return y
+}
+
+// String renders a summary of the fit.
+func (m *Model) String() string {
+	return fmt.Sprintf("cubic spline, %d knots, R²=%.4f, n=%d", len(m.Knots), m.R2, m.N)
+}
+
+// BestFit fits one spline per candidate predictor column and returns the
+// index and model of the best fit (highest R², ties by RSS) — the SPLᵀ
+// analogue of regress.BestSimple. Candidates that fail to fit are skipped.
+//
+// When opts.AutoKnots is set, candidate *selection* still uses cheap
+// fixed-knot fits (cross-validating every candidate would multiply the
+// cost by the sample size); only the winning candidate is then refitted
+// with cross-validated knot selection.
+func BestFit(candidates [][]float64, y []float64, opts Options) (int, *Model, error) {
+	if len(candidates) == 0 {
+		return -1, nil, fmt.Errorf("spline: BestFit with no candidates: %w", ErrTooFew)
+	}
+	selOpts := opts
+	selOpts.AutoKnots = false
+	bestIdx := -1
+	var best *Model
+	var firstErr error
+	for i, x := range candidates {
+		m, err := Fit(x, y, selOpts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best == nil || m.R2 > best.R2 || (m.R2 == best.R2 && m.RSS < best.RSS) {
+			bestIdx, best = i, m
+		}
+	}
+	if best == nil {
+		return -1, nil, fmt.Errorf("spline: BestFit: all %d candidates failed: %w", len(candidates), firstErr)
+	}
+	if opts.AutoKnots {
+		refit, err := Fit(candidates[bestIdx], y, opts)
+		if err == nil {
+			best = refit
+		}
+	}
+	return bestIdx, best, nil
+}

@@ -1,0 +1,228 @@
+package spline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1, 2}, DefaultOptions()); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := Fit([]float64{1}, []float64{1}, DefaultOptions()); !errors.Is(err, ErrTooFew) {
+		t.Fatalf("want ErrTooFew, got %v", err)
+	}
+	if _, err := Fit([]float64{2, 2, 2}, []float64{1, 2, 3}, DefaultOptions()); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("want ErrDegenerate, got %v", err)
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1, 2}, Options{Knots: -1}); err == nil {
+		t.Fatal("want knot-count error")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1, 2}, Options{Ridge: -1}); err == nil {
+		t.Fatal("want ridge error")
+	}
+}
+
+func TestFitExactLineWithTwoPoints(t *testing.T) {
+	m, err := Fit([]float64{0, 2}, []float64{1, 5}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(1); math.Abs(got-3) > 1e-6 {
+		t.Fatalf("Predict(1) = %v, want 3", got)
+	}
+}
+
+func TestFitRecoversCubic(t *testing.T) {
+	var x, y []float64
+	for i := 0; i <= 20; i++ {
+		xi := float64(i) / 2
+		x = append(x, xi)
+		y = append(y, 1+2*xi-0.5*xi*xi+0.1*xi*xi*xi)
+	}
+	m, err := Fit(x, y, Options{Knots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2 < 0.9999 {
+		t.Fatalf("R² = %v on exact cubic", m.R2)
+	}
+	if got := m.Predict(5.25); math.Abs(got-(1+2*5.25-0.5*5.25*5.25+0.1*5.25*5.25*5.25)) > 0.01 {
+		t.Fatalf("interpolation off: %v", got)
+	}
+}
+
+func TestFitCapturesKink(t *testing.T) {
+	// A piecewise function no single cubic can follow: flat then steep.
+	var x, y []float64
+	for i := 0; i <= 40; i++ {
+		xi := float64(i) / 4
+		x = append(x, xi)
+		if xi < 5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 1+3*(xi-5))
+		}
+	}
+	withKnots, err := Fit(x, y, Options{Knots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubicOnly, err := Fit(x, y, Options{Knots: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withKnots.R2 <= cubicOnly.R2 {
+		t.Fatalf("knots must help on kinked data: %v vs %v", withKnots.R2, cubicOnly.R2)
+	}
+	if withKnots.R2 < 0.99 {
+		t.Fatalf("spline R² = %v on kinked data", withKnots.R2)
+	}
+}
+
+func TestKnotCountShrinksWithData(t *testing.T) {
+	// 6 points cannot support 3 knots (8 params): fit must degrade, not fail.
+	x := []float64{0, 1, 2, 3, 4, 5}
+	y := []float64{0, 1, 4, 9, 16, 25}
+	m, err := Fit(x, y, Options{Knots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Coef) > len(x)-1 {
+		t.Fatalf("fitted %d params from %d points", len(m.Coef), len(x))
+	}
+	if m.R2 < 0.999 {
+		t.Fatalf("quadratic through cubic basis: R² = %v", m.R2)
+	}
+}
+
+func TestQuantileKnots(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	knots := quantileKnots(x, 3)
+	if len(knots) != 3 {
+		t.Fatalf("%d knots", len(knots))
+	}
+	for i := 1; i < len(knots); i++ {
+		if knots[i] <= knots[i-1] {
+			t.Fatal("knots not ascending")
+		}
+	}
+	if knots[0] <= 0 || knots[2] >= 10 {
+		t.Fatalf("knots %v not interior", knots)
+	}
+	// Heavily tied data de-duplicates.
+	tied := []float64{1, 1, 1, 1, 1, 1, 1, 2}
+	k2 := quantileKnots(tied, 5)
+	for i := 1; i < len(k2); i++ {
+		if k2[i] <= k2[i-1] {
+			t.Fatal("duplicate knots not removed")
+		}
+	}
+	if quantileKnots(x, 0) != nil {
+		t.Fatal("zero knots must be nil")
+	}
+}
+
+func TestBestFitPicksInformativePredictor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 30
+	good := make([]float64, n)
+	noise := make([]float64, n)
+	y := make([]float64, n)
+	for i := range good {
+		good[i] = rng.Float64() * 10
+		y[i] = math.Sqrt(good[i]) * 3 // nonlinear but monotone in good
+		noise[i] = rng.Float64() * 10
+	}
+	idx, m, err := BestFit([][]float64{noise, good}, y, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("BestFit picked %d", idx)
+	}
+	if m.R2 < 0.99 {
+		t.Fatalf("winner R² = %v", m.R2)
+	}
+}
+
+func TestBestFitSkipsAndFails(t *testing.T) {
+	konst := []float64{1, 1, 1}
+	y := []float64{1, 2, 3}
+	if _, _, err := BestFit(nil, y, DefaultOptions()); err == nil {
+		t.Fatal("want no-candidates error")
+	}
+	if _, _, err := BestFit([][]float64{konst}, y, DefaultOptions()); err == nil {
+		t.Fatal("want all-failed error")
+	}
+	idx, _, err := BestFit([][]float64{konst, {1, 2, 3}}, y, DefaultOptions())
+	if err != nil || idx != 1 {
+		t.Fatalf("idx=%d err=%v", idx, err)
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	m, err := Fit([]float64{0, 1, 2}, []float64{0, 1, 2}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: spline predictions are finite and the training R² is ≤ 1.
+func TestFitSanityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(n8 uint8) bool {
+		n := int(n8%40) + 2
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+			y[i] = rng.NormFloat64()
+		}
+		m, err := Fit(x, y, DefaultOptions())
+		if err != nil {
+			return errors.Is(err, ErrDegenerate) || errors.Is(err, ErrTooFew)
+		}
+		if m.R2 > 1+1e-9 {
+			return false
+		}
+		for _, q := range []float64{-100, 0, 100} {
+			if v := m.Predict(q); math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on exact affine data the spline reproduces the line.
+func TestFitAffineProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed uint8) bool {
+		a, b := rng.NormFloat64(), rng.NormFloat64()*2
+		n := 12
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i)
+			y[i] = a + b*x[i]
+		}
+		m, err := Fit(x, y, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.Predict(5.5)-(a+b*5.5)) < 1e-3*(1+math.Abs(a)+math.Abs(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

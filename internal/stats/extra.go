@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kendall returns the Kendall τ-b rank correlation of the paired samples,
+// handling ties in either variable. It is an alternative to Spearman for
+// validating ranking quality; both should agree on direction.
+func Kendall(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: Kendall with %d and %d observations: %w", len(x), len(y), ErrLength)
+	}
+	n := len(x)
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	var concordant, discordant, tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				tiesX++
+				tiesY++
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx*dy > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	den := math.Sqrt((concordant + discordant + tiesX) * (concordant + discordant + tiesY))
+	if den == 0 {
+		return 0, nil
+	}
+	return (concordant - discordant) / den, nil
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+	// Level is the nominal coverage, e.g. 0.95.
+	Level float64
+}
+
+// BootstrapCI estimates a percentile bootstrap confidence interval for a
+// statistic of the sample xs, using b resamples drawn with rng.
+func BootstrapCI(xs []float64, statistic func([]float64) float64, b int, level float64, rng *rand.Rand) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, ErrEmpty
+	}
+	if statistic == nil {
+		return Interval{}, fmt.Errorf("stats: nil statistic")
+	}
+	if b < 2 {
+		return Interval{}, fmt.Errorf("stats: %d bootstrap resamples, need >= 2", b)
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence level %v out of (0,1)", level)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	vals := make([]float64, b)
+	resample := make([]float64, len(xs))
+	for i := 0; i < b; i++ {
+		for j := range resample {
+			resample[j] = xs[rng.Intn(len(xs))]
+		}
+		vals[i] = statistic(resample)
+	}
+	sort.Float64s(vals)
+	alpha := (1 - level) / 2
+	lo, err := Quantile(vals, alpha)
+	if err != nil {
+		return Interval{}, err
+	}
+	hi, err := Quantile(vals, 1-alpha)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{Lo: lo, Hi: hi, Level: level}, nil
+}
+
+// Histogram bins xs into n equal-width bins over [min, max] and returns
+// the bin counts plus the bin edges (n+1 values).
+func Histogram(xs []float64, n int) (counts []int, edges []float64, err error) {
+	if len(xs) == 0 {
+		return nil, nil, ErrEmpty
+	}
+	if n < 1 {
+		return nil, nil, fmt.Errorf("stats: %d histogram bins", n)
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts = make([]int, n)
+	edges = make([]float64, n+1)
+	width := (hi - lo) / float64(n)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= n {
+			b = n - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return counts, edges, nil
+}

@@ -1,0 +1,168 @@
+// Package textplot renders the paper's figures as ASCII charts: grouped
+// horizontal bar charts (Figures 6 and 7) and line charts (Figure 8).
+package textplot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named data series.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// GroupedBars renders one group of horizontal bars per label, one bar per
+// series — the ASCII analogue of the paper's grouped bar figures. width is
+// the maximum bar length in characters.
+func GroupedBars(labels []string, series []Series, width int) (string, error) {
+	if len(labels) == 0 || len(series) == 0 {
+		return "", errors.New("textplot: empty chart")
+	}
+	if width < 10 {
+		return "", fmt.Errorf("textplot: width %d too small", width)
+	}
+	for _, s := range series {
+		if len(s.Values) != len(labels) {
+			return "", fmt.Errorf("textplot: series %q has %d values for %d labels", s.Name, len(s.Values), len(labels))
+		}
+	}
+	max := math.Inf(-1)
+	min := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return "", fmt.Errorf("textplot: non-finite value in series %q", s.Name)
+			}
+			if v > max {
+				max = v
+			}
+			if v < min {
+				min = v
+			}
+		}
+	}
+	if max <= min {
+		max = min + 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		for si, s := range series {
+			if si == 0 {
+				fmt.Fprintf(&sb, "%-*s ", labelW, l)
+			} else {
+				fmt.Fprintf(&sb, "%-*s ", labelW, "")
+			}
+			v := s.Values[i]
+			n := int(math.Round((v - min) / (max - min) * float64(width)))
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&sb, "%-*s |%s %.3g\n", nameW, s.Name, strings.Repeat("#", n), v)
+		}
+		if i < len(labels)-1 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String(), nil
+}
+
+// Line renders series against shared x values on a character grid with a
+// y-axis scale, x-axis tick labels, and a legend mapping glyphs to series.
+func Line(xs []float64, series []Series, width, height int) (string, error) {
+	if len(xs) == 0 || len(series) == 0 {
+		return "", errors.New("textplot: empty chart")
+	}
+	if width < 10 || height < 4 {
+		return "", fmt.Errorf("textplot: grid %dx%d too small", width, height)
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '@', '%'}
+	if len(series) > len(glyphs) {
+		return "", fmt.Errorf("textplot: at most %d series supported", len(glyphs))
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Values) != len(xs) {
+			return "", fmt.Errorf("textplot: series %q has %d values for %d x positions", s.Name, len(s.Values), len(xs))
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return "", fmt.Errorf("textplot: non-finite value in series %q", s.Name)
+			}
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	xmin, xmax := xs[0], xs[0]
+	for _, x := range xs {
+		xmin = math.Min(xmin, x)
+		xmax = math.Max(xmax, x)
+	}
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		for i, v := range s.Values {
+			grid[row(v)][col(xs[i])] = glyphs[si]
+		}
+	}
+	var sb strings.Builder
+	for r, line := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&sb, "%8.3g |%s\n", ymax, string(line))
+		case height - 1:
+			fmt.Fprintf(&sb, "%8.3g |%s\n", ymin, string(line))
+		default:
+			fmt.Fprintf(&sb, "%8s |%s\n", "", string(line))
+		}
+	}
+	fmt.Fprintf(&sb, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%8s  %-*.3g%*.3g\n", "", width/2, xmin, width-width/2, xmax)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "%8s  %c = %s\n", "", glyphs[si], s.Name)
+	}
+	return sb.String(), nil
+}

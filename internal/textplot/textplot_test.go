@@ -1,0 +1,106 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGroupedBarsBasic(t *testing.T) {
+	out, err := GroupedBars(
+		[]string{"alpha", "b"},
+		[]Series{{Name: "m1", Values: []float64{1, 2}}, {Name: "m2", Values: []float64{2, 0}}},
+		20,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "m2") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// The max value (2) must render as a full-width bar.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Fatalf("no full-length bar:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 2 labels × 2 series + 1 blank separator.
+	if len(lines) != 5 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestGroupedBarsErrors(t *testing.T) {
+	if _, err := GroupedBars(nil, nil, 20); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := GroupedBars([]string{"a"}, []Series{{Name: "s", Values: []float64{1}}}, 2); err == nil {
+		t.Fatal("want width error")
+	}
+	if _, err := GroupedBars([]string{"a"}, []Series{{Name: "s", Values: []float64{1, 2}}}, 20); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := GroupedBars([]string{"a"}, []Series{{Name: "s", Values: []float64{math.NaN()}}}, 20); err == nil {
+		t.Fatal("want NaN error")
+	}
+}
+
+func TestGroupedBarsConstantValues(t *testing.T) {
+	out, err := GroupedBars([]string{"a"}, []Series{{Name: "s", Values: []float64{0}}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestLineBasic(t *testing.T) {
+	out, err := Line(
+		[]float64{1, 2, 3, 4},
+		[]Series{
+			{Name: "medoid", Values: []float64{0.4, 0.6, 0.7, 0.75}},
+			{Name: "random", Values: []float64{0.2, 0.3, 0.4, 0.5}},
+		},
+		30, 8,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"*", "o", "medoid", "random", "0.75", "0.2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLineErrors(t *testing.T) {
+	if _, err := Line(nil, nil, 30, 8); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := Line([]float64{1}, []Series{{Name: "s", Values: []float64{1}}}, 5, 2); err == nil {
+		t.Fatal("want size error")
+	}
+	if _, err := Line([]float64{1, 2}, []Series{{Name: "s", Values: []float64{1}}}, 30, 8); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := Line([]float64{1}, []Series{{Name: "s", Values: []float64{math.Inf(1)}}}, 30, 8); err == nil {
+		t.Fatal("want non-finite error")
+	}
+	many := make([]Series, 7)
+	for i := range many {
+		many[i] = Series{Name: "s", Values: []float64{1}}
+	}
+	if _, err := Line([]float64{1}, many, 30, 8); err == nil {
+		t.Fatal("want too-many-series error")
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	out, err := Line([]float64{1, 1}, []Series{{Name: "s", Values: []float64{2, 2}}}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no glyph:\n%s", out)
+	}
+}

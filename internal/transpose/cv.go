@@ -1,0 +1,235 @@
+package transpose
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// FoldResult records the outcome of one (split, application) prediction.
+type FoldResult struct {
+	// Split labels the predictive/target split, e.g. the target processor
+	// family ("Intel Xeon") or a year split ("2008->2009").
+	Split string
+	// App is the application of interest (the held-out benchmark).
+	App string
+	// Metrics are the fold's accuracy numbers.
+	Metrics Metrics
+	// Actual and Predicted are the application scores on the target
+	// machines (measured and predicted).
+	Actual, Predicted []float64
+}
+
+// FamilyCV runs the paper's processor-family cross-validation (§6.2): each
+// processor family in turn becomes the target set, all other families the
+// predictive set, combined with benchmark-level leave-one-out. newP
+// constructs a fresh predictor per fold (stateful predictors such as MLPᵀ
+// must not leak training across folds).
+func FamilyCV(d *dataset.Matrix, chars map[string][]float64, newP func() Predictor) ([]FoldResult, error) {
+	if d.NumBenchmarks() < 2 {
+		return nil, fmt.Errorf("transpose: family CV needs >= 2 benchmarks, have %d", d.NumBenchmarks())
+	}
+	var out []FoldResult
+	for _, family := range d.Families() {
+		tgt, pred, err := d.FamilySplit(family)
+		if err != nil {
+			return nil, err
+		}
+		for _, app := range d.Benchmarks {
+			m, actual, predicted, err := RunFold(pred, tgt, app, chars, newP())
+			if err != nil {
+				return nil, fmt.Errorf("transpose: family %q app %q: %w", family, app, err)
+			}
+			out = append(out, FoldResult{Split: family, App: app, Metrics: m, Actual: actual, Predicted: predicted})
+		}
+	}
+	return out, nil
+}
+
+// YearCV runs the paper's future-machine experiment (§6.3): machines
+// released in targetYear are the targets; the predictive set is drawn from
+// years matching keep. Benchmark-level leave-one-out applies as always.
+func YearCV(d *dataset.Matrix, chars map[string][]float64, targetYear int, keep func(year int) bool, label string, newP func() Predictor) ([]FoldResult, error) {
+	tgt, pred, err := d.YearSplit(targetYear, keep)
+	if err != nil {
+		return nil, err
+	}
+	var out []FoldResult
+	for _, app := range d.Benchmarks {
+		m, actual, predicted, err := RunFold(pred, tgt, app, chars, newP())
+		if err != nil {
+			return nil, fmt.Errorf("transpose: split %q app %q: %w", label, app, err)
+		}
+		out = append(out, FoldResult{Split: label, App: app, Metrics: m, Actual: actual, Predicted: predicted})
+	}
+	return out, nil
+}
+
+// SubsetCV is YearCV with the predictive set first reduced to a machine
+// subset chosen by sel (§6.4: limited numbers of predictive machines).
+func SubsetCV(d *dataset.Matrix, chars map[string][]float64, targetYear int, keep func(int) bool, sel func(*dataset.Matrix) (*dataset.Matrix, error), label string, newP func() Predictor) ([]FoldResult, error) {
+	tgt, pred, err := d.YearSplit(targetYear, keep)
+	if err != nil {
+		return nil, err
+	}
+	pred, err = sel(pred)
+	if err != nil {
+		return nil, err
+	}
+	if pred.NumMachines() == 0 {
+		return nil, fmt.Errorf("transpose: split %q: subset selection left no predictive machines", label)
+	}
+	var out []FoldResult
+	for _, app := range d.Benchmarks {
+		m, actual, predicted, err := RunFold(pred, tgt, app, chars, newP())
+		if err != nil {
+			return nil, fmt.Errorf("transpose: split %q app %q: %w", label, app, err)
+		}
+		out = append(out, FoldResult{Split: label, App: app, Metrics: m, Actual: actual, Predicted: predicted})
+	}
+	return out, nil
+}
+
+// Aggregate summarises fold metrics the way the paper's tables do: the mean
+// and the worst case across all folds. "Worst" is the minimum for rank
+// correlation and the maximum for the error metrics.
+type Aggregate struct {
+	N int
+	// Mean and Worst follow the Metrics field layout.
+	Mean, Worst Metrics
+}
+
+// AggregateResults reduces fold results to the paper's table format.
+func AggregateResults(rs []FoldResult) (Aggregate, error) {
+	if len(rs) == 0 {
+		return Aggregate{}, fmt.Errorf("transpose: aggregating zero results")
+	}
+	agg := Aggregate{N: len(rs)}
+	agg.Worst.RankCorr = math.Inf(1)
+	agg.Worst.Top1Err = math.Inf(-1)
+	agg.Worst.MeanErr = math.Inf(-1)
+	for _, r := range rs {
+		agg.Mean.RankCorr += r.Metrics.RankCorr
+		agg.Mean.Top1Err += r.Metrics.Top1Err
+		agg.Mean.MeanErr += r.Metrics.MeanErr
+		agg.Worst.RankCorr = math.Min(agg.Worst.RankCorr, r.Metrics.RankCorr)
+		agg.Worst.Top1Err = math.Max(agg.Worst.Top1Err, r.Metrics.Top1Err)
+		agg.Worst.MeanErr = math.Max(agg.Worst.MeanErr, r.Metrics.MeanErr)
+	}
+	n := float64(len(rs))
+	agg.Mean.RankCorr /= n
+	agg.Mean.Top1Err /= n
+	agg.Mean.MeanErr /= n
+	return agg, nil
+}
+
+// PerApp averages fold metrics per application across splits, preserving
+// the given benchmark order — the layout of Figures 6 and 7.
+func PerApp(rs []FoldResult, order []string) (map[string]Metrics, error) {
+	byApp := map[string][]FoldResult{}
+	for _, r := range rs {
+		byApp[r.App] = append(byApp[r.App], r)
+	}
+	out := make(map[string]Metrics, len(byApp))
+	for _, app := range order {
+		group, ok := byApp[app]
+		if !ok {
+			return nil, fmt.Errorf("transpose: no fold results for application %q", app)
+		}
+		agg, err := AggregateResults(group)
+		if err != nil {
+			return nil, err
+		}
+		out[app] = agg.Mean
+	}
+	return out, nil
+}
+
+// RandomSubset returns a selector that keeps k machines drawn uniformly at
+// random (without replacement) using rng.
+func RandomSubset(k int, rng *rand.Rand) func(*dataset.Matrix) (*dataset.Matrix, error) {
+	return func(d *dataset.Matrix) (*dataset.Matrix, error) {
+		n := d.NumMachines()
+		if k < 1 || k > n {
+			return nil, fmt.Errorf("transpose: random subset of %d from %d machines", k, n)
+		}
+		perm := rng.Perm(n)
+		keep := make(map[string]bool, k)
+		for _, i := range perm[:k] {
+			keep[d.Machines[i].ID] = true
+		}
+		return d.SelectMachines(func(m dataset.Machine) bool { return keep[m.ID] }), nil
+	}
+}
+
+// MedoidSubset returns a selector that keeps the k medoids of the machine
+// population under PAM clustering in log-score space (§6.5). Log scores make
+// the distance sensitive to a machine's performance *profile* across
+// benchmarks as well as its absolute level, which is what "maximising
+// coverage of the target machines" needs.
+func MedoidSubset(k int) func(*dataset.Matrix) (*dataset.Matrix, error) {
+	return func(d *dataset.Matrix) (*dataset.Matrix, error) {
+		n := d.NumMachines()
+		if k < 1 || k > n {
+			return nil, fmt.Errorf("transpose: medoid subset of %d from %d machines", k, n)
+		}
+		points := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			col := d.Col(i)
+			for j, v := range col {
+				col[j] = math.Log2(v)
+			}
+			points[i] = col
+		}
+		res, err := cluster.PAM(points, k, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		keep := make(map[string]bool, k)
+		for _, mi := range res.Medoids {
+			keep[d.Machines[mi].ID] = true
+		}
+		return d.SelectMachines(func(m dataset.Machine) bool { return keep[m.ID] }), nil
+	}
+}
+
+// GoodnessOfFit runs all leave-one-out folds for one split and returns the
+// mean R² of predictions against measurements across applications — the
+// y-axis of Figure 8.
+func GoodnessOfFit(pred, tgt *dataset.Matrix, chars map[string][]float64, newP func() Predictor) (float64, error) {
+	if len(tgt.Benchmarks) == 0 {
+		return 0, fmt.Errorf("transpose: goodness of fit over zero benchmarks")
+	}
+	var r2s []float64
+	for _, app := range tgt.Benchmarks {
+		_, actual, predicted, err := RunFold(pred, tgt, app, chars, newP())
+		if err != nil {
+			return 0, err
+		}
+		r2, err := stats.RSquared(actual, predicted)
+		if err != nil {
+			return 0, err
+		}
+		r2s = append(r2s, r2)
+	}
+	return stats.Mean(r2s), nil
+}
+
+// Splits returns the distinct split labels present in rs, sorted.
+func Splits(rs []FoldResult) []string {
+	seen := map[string]bool{}
+	for _, r := range rs {
+		seen[r.Split] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,100 @@
+package transpose
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// Failure-injection tests: the predictors must degrade gracefully when the
+// database contains pathological machines or benchmarks.
+
+func TestNNTSkipsConstantPredictiveMachine(t *testing.T) {
+	pred, tgt := syntheticPair(t, 6, 4, 3, 0.01, 91)
+	// Machine 0 reports the same score for every benchmark (a broken
+	// submission); its regression is degenerate and must be skipped.
+	for b := range pred.Scores {
+		pred.Scores[b][0] = 7
+	}
+	m, _, _, err := RunFold(pred, tgt, "benchB", nil, NNT{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(m.RankCorr) {
+		t.Fatal("NaN metrics")
+	}
+}
+
+func TestNNTAllConstantPredictiveFails(t *testing.T) {
+	pred, tgt := syntheticPair(t, 6, 2, 3, 0.01, 92)
+	for b := range pred.Scores {
+		for p := range pred.Scores[b] {
+			pred.Scores[b][p] = 7
+		}
+	}
+	if _, _, _, err := RunFold(pred, tgt, "benchB", nil, NNT{}); err == nil {
+		t.Fatal("want all-candidates-failed error")
+	}
+}
+
+func TestMLPTSurvivesExtremeOutlierScore(t *testing.T) {
+	pred, tgt := syntheticPair(t, 6, 12, 4, 0.01, 93)
+	// One wildly corrupted cell in the predictive half (1000x).
+	pred.Scores[2][3] *= 1000
+	p := NewMLPT(5)
+	p.Config.Epochs = 100
+	_, _, predicted, err := RunFold(pred, tgt, "benchB", nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range predicted {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("prediction %d = %v", i, v)
+		}
+	}
+}
+
+func TestSPLTSurvivesExtremeOutlierScore(t *testing.T) {
+	pred, tgt := syntheticPair(t, 8, 6, 4, 0.01, 94)
+	pred.Scores[1][2] *= 1000
+	_, _, predicted, err := RunFold(pred, tgt, "benchC", nil, NewSPLT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range predicted {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("prediction %d = %v", i, v)
+		}
+	}
+}
+
+func TestSingleTargetMachine(t *testing.T) {
+	// Ranking a single machine is a degenerate but legal request (the
+	// prototype-hardware use case).
+	pred, tgt := syntheticPair(t, 6, 5, 3, 0.01, 95)
+	single := tgt.SelectMachines(func(m dataset.Machine) bool { return m.ID == tgt.Machines[0].ID })
+	for _, p := range []Predictor{NNT{}, NewSPLT()} {
+		fold, _, err := NewFold(pred, single, "benchA", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.PredictApp(fold)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if len(out) != 1 || math.IsNaN(out[0]) {
+			t.Fatalf("%s: out = %v", p.Name(), out)
+		}
+	}
+}
+
+func TestTwoBenchmarkFold(t *testing.T) {
+	// The minimum viable suite: two benchmarks, one held out leaves one
+	// training benchmark — regressions on a single point must fail
+	// loudly, not silently.
+	pred, tgt := syntheticPair(t, 2, 4, 3, 0.01, 96)
+	if _, _, _, err := RunFold(pred, tgt, "benchA", nil, NNT{}); err == nil {
+		t.Fatal("want too-few-observations error for 1-point regression")
+	}
+}

@@ -1,0 +1,51 @@
+package transpose
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/spline"
+)
+
+// SPLT is an extension beyond the paper's two models: data transposition
+// through cubic regression splines, after the spline-based empirical
+// models the paper's related work singles out (Lee & Brooks, ASPLOS 2006).
+// Like NNᵀ it fits one curve per (target, predictive) machine pair and
+// keeps the best-fitting predictive machine, but the curve is a piecewise
+// cubic that can bend — a middle ground between NNᵀ's straight line and
+// MLPᵀ's fully non-linear network.
+type SPLT struct {
+	// Options configures the per-pair spline fits.
+	Options spline.Options
+}
+
+// NewSPLT returns a SPLᵀ predictor with the default spline options
+// (3 quantile knots, light ridge stabilisation).
+func NewSPLT() *SPLT { return &SPLT{Options: spline.DefaultOptions()} }
+
+// Name implements Predictor.
+func (*SPLT) Name() string { return "SPL^T" }
+
+// PredictApp implements Predictor.
+func (s *SPLT) PredictApp(f Fold) ([]float64, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if f.Pred.NumMachines() == 0 {
+		return nil, errors.New("transpose: SPL^T needs at least one predictive machine")
+	}
+	candidates := make([][]float64, f.Pred.NumMachines())
+	for p := range candidates {
+		candidates[p] = f.Pred.Col(p)
+	}
+	out := make([]float64, f.Tgt.NumMachines())
+	for t := range out {
+		y := f.Tgt.Col(t)
+		best, model, err := spline.BestFit(candidates, y, s.Options)
+		if err != nil {
+			return nil, fmt.Errorf("transpose: SPL^T target %q: %w", f.Tgt.Machines[t].ID, err)
+		}
+		out[t] = model.Predict(f.AppOnPred[best])
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package transpose
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSPLTName(t *testing.T) {
+	if NewSPLT().Name() != "SPL^T" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestSPLTRecoversAffineStructure(t *testing.T) {
+	pred, tgt := syntheticPair(t, 8, 6, 5, 0.01, 51)
+	m, _, _, err := RunFold(pred, tgt, "benchD", nil, NewSPLT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RankCorr < 0.9 {
+		t.Fatalf("SPL^T rank correlation %v on near-exact data", m.RankCorr)
+	}
+	if m.MeanErr > 15 {
+		t.Fatalf("SPL^T mean error %v on near-exact data", m.MeanErr)
+	}
+}
+
+func TestSPLTCapturesNonLinearPair(t *testing.T) {
+	// Target machine scores are a convex function of the predictive
+	// machine's: a straight line underfits, the spline should not.
+	nb := 16
+	bench := make([]string, nb)
+	for b := range bench {
+		bench[b] = "b" + string(rune('a'+b))
+	}
+	pm := []dataset.Machine{{ID: "p0", Family: "P"}}
+	tm := []dataset.Machine{{ID: "t0", Family: "T"}, {ID: "t1", Family: "T"}}
+	pred, err := dataset.New(bench, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := dataset.New(bench, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < nb; b++ {
+		x := 1 + float64(b)
+		pred.Scores[b][0] = x
+		tgt.Scores[b][0] = 0.5 * x * x // convex relation
+		tgt.Scores[b][1] = 2 * x
+	}
+	// Application of interest follows the same relations.
+	mSpl, _, _, err := RunFold(pred, tgt, "bh", nil, NewSPLT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLin, _, _, err := RunFold(pred, tgt, "bh", nil, NNT{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSpl.MeanErr >= mLin.MeanErr {
+		t.Fatalf("spline (%.3f%%) should beat line (%.3f%%) on convex data",
+			mSpl.MeanErr, mLin.MeanErr)
+	}
+	if mSpl.MeanErr > 1 {
+		t.Fatalf("SPL^T mean error %v on exact convex data", mSpl.MeanErr)
+	}
+}
+
+func TestSPLTEmptyPredictive(t *testing.T) {
+	pred, tgt := syntheticPair(t, 4, 3, 2, 0, 52)
+	fold, _, err := NewFold(pred, tgt, "benchA", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold.Pred = fold.Pred.SelectMachines(func(dataset.Machine) bool { return false })
+	fold.AppOnPred = nil
+	if _, err := NewSPLT().PredictApp(fold); err == nil {
+		t.Fatal("want error for empty predictive set")
+	}
+}
+
+func TestSPLTInvalidFold(t *testing.T) {
+	if _, err := NewSPLT().PredictApp(Fold{}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestSPLTFinitePredictions(t *testing.T) {
+	pred, tgt := syntheticPair(t, 10, 8, 6, 0.1, 53)
+	_, _, predicted, err := RunFold(pred, tgt, "benchC", nil, NewSPLT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range predicted {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("prediction %d = %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package repro_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func generate(t *testing.T) *repro.Dataset {
+	t.Helper()
+	data, err := repro.Generate(repro.DefaultDatasetOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestGenerateShape(t *testing.T) {
+	data := generate(t)
+	if data.Matrix.NumBenchmarks() != 29 || data.Matrix.NumMachines() != 117 {
+		t.Fatalf("matrix %dx%d", data.Matrix.NumBenchmarks(), data.Matrix.NumMachines())
+	}
+}
+
+func TestRosterAndWorkloads(t *testing.T) {
+	roster, err := repro.Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roster) != 117 {
+		t.Fatalf("%d machines", len(roster))
+	}
+	if len(repro.SPEC2006Workloads()) != 29 {
+		t.Fatal("workload count")
+	}
+	ref := repro.ReferenceMachine()
+	if ref.FreqGHz != 0.296 {
+		t.Fatalf("reference clock %v", ref.FreqGHz)
+	}
+}
+
+func TestPredictSPECRatio(t *testing.T) {
+	roster, err := repro.Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := repro.SPEC2006Workloads()[0]
+	r, err := repro.PredictSPECRatio(roster[0], w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 1 {
+		t.Fatalf("ratio %v", r)
+	}
+	b, err := repro.PredictCPI(roster[0], w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total <= 0 {
+		t.Fatalf("CPI %v", b.Total)
+	}
+}
+
+func TestRunFoldAllPredictors(t *testing.T) {
+	data := generate(t)
+	targets, predictive, err := data.Matrix.FamilySplit("AMD Phenom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []repro.Predictor{repro.NewNNT(), repro.NewMLPT(3)} {
+		m, actual, predicted, err := repro.RunFold(predictive, targets, "gcc", data.Characteristics, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if len(actual) != len(predicted) || len(actual) != targets.NumMachines() {
+			t.Fatalf("%s: arity", p.Name())
+		}
+		if math.IsNaN(m.RankCorr) {
+			t.Fatalf("%s: NaN metrics", p.Name())
+		}
+	}
+}
+
+func TestRankMachinesPurchasing(t *testing.T) {
+	data := generate(t)
+	targets, predictive, err := data.Matrix.FamilySplit("Intel Xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use libquantum as the "application of interest": remove it from both
+	// halves, keep its measured scores.
+	fold, appOnTgt, err := repro.NewFold(predictive, targets, "libquantum", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := repro.RankMachines(fold.Pred, fold.Tgt, fold.AppOnPred, repro.NewMLPT(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != fold.Tgt.NumMachines() {
+		t.Fatalf("%d ranked machines", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Predicted > ranked[i-1].Predicted {
+			t.Fatal("ranking not descending")
+		}
+	}
+	// The predicted-best machine should be a genuinely good libquantum
+	// machine: within 30% of the actual best.
+	best, err := fold.Tgt.MachineIndex(ranked[0].Machine.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actualBest := appOnTgt[0]
+	for _, v := range appOnTgt {
+		if v > actualBest {
+			actualBest = v
+		}
+	}
+	if appOnTgt[best] < 0.7*actualBest {
+		t.Fatalf("predicted best %q has %v, actual best %v", ranked[0].Machine.ID, appOnTgt[best], actualBest)
+	}
+}
+
+func TestRankMachinesValidation(t *testing.T) {
+	data := generate(t)
+	targets, predictive, err := data.Matrix.FamilySplit("Intel Xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.RankMachines(predictive, targets, nil, nil); err == nil {
+		t.Fatal("want nil-predictor error")
+	}
+	// Wrong app-score arity.
+	if _, err := repro.RankMachines(predictive, targets, []float64{1}, repro.NewNNT()); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestGenerateForCustomDesignSpace(t *testing.T) {
+	base := repro.ReferenceMachine()
+	base.ID = "design-a"
+	b := base
+	b.ID = "design-b"
+	b.FreqGHz *= 2
+	data, err := repro.GenerateFor([]repro.MachineConfig{base, b}, repro.SPEC2006Workloads()[:5],
+		repro.DatasetOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Matrix.NumMachines() != 2 || data.Matrix.NumBenchmarks() != 5 {
+		t.Fatalf("matrix %dx%d", data.Matrix.NumBenchmarks(), data.Matrix.NumMachines())
+	}
+}
+
+func TestRunAllExperimentsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment pipeline in -short mode")
+	}
+	cfg := repro.DefaultExperimentConfig(1)
+	cfg.Fast = true
+	cfg.RandomDraws = 1
+	cfg.MaxK = 2
+	var sb strings.Builder
+	if err := repro.RunAllExperiments(cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 2") {
+		t.Fatal("missing Table 2")
+	}
+}
+
+func TestNewPredictorNames(t *testing.T) {
+	cases := map[string]repro.Predictor{
+		"NN^T":   repro.NewNNT(),
+		"MLP^T":  repro.NewMLPT(1),
+		"SPL^T":  repro.NewSPLT(),
+		"GA-kNN": repro.NewGAKNN(1),
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Fatalf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestRankFoldErrors(t *testing.T) {
+	if _, err := repro.RankFold(repro.Fold{}, nil); err == nil {
+		t.Fatal("want nil-predictor error")
+	}
+	if _, err := repro.RankFold(repro.Fold{}, repro.NewNNT()); err == nil {
+		t.Fatal("want invalid-fold error")
+	}
+}
+
+func TestGenerateForValidation(t *testing.T) {
+	bad := repro.SPEC2006Workloads()[0]
+	bad.ILP = 0 // invalid profile
+	if _, err := repro.GenerateFor(nil, []repro.Workload{bad}, repro.DatasetOptions{}); err == nil {
+		t.Fatal("want workload validation error")
+	}
+}
+
+func TestEvaluateFacade(t *testing.T) {
+	m, err := repro.Evaluate([]float64{1, 2, 3}, []float64{1.1, 2.1, 3.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RankCorr != 1 {
+		t.Fatalf("rank %v", m.RankCorr)
+	}
+}
