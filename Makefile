@@ -1,0 +1,23 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI execute the
+# identical commands.
+
+GO ?= go
+
+.PHONY: build test bench lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race -timeout 30m ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+ci: lint build test bench

@@ -19,6 +19,30 @@ func benchConfig() experiments.Config {
 	return experiments.Config{Seed: 1, RandomDraws: 2, MaxK: 4, Fast: true}
 }
 
+// BenchmarkRunFamilyCV compares the serial and parallel experiment
+// engine on the §6.2 family cross-validation (3 methods × 17 families ×
+// 29 leave-one-out folds). The parallel variant uses one worker per core;
+// both produce byte-identical results, so the ratio is pure speedup.
+func BenchmarkRunFamilyCV(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Workers = bc.workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunFamilyCV(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable2FamilyCV regenerates Table 2: processor-family
 // cross-validation of NNᵀ, MLPᵀ and GA-kNN.
 func BenchmarkTable2FamilyCV(b *testing.B) {

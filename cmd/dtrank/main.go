@@ -16,6 +16,10 @@
 //	dtrank fig8   [-seed N] [-fast] [-draws D] [-maxk K]
 //	dtrank ablate [-seed N] [-fast]               ablation studies
 //	dtrank all    [-seed N] [-fast] [-draws D]    everything, in paper order
+//
+// Every experiment command accepts -workers N to bound the engine worker
+// pool (default: all cores). Output is byte-identical for every worker
+// count.
 package main
 
 import (
@@ -244,6 +248,7 @@ func runExperiment(args []string, run func(experiments.Config) error) error {
 	fast := fs.Bool("fast", false, "reduced model budgets (quick smoke run)")
 	draws := fs.Int("draws", 0, "random draws for Table 4 / Figure 8 (0 = default)")
 	maxk := fs.Int("maxk", 0, "largest predictive-set size in Figure 8 (0 = default)")
+	workers := fs.Int("workers", 0, "worker pool size for the experiment fan-out (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -254,6 +259,12 @@ func runExperiment(args []string, run func(experiments.Config) error) error {
 	}
 	if *maxk > 0 {
 		cfg.MaxK = *maxk
+	}
+	if *workers > 0 {
+		// Bound both the experiment fan-out and the process-wide budget
+		// that the inner layers (GA fitness, matrix kernels) draw from.
+		cfg.Workers = *workers
+		repro.SetWorkers(*workers)
 	}
 	return run(cfg)
 }

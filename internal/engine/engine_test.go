@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		p := New(workers)
+		const n = 500
+		seen := make([]atomic.Int32, n)
+		if err := p.Map(n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: unit %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndNilFn(t *testing.T) {
+	p := New(4)
+	if err := p.Map(0, nil); err != nil {
+		t.Fatalf("n=0 must not invoke fn: %v", err)
+	}
+	if err := p.Map(3, nil); err == nil {
+		t.Fatal("want error for nil fn")
+	}
+}
+
+func TestMapReportsLowestIndexedError(t *testing.T) {
+	// Several units fail; the reported error must be the lowest-indexed
+	// one regardless of the worker count, so error output is as
+	// deterministic as success output.
+	for _, workers := range []int{1, 8} {
+		p := New(workers)
+		err := p.Map(100, func(i int) error {
+			if i%7 == 3 { // first failure at unit 3
+				return fmt.Errorf("unit %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "unit 3" {
+			t.Fatalf("workers=%d: got %v, want unit 3", workers, err)
+		}
+	}
+}
+
+func TestMapStopsSchedulingAfterFailure(t *testing.T) {
+	p := New(1) // serial: units run in index order
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := p.Map(1000, func(i int) error {
+		ran.Add(1)
+		if i == 4 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("ran %d units after failure at 4, want 5", got)
+	}
+}
+
+func TestNestedMapDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	var total atomic.Int32
+	err := p.Map(8, func(int) error {
+		return p.Map(8, func(int) error {
+			return p.Map(4, func(int) error {
+				total.Add(1)
+				return nil
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := total.Load(); got != 8*8*4 {
+		t.Fatalf("total = %d, want %d", got, 8*8*4)
+	}
+}
+
+func TestMapStress(t *testing.T) {
+	// Race-detector fodder: many concurrent Maps on one shared pool,
+	// helpers churning tokens, results written to index-owned slots.
+	p := New(8)
+	const outer, inner = 16, 200
+	sums := make([]int64, outer)
+	err := p.Map(outer, func(o int) error {
+		vals, err := Collect(p, inner, func(i int) (int64, error) {
+			return int64(o*inner + i), nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, v := range vals {
+			sums[o] += v
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o, got := range sums {
+		var want int64
+		for i := 0; i < inner; i++ {
+			want += int64(o*inner + i)
+		}
+		if got != want {
+			t.Fatalf("outer %d: sum %d, want %d", o, got, want)
+		}
+	}
+}
+
+func TestCollectOrder(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		p := New(workers)
+		out, err := Collect(p, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	var nilPool *Pool
+	out, err := Collect(nilPool, 3, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 3 {
+		t.Fatalf("nil pool Collect: %v %v", out, err)
+	}
+	if _, err := Collect(New(2), -1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("want error for negative n")
+	}
+}
+
+func TestCollectError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Collect(New(4), 10, func(i int) (int, error) {
+		if i >= 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestWorkersAndDefaults(t *testing.T) {
+	if got := New(3).Workers(); got != 3 {
+		t.Fatalf("Workers() = %d", got)
+	}
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(0).Workers() = %d, want GOMAXPROCS", got)
+	}
+	var nilPool *Pool
+	if nilPool.Workers() != Default().Workers() {
+		t.Fatal("nil pool must report the default budget")
+	}
+	SetDefaultWorkers(5)
+	if Default().Workers() != 5 {
+		t.Fatalf("Default().Workers() = %d after SetDefaultWorkers(5)", Default().Workers())
+	}
+	SetDefaultWorkers(0)
+	if Default().Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatal("SetDefaultWorkers(0) must restore GOMAXPROCS")
+	}
+}
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	if Seed(1, 2, 3) != Seed(1, 2, 3) {
+		t.Fatal("Seed is not deterministic")
+	}
+	if Seed(1, 2, 3) == Seed(1, 3, 2) {
+		t.Fatal("Seed must depend on index order")
+	}
+	seen := map[int64]bool{}
+	for base := int64(0); base < 4; base++ {
+		for unit := int64(0); unit < 1000; unit++ {
+			s := Seed(base, unit)
+			if seen[s] {
+				t.Fatalf("collision at base %d unit %d", base, unit)
+			}
+			seen[s] = true
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/transpose"
@@ -33,30 +34,27 @@ type AblationHonestChars struct {
 	Distorted, Honest Summary
 }
 
-// RunAblationHonestChars executes the characterisation ablation.
+// RunAblationHonestChars executes the characterisation ablation. The two
+// variants and their folds fan out on the configured worker pool.
 func RunAblationHonestChars(cfg Config) (*AblationHonestChars, error) {
-	run := func(honest bool) (Summary, error) {
+	eng := cfg.eng()
+	ss, err := engine.Collect(eng, 2, func(i int) (Summary, error) {
 		opts := cfg.synthOptions()
-		opts.HonestCharacteristics = honest
+		opts.HonestCharacteristics = i == 1
 		data, err := synth.Generate(opts)
 		if err != nil {
 			return Summary{}, err
 		}
-		rs, err := transpose.FamilyCV(data.Matrix, data.Characteristics, cfg.newGAKNN)
+		rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, cfg.newGAKNN)
 		if err != nil {
 			return Summary{}, err
 		}
 		return summarize(rs, data.Matrix.Benchmarks)
-	}
-	distorted, err := run(false)
+	})
 	if err != nil {
 		return nil, err
 	}
-	honest, err := run(true)
-	if err != nil {
-		return nil, err
-	}
-	return &AblationHonestChars{Distorted: distorted, Honest: honest}, nil
+	return &AblationHonestChars{Distorted: ss[0], Honest: ss[1]}, nil
 }
 
 // Render formats the ablation.
@@ -76,14 +74,17 @@ type AblationMLPTDecay struct {
 	Decay, PureWEKA Summary
 }
 
-// RunAblationMLPTDecay executes the MLPᵀ training ablation.
+// RunAblationMLPTDecay executes the MLPᵀ training ablation. Both variants
+// and their folds fan out on the configured worker pool.
 func RunAblationMLPTDecay(cfg Config) (*AblationMLPTDecay, error) {
 	data, err := synth.Generate(cfg.synthOptions())
 	if err != nil {
 		return nil, err
 	}
-	run := func(decay bool) (Summary, error) {
-		rs, err := transpose.FamilyCV(data.Matrix, data.Characteristics, func() transpose.Predictor {
+	eng := cfg.eng()
+	ss, err := engine.Collect(eng, 2, func(i int) (Summary, error) {
+		decay := i == 0
+		rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, func() transpose.Predictor {
 			p := transpose.NewMLPT(cfg.Seed + 1)
 			p.Config.Decay = decay
 			if cfg.Fast {
@@ -95,16 +96,11 @@ func RunAblationMLPTDecay(cfg Config) (*AblationMLPTDecay, error) {
 			return Summary{}, err
 		}
 		return summarize(rs, data.Matrix.Benchmarks)
-	}
-	withDecay, err := run(true)
+	})
 	if err != nil {
 		return nil, err
 	}
-	pure, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	return &AblationMLPTDecay{Decay: withDecay, PureWEKA: pure}, nil
+	return &AblationMLPTDecay{Decay: ss[0], PureWEKA: ss[1]}, nil
 }
 
 // Render formats the ablation.
@@ -137,18 +133,21 @@ func RunAblationPredictors(cfg Config) (*AblationPredictors, error) {
 		{"SPL^T", func() transpose.Predictor { return transpose.NewSPLT() }},
 		{"MLP^T", cfg.newMLPT},
 	}
+	eng := cfg.eng()
+	ss, err := engine.Collect(eng, len(factories), func(i int) (Summary, error) {
+		rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, factories[i].mk)
+		if err != nil {
+			return Summary{}, fmt.Errorf("experiments: predictor ablation %s: %w", factories[i].name, err)
+		}
+		return summarize(rs, data.Matrix.Benchmarks)
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &AblationPredictors{}
-	for _, f := range factories {
-		rs, err := transpose.FamilyCV(data.Matrix, data.Characteristics, f.mk)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: predictor ablation %s: %w", f.name, err)
-		}
-		s, err := summarize(rs, data.Matrix.Benchmarks)
-		if err != nil {
-			return nil, err
-		}
+	for i, f := range factories {
 		out.Names = append(out.Names, f.name)
-		out.Summaries = append(out.Summaries, s)
+		out.Summaries = append(out.Summaries, ss[i])
 	}
 	return out, nil
 }
@@ -184,6 +183,7 @@ func RunAblationSelection(cfg Config) (*AblationSelection, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := cfg.eng()
 	mlpt, err := cfg.method("MLP^T")
 	if err != nil {
 		return nil, err
@@ -214,35 +214,44 @@ func RunAblationSelection(cfg Config) (*AblationSelection, error) {
 			return sub, nil
 		}
 	}
-	for k := 3; k <= maxK; k++ {
-		out.Ks = append(out.Ks, k)
+	type point struct{ medoid, kmeans, random float64 }
+	if maxK < 3 {
+		return out, nil
+	}
+	points, err := engine.Collect(eng, maxK-2, func(i int) (point, error) {
+		k := i + 3
 		fit := func(sel func(*dataset.Matrix) (*dataset.Matrix, error)) (float64, error) {
 			sub, err := sel(pool)
 			if err != nil {
 				return 0, err
 			}
-			return transpose.GoodnessOfFit(sub, tgt, data.Characteristics, mlpt.New)
+			return transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
 		}
 		med, err := fit(transpose.MedoidSubset(k))
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		out.Medoid = append(out.Medoid, med)
 		km, err := fit(kmeansSel(k))
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		out.KMeans = append(out.KMeans, km)
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(500+k)))
-		var r2s []float64
-		for d := 0; d < out.Draws; d++ {
-			r2, err := fit(transpose.RandomSubset(k, rng))
-			if err != nil {
-				return nil, err
-			}
-			r2s = append(r2s, r2)
+		r2s, err := engine.Collect(eng, out.Draws, func(d int) (float64, error) {
+			rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(500+k), int64(d))))
+			return fit(transpose.RandomSubset(k, rng))
+		})
+		if err != nil {
+			return point{}, err
 		}
-		out.Random = append(out.Random, stats.Mean(r2s))
+		return point{medoid: med, kmeans: km, random: stats.Mean(r2s)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		out.Ks = append(out.Ks, i+3)
+		out.Medoid = append(out.Medoid, p.medoid)
+		out.KMeans = append(out.KMeans, p.kmeans)
+		out.Random = append(out.Random, p.random)
 	}
 	return out, nil
 }

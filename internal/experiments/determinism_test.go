@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunAllWorkerDeterminism is the engine's core guarantee: the full
+// evaluation output is byte-identical whether the fan-out runs on one
+// worker or many, because every unit of work owns its results slot and
+// derives any randomness from (seed, unit index).
+func TestRunAllWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline twice in -short mode")
+	}
+	if raceEnabled {
+		// Twice the full pipeline blows the package timeout under the
+		// race detector; TestFamilyCVWorkerDeterminism still exercises
+		// the pool-fanned fold path, and the engine stress tests cover
+		// the pool itself.
+		t.Skip("full pipeline twice under -race")
+	}
+	render := func(workers int) string {
+		cfg := fastConfig()
+		cfg.Workers = workers
+		var buf bytes.Buffer
+		if err := RunAll(cfg, &buf); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		d := 0
+		for d < len(serial) && d < len(parallel) && serial[d] == parallel[d] {
+			d++
+		}
+		lo, hi := max(0, d-80), min(d+80, min(len(serial), len(parallel)))
+		t.Fatalf("output differs between -workers 1 and -workers 8 at byte %d:\nserial:   ...%q...\nparallel: ...%q...",
+			d, serial[lo:hi], parallel[lo:hi])
+	}
+}
+
+// TestFamilyCVWorkerDeterminism pins the raw fold results, not just the
+// rendered text: same splits, apps, metrics and predictions in the same
+// order for any worker count.
+func TestFamilyCVWorkerDeterminism(t *testing.T) {
+	run := func(workers int) *FamilyRun {
+		cfg := fastConfig()
+		cfg.Workers = workers
+		fr, err := RunFamilyCV(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return fr
+	}
+	a, b := run(1), run(8)
+	for _, name := range MethodNames {
+		ra, rb := a.Results[name], b.Results[name]
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: %d vs %d folds", name, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i].Split != rb[i].Split || ra[i].App != rb[i].App {
+				t.Fatalf("%s fold %d: (%s, %s) vs (%s, %s)", name, i, ra[i].Split, ra[i].App, rb[i].Split, rb[i].App)
+			}
+			if ra[i].Metrics != rb[i].Metrics {
+				t.Fatalf("%s fold %d (%s/%s): metrics %+v vs %+v", name, i, ra[i].Split, ra[i].App, ra[i].Metrics, rb[i].Metrics)
+			}
+			for j := range ra[i].Predicted {
+				if ra[i].Predicted[j] != rb[i].Predicted[j] {
+					t.Fatalf("%s fold %d: prediction %d differs: %v vs %v", name, i, j, ra[i].Predicted[j], rb[i].Predicted[j])
+				}
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/ga"
 	"repro/internal/gaknn"
 	"repro/internal/synth"
@@ -32,6 +33,16 @@ type Config struct {
 	// Fast trades accuracy for speed (small GA budget, short MLP
 	// training). Meant for tests and smoke runs, not for reported numbers.
 	Fast bool
+	// Workers bounds the engine pool that fans out folds, draws and sweep
+	// points; 0 means the process-wide default (runtime.GOMAXPROCS(0)).
+	// Results are byte-identical for every worker count.
+	Workers int
+	// pool is the run's worker pool, created lazily by eng(). Predictor
+	// factories hand it to the GA's inner fan-out so one token budget
+	// bounds the fold and fitness layers. (The la matrix kernels draw
+	// from the process-wide default pool instead, but never cross their
+	// parallel threshold at this repo's matrix sizes.)
+	pool *engine.Pool
 }
 
 // DefaultConfig returns the configuration used for reported results.
@@ -58,6 +69,21 @@ func (c Config) maxK() int {
 		return c.MaxK
 	}
 	return 10
+}
+
+// eng returns the worker pool for this run: a dedicated pool when Workers
+// is set, the process-wide default otherwise. Runners must call eng()
+// before building predictor factories (Methods and friends) so the
+// factories capture the same pool.
+func (c *Config) eng() *engine.Pool {
+	if c.pool == nil {
+		if c.Workers > 0 {
+			c.pool = engine.New(c.Workers)
+		} else {
+			c.pool = engine.Default()
+		}
+	}
+	return c.pool
 }
 
 // Method is a named predictor factory.
@@ -89,8 +115,11 @@ func (c Config) newMLPT() transpose.Predictor {
 func (c Config) newGAKNN() transpose.Predictor {
 	p := gaknn.New(c.Seed + 2)
 	if c.Fast {
-		p.GA = ga.Config{Pop: 8, Generations: 5, Patience: 3, Seed: c.Seed + 2}
+		p.GA = ga.Config{Pop: 8, Generations: 5, Patience: 3, Seed: c.Seed + 2, Parallel: true}
 	}
+	// Share the run's token budget with the GA's inner fan-out (nil
+	// means the process-wide default).
+	p.GA.Pool = c.pool
 	return p
 }
 
@@ -157,7 +186,10 @@ type FamilyRun struct {
 	Results map[string][]transpose.FoldResult
 }
 
-// RunFamilyCV executes the §6.2 experiment for all three methods.
+// RunFamilyCV executes the §6.2 experiment for all three methods. Methods
+// and their folds fan out on the configured worker pool; results are
+// collected per method in the serial order, so output is independent of
+// the worker count.
 func RunFamilyCV(cfg Config) (*FamilyRun, error) {
 	data, err := synth.Generate(cfg.synthOptions())
 	if err != nil {
@@ -167,12 +199,20 @@ func RunFamilyCV(cfg Config) (*FamilyRun, error) {
 		Order:   append([]string(nil), data.Matrix.Benchmarks...),
 		Results: map[string][]transpose.FoldResult{},
 	}
-	for _, m := range cfg.Methods() {
-		rs, err := transpose.FamilyCV(data.Matrix, data.Characteristics, m.New)
+	eng := cfg.eng()
+	methods := cfg.Methods()
+	perMethod, err := engine.Collect(eng, len(methods), func(i int) ([]transpose.FoldResult, error) {
+		rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, methods[i].New)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: family CV with %s: %w", m.Name, err)
+			return nil, fmt.Errorf("experiments: family CV with %s: %w", methods[i].Name, err)
 		}
-		run.Results[m.Name] = rs
+		return rs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range methods {
+		run.Results[m.Name] = perMethod[i]
 	}
 	return run, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/textplot"
@@ -23,7 +24,10 @@ type Figure8 struct {
 
 // RunFigure8 executes the §6.5 experiment. The predictive pool is the 2008
 // machines, the targets the 2009 machines, matching the setting of §6.4
-// that the selection question arises from.
+// that the selection question arises from. Sweep points (one per k) and
+// the random draws within each fan out on the configured worker pool;
+// every draw owns a PRNG seeded from (Seed, k, draw), so the series are
+// identical for every worker count.
 func RunFigure8(cfg Config) (*Figure8, error) {
 	data, err := synth.Generate(cfg.synthOptions())
 	if err != nil {
@@ -39,38 +43,48 @@ func RunFigure8(cfg Config) (*Figure8, error) {
 		maxK = pool.NumMachines()
 	}
 	out := &Figure8{Draws: cfg.draws()}
+	eng := cfg.eng()
 	mlpt, err := cfg.method("MLP^T")
 	if err != nil {
 		return nil, err
 	}
-	for k := 1; k <= maxK; k++ {
-		out.Ks = append(out.Ks, k)
+	type point struct{ medoid, random float64 }
+	points, err := engine.Collect(eng, maxK, func(i int) (point, error) {
+		k := i + 1
 
-		sel := transpose.MedoidSubset(k)
-		sub, err := sel(pool)
+		sub, err := transpose.MedoidSubset(k)(pool)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		r2, err := transpose.GoodnessOfFit(sub, tgt, data.Characteristics, mlpt.New)
+		medoid, err := transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: Figure 8 medoid k=%d: %w", k, err)
+			return point{}, fmt.Errorf("experiments: Figure 8 medoid k=%d: %w", k, err)
 		}
-		out.Medoid = append(out.Medoid, r2)
 
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(1000+k)))
-		var r2s []float64
-		for d := 0; d < out.Draws; d++ {
+		r2s, err := engine.Collect(eng, out.Draws, func(d int) (float64, error) {
+			rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(1000+k), int64(d))))
 			sub, err := transpose.RandomSubset(k, rng)(pool)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			r2, err := transpose.GoodnessOfFit(sub, tgt, data.Characteristics, mlpt.New)
+			r2, err := transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: Figure 8 random k=%d draw %d: %w", k, d, err)
+				return 0, fmt.Errorf("experiments: Figure 8 random k=%d draw %d: %w", k, d, err)
 			}
-			r2s = append(r2s, r2)
+			return r2, nil
+		})
+		if err != nil {
+			return point{}, err
 		}
-		out.Random = append(out.Random, stats.Mean(r2s))
+		return point{medoid: medoid, random: stats.Mean(r2s)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		out.Ks = append(out.Ks, i+1)
+		out.Medoid = append(out.Medoid, p.medoid)
+		out.Random = append(out.Random, p.random)
 	}
 	return out, nil
 }

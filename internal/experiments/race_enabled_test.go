@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets the heaviest end-to-end tests scale down when the
+// race detector multiplies their runtime; race coverage of the worker
+// pool itself lives in internal/engine's stress tests.
+const raceEnabled = true

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/synth"
 	"repro/internal/transpose"
 )
@@ -37,31 +38,39 @@ type Table3 struct {
 	Summary map[string]map[string]Summary
 }
 
-// RunTable3 executes the §6.3 experiment.
+// RunTable3 executes the §6.3 experiment. The (method, split) cells and
+// their folds fan out on the configured worker pool and are assembled in
+// the paper's order afterwards.
 func RunTable3(cfg Config) (*Table3, error) {
 	data, err := synth.Generate(cfg.synthOptions())
 	if err != nil {
 		return nil, err
 	}
 	order := data.Matrix.Benchmarks
-	out := &Table3{Methods: MethodNames, Splits: Table3Splits, Summary: map[string]map[string]Summary{}}
-	for _, m := range cfg.Methods() {
-		out.Summary[m.Name] = map[string]Summary{}
-		for _, split := range Table3Splits {
-			keep, err := splitKeep(split)
-			if err != nil {
-				return nil, err
-			}
-			rs, err := transpose.YearCV(data.Matrix, data.Characteristics, TargetYear, keep, split, m.New)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: Table 3 %s/%s: %w", m.Name, split, err)
-			}
-			s, err := summarize(rs, order)
-			if err != nil {
-				return nil, err
-			}
-			out.Summary[m.Name][split] = s
+	eng := cfg.eng()
+	methods := cfg.Methods()
+	cells, err := engine.Collect(eng, len(methods)*len(Table3Splits), func(i int) (Summary, error) {
+		m, split := methods[i/len(Table3Splits)], Table3Splits[i%len(Table3Splits)]
+		keep, err := splitKeep(split)
+		if err != nil {
+			return Summary{}, err
 		}
+		rs, err := transpose.YearCV(eng, data.Matrix, data.Characteristics, TargetYear, keep, split, m.New)
+		if err != nil {
+			return Summary{}, fmt.Errorf("experiments: Table 3 %s/%s: %w", m.Name, split, err)
+		}
+		return summarize(rs, order)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Table3{Methods: MethodNames, Splits: Table3Splits, Summary: map[string]map[string]Summary{}}
+	for i, s := range cells {
+		name := methods[i/len(Table3Splits)].Name
+		if out.Summary[name] == nil {
+			out.Summary[name] = map[string]Summary{}
+		}
+		out.Summary[name][Table3Splits[i%len(Table3Splits)]] = s
 	}
 	return out, nil
 }
@@ -122,6 +131,7 @@ func RunTable4(cfg Config) (*Table4, error) {
 	methods := []string{"MLP^T", "NN^T"}
 	out := &Table4{Methods: methods, Sizes: Table4Sizes, Summary: map[string]map[int]Summary{}, Draws: draws}
 	keep2008 := func(y int) bool { return y == 2008 }
+	eng := cfg.eng()
 	for _, name := range methods {
 		m, err := cfg.method(name)
 		if err != nil {
@@ -129,15 +139,23 @@ func RunTable4(cfg Config) (*Table4, error) {
 		}
 		out.Summary[name] = map[int]Summary{}
 		for _, size := range Table4Sizes {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(size)))
-			var all []transpose.FoldResult
-			for d := 0; d < draws; d++ {
+			// Each draw owns a PRNG seeded from (Seed, size, draw), so
+			// draws fan out without sharing a sequential random stream.
+			perDraw, err := engine.Collect(eng, draws, func(d int) ([]transpose.FoldResult, error) {
+				rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(size), int64(d))))
 				label := fmt.Sprintf("2008/%d#%d", size, d)
-				rs, err := transpose.SubsetCV(data.Matrix, data.Characteristics, TargetYear, keep2008,
+				rs, err := transpose.SubsetCV(eng, data.Matrix, data.Characteristics, TargetYear, keep2008,
 					transpose.RandomSubset(size, rng), label, m.New)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: Table 4 %s size %d: %w", name, size, err)
 				}
+				return rs, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var all []transpose.FoldResult
+			for _, rs := range perDraw {
 				all = append(all, rs...)
 			}
 			s, err := summarize(all, order)

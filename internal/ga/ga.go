@@ -10,7 +10,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
+
+	"repro/internal/engine"
 )
 
 // Fitness scores a genome; the GA MINIMISES this value.
@@ -45,8 +46,13 @@ type Config struct {
 	// Seed drives all randomness.
 	Seed int64
 	// Parallel evaluates fitness concurrently when true. The fitness
-	// function must then be safe for concurrent use.
+	// function must then be safe for concurrent use. Evaluation is fanned
+	// out on Pool, so the process-wide worker budget is respected; the
+	// evolution itself is unaffected (fitness lands in per-individual
+	// slots), so results are identical to a serial run.
 	Parallel bool
+	// Pool bounds parallel fitness evaluation; nil means engine.Default().
+	Pool *engine.Pool
 	// Patience stops early after this many generations without improvement
 	// of the best fitness. Zero disables early stopping.
 	Patience int
@@ -144,7 +150,7 @@ func Run(fit Fitness, cfg Config) (*Result, error) {
 		}
 		pop[i] = individual{genome: g}
 	}
-	evaluate(pop, fit, cfg.Parallel)
+	evaluate(pop, fit, cfg)
 	sortByFitness(pop)
 
 	res := &Result{}
@@ -171,7 +177,7 @@ func Run(fit Fitness, cfg Config) (*Result, error) {
 			}
 		}
 		pop = next
-		evaluate(pop, fit, cfg.Parallel)
+		evaluate(pop, fit, cfg)
 		sortByFitness(pop)
 		if pop[0].fitness < best.fitness {
 			best = clone(pop[0])
@@ -194,7 +200,7 @@ func clone(ind individual) individual {
 	return individual{genome: append([]float64(nil), ind.genome...), fitness: ind.fitness}
 }
 
-func evaluate(pop []individual, fit Fitness, parallel bool) {
+func evaluate(pop []individual, fit Fitness, cfg Config) {
 	eval := func(i int) {
 		f := fit(pop[i].genome)
 		if math.IsNaN(f) {
@@ -202,21 +208,18 @@ func evaluate(pop []individual, fit Fitness, parallel bool) {
 		}
 		pop[i].fitness = f
 	}
-	if !parallel {
+	if !cfg.Parallel {
 		for i := range pop {
 			eval(i)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for i := range pop {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			eval(i)
-		}(i)
-	}
-	wg.Wait()
+	// The engine pool bounds the fan-out to the process-wide worker
+	// budget instead of spawning one goroutine per individual.
+	_ = cfg.Pool.Map(len(pop), func(i int) error {
+		eval(i)
+		return nil
+	})
 }
 
 func sortByFitness(pop []individual) {

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/engine"
 )
 
 func sphere(g []float64) float64 {
@@ -105,6 +107,35 @@ func TestParallelMatchesQuality(t *testing.T) {
 	}
 	if res.BestFitness > 0.02 {
 		t.Fatalf("parallel best fitness = %v", res.BestFitness)
+	}
+}
+
+func TestParallelMatchesSerialExactly(t *testing.T) {
+	// Fitness values land in per-individual slots and all evolution
+	// randomness is drawn serially, so the engine-pooled fan-out must
+	// reproduce the serial run bit for bit, whatever the pool size.
+	base := Config{Genes: 5, Pop: 40, Generations: 30, Seed: 11}
+	serial, err := Run(sphere, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		cfg := base
+		cfg.Parallel = true
+		cfg.Pool = engine.New(workers)
+		par, err := Run(sphere, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.BestFitness != serial.BestFitness || par.Generations != serial.Generations {
+			t.Fatalf("workers=%d: fitness %v/%d generations, serial %v/%d",
+				workers, par.BestFitness, par.Generations, serial.BestFitness, serial.Generations)
+		}
+		for i := range serial.Best {
+			if par.Best[i] != serial.Best[i] {
+				t.Fatalf("workers=%d: gene %d differs", workers, i)
+			}
+		}
 	}
 }
 

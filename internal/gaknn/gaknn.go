@@ -37,7 +37,9 @@ type Predictor struct {
 }
 
 // New returns a GA-kNN predictor with the paper's k = 10 and a moderate,
-// seeded GA budget.
+// seeded GA budget. Fitness evaluation fans out on the engine's default
+// worker pool; the leave-one-out error is a pure function of the genome,
+// so results are identical to a serial run.
 func New(seed int64) *Predictor {
 	return &Predictor{
 		K: 10,
@@ -46,6 +48,7 @@ func New(seed int64) *Predictor {
 			Generations: 40,
 			Patience:    10,
 			Seed:        seed,
+			Parallel:    true,
 		},
 	}
 }

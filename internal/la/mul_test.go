@@ -1,0 +1,58 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveMul is the reference ikj kernel the blocked/parallel Mul must
+// reproduce bitwise.
+func naiveMul(m, b *Matrix) *Matrix {
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			mv := m.data[i*m.cols+k]
+			if mv == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.data[i*out.cols+j] += mv * b.data[k*b.cols+j]
+			}
+		}
+	}
+	return out
+}
+
+func randomMatrix(rows, cols int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestMulBlockedMatchesNaive crosses the parallel threshold and odd tile
+// remainders; results must be bitwise identical to the reference kernel,
+// not merely close, because experiment determinism rides on it.
+func TestMulBlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dims := range [][3]int{
+		{3, 4, 5},     // tiny, serial path
+		{64, 64, 64},  // exact tiles at the threshold boundary
+		{70, 81, 93},  // remainders in every dimension, parallel path
+		{130, 65, 70}, // multiple row bands
+	} {
+		a := randomMatrix(dims[0], dims[1], rng)
+		b := randomMatrix(dims[1], dims[2], rng)
+		got, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveMul(a, b)
+		for i := range want.data {
+			if got.data[i] != want.data[i] {
+				t.Fatalf("%v: element %d = %v, want %v (bitwise)", dims, i, got.data[i], want.data[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package mlp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Ensemble averages the predictions of independently initialised networks
+// trained on the same instances — the standard variance-reduction trick
+// for WEKA-style online back-propagation, whose result depends on the
+// weight initialisation.
+type Ensemble struct {
+	Nets []*Network
+}
+
+// TrainEnsemble trains n networks concurrently on pool (nil means
+// engine.Default()). Member i trains with the seed derived from
+// (cfg.Seed, i), except that a single-member ensemble uses cfg.Seed
+// unchanged and is therefore exactly equivalent to Train. Training is
+// deterministic: member seeds depend only on cfg.Seed and the member
+// index, never on scheduling.
+func TrainEnsemble(inputs, targets [][]float64, cfg Config, n int, pool *engine.Pool) (*Ensemble, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mlp: ensemble of %d networks", n)
+	}
+	nets, err := engine.Collect(pool, n, func(i int) (*Network, error) {
+		c := cfg
+		if n > 1 {
+			c.Seed = engine.Seed(cfg.Seed, int64(i))
+		}
+		return Train(inputs, targets, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Ensemble{Nets: nets}, nil
+}
+
+// Predict returns the member-averaged output for attribute vector x.
+func (e *Ensemble) Predict(x []float64) ([]float64, error) {
+	if len(e.Nets) == 0 {
+		return nil, errors.New("mlp: empty ensemble")
+	}
+	var out []float64
+	for _, net := range e.Nets {
+		y, err := net.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = y
+			continue
+		}
+		if len(y) != len(out) {
+			return nil, fmt.Errorf("mlp: ensemble members disagree on output arity (%d vs %d)", len(y), len(out))
+		}
+		for j, v := range y {
+			out[j] += v
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(e.Nets))
+	}
+	return out, nil
+}
+
+// Predict1 is Predict for single-output ensembles, returning the scalar.
+func (e *Ensemble) Predict1(x []float64) (float64, error) {
+	out, err := e.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 1 {
+		return 0, fmt.Errorf("mlp: Predict1 on ensemble with %d outputs", len(out))
+	}
+	return out[0], nil
+}

@@ -1,0 +1,109 @@
+package mlp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func ensembleData() (inputs, targets [][]float64) {
+	for i := 0; i < 12; i++ {
+		x := float64(i) / 4
+		inputs = append(inputs, []float64{x, x * x})
+		targets = append(targets, []float64{3*x - 1})
+	}
+	return
+}
+
+func TestTrainEnsembleSingleMatchesTrain(t *testing.T) {
+	inputs, targets := ensembleData()
+	cfg := DefaultConfig(7)
+	cfg.Epochs = 50
+	net, err := Train(inputs, targets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := TrainEnsemble(inputs, targets, cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range inputs {
+		want, err := net.Predict1(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ens.Predict1(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("single-member ensemble diverges from Train at %v: %v vs %v", x, got, want)
+		}
+	}
+}
+
+func TestTrainEnsembleDeterministicAcrossWorkers(t *testing.T) {
+	inputs, targets := ensembleData()
+	cfg := DefaultConfig(3)
+	cfg.Epochs = 40
+	train := func(workers int) *Ensemble {
+		ens, err := TrainEnsemble(inputs, targets, cfg, 4, engine.New(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ens
+	}
+	a, b := train(1), train(8)
+	probe := []float64{1.5, 2.25}
+	ya, err := a.Predict1(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, err := b.Predict1(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ya != yb {
+		t.Fatalf("ensemble prediction depends on worker count: %v vs %v", ya, yb)
+	}
+	if math.IsNaN(ya) {
+		t.Fatal("NaN prediction")
+	}
+}
+
+func TestTrainEnsembleMembersDiffer(t *testing.T) {
+	inputs, targets := ensembleData()
+	cfg := DefaultConfig(3)
+	cfg.Epochs = 10
+	ens, err := TrainEnsemble(inputs, targets, cfg, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.5, 0.25}
+	y0, _ := ens.Nets[0].Predict1(probe)
+	y1, _ := ens.Nets[1].Predict1(probe)
+	if y0 == y1 {
+		t.Fatal("members share initialisation; per-member seeds not applied")
+	}
+}
+
+func TestEnsembleErrors(t *testing.T) {
+	inputs, targets := ensembleData()
+	if _, err := TrainEnsemble(inputs, targets, DefaultConfig(1), 0, nil); err == nil {
+		t.Fatal("want error for zero members")
+	}
+	var empty Ensemble
+	if _, err := empty.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("want error for empty ensemble")
+	}
+	cfg := DefaultConfig(1)
+	cfg.Epochs = 1
+	ens, err := TrainEnsemble(inputs, targets, cfg, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ens.Predict([]float64{1}); err == nil {
+		t.Fatal("want arity error")
+	}
+}

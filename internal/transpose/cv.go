@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -25,54 +26,71 @@ type FoldResult struct {
 	Actual, Predicted []float64
 }
 
+// foldUnit is one independent (split, application) prediction task of a
+// cross-validation driver.
+type foldUnit struct {
+	kind      string // error-message noun: "family" or "split"
+	split     string
+	pred, tgt *dataset.Matrix
+	app       string
+}
+
+// runFolds fans the units out on pool (nil means engine.Default()) and
+// collects the results in unit order, so parallel runs are byte-identical
+// to serial ones. Every fold gets a fresh predictor from newP (stateful
+// predictors such as MLPᵀ must not leak training across folds).
+func runFolds(pool *engine.Pool, units []foldUnit, chars map[string][]float64, newP func() Predictor) ([]FoldResult, error) {
+	return engine.Collect(pool, len(units), func(i int) (FoldResult, error) {
+		u := units[i]
+		m, actual, predicted, err := RunFold(u.pred, u.tgt, u.app, chars, newP())
+		if err != nil {
+			return FoldResult{}, fmt.Errorf("transpose: %s %q app %q: %w", u.kind, u.split, u.app, err)
+		}
+		return FoldResult{Split: u.split, App: u.app, Metrics: m, Actual: actual, Predicted: predicted}, nil
+	})
+}
+
 // FamilyCV runs the paper's processor-family cross-validation (§6.2): each
 // processor family in turn becomes the target set, all other families the
-// predictive set, combined with benchmark-level leave-one-out. newP
-// constructs a fresh predictor per fold (stateful predictors such as MLPᵀ
-// must not leak training across folds).
-func FamilyCV(d *dataset.Matrix, chars map[string][]float64, newP func() Predictor) ([]FoldResult, error) {
+// predictive set, combined with benchmark-level leave-one-out. Folds run
+// concurrently on pool (nil means engine.Default()); results keep the
+// serial family-major, benchmark-minor order.
+func FamilyCV(pool *engine.Pool, d *dataset.Matrix, chars map[string][]float64, newP func() Predictor) ([]FoldResult, error) {
 	if d.NumBenchmarks() < 2 {
 		return nil, fmt.Errorf("transpose: family CV needs >= 2 benchmarks, have %d", d.NumBenchmarks())
 	}
-	var out []FoldResult
+	var units []foldUnit
 	for _, family := range d.Families() {
 		tgt, pred, err := d.FamilySplit(family)
 		if err != nil {
 			return nil, err
 		}
 		for _, app := range d.Benchmarks {
-			m, actual, predicted, err := RunFold(pred, tgt, app, chars, newP())
-			if err != nil {
-				return nil, fmt.Errorf("transpose: family %q app %q: %w", family, app, err)
-			}
-			out = append(out, FoldResult{Split: family, App: app, Metrics: m, Actual: actual, Predicted: predicted})
+			units = append(units, foldUnit{kind: "family", split: family, pred: pred, tgt: tgt, app: app})
 		}
 	}
-	return out, nil
+	return runFolds(pool, units, chars, newP)
 }
 
 // YearCV runs the paper's future-machine experiment (§6.3): machines
 // released in targetYear are the targets; the predictive set is drawn from
-// years matching keep. Benchmark-level leave-one-out applies as always.
-func YearCV(d *dataset.Matrix, chars map[string][]float64, targetYear int, keep func(year int) bool, label string, newP func() Predictor) ([]FoldResult, error) {
+// years matching keep. Benchmark-level leave-one-out applies as always;
+// folds run concurrently on pool (nil means engine.Default()).
+func YearCV(pool *engine.Pool, d *dataset.Matrix, chars map[string][]float64, targetYear int, keep func(year int) bool, label string, newP func() Predictor) ([]FoldResult, error) {
 	tgt, pred, err := d.YearSplit(targetYear, keep)
 	if err != nil {
 		return nil, err
 	}
-	var out []FoldResult
+	units := make([]foldUnit, 0, len(d.Benchmarks))
 	for _, app := range d.Benchmarks {
-		m, actual, predicted, err := RunFold(pred, tgt, app, chars, newP())
-		if err != nil {
-			return nil, fmt.Errorf("transpose: split %q app %q: %w", label, app, err)
-		}
-		out = append(out, FoldResult{Split: label, App: app, Metrics: m, Actual: actual, Predicted: predicted})
+		units = append(units, foldUnit{kind: "split", split: label, pred: pred, tgt: tgt, app: app})
 	}
-	return out, nil
+	return runFolds(pool, units, chars, newP)
 }
 
 // SubsetCV is YearCV with the predictive set first reduced to a machine
 // subset chosen by sel (§6.4: limited numbers of predictive machines).
-func SubsetCV(d *dataset.Matrix, chars map[string][]float64, targetYear int, keep func(int) bool, sel func(*dataset.Matrix) (*dataset.Matrix, error), label string, newP func() Predictor) ([]FoldResult, error) {
+func SubsetCV(pool *engine.Pool, d *dataset.Matrix, chars map[string][]float64, targetYear int, keep func(int) bool, sel func(*dataset.Matrix) (*dataset.Matrix, error), label string, newP func() Predictor) ([]FoldResult, error) {
 	tgt, pred, err := d.YearSplit(targetYear, keep)
 	if err != nil {
 		return nil, err
@@ -84,15 +102,11 @@ func SubsetCV(d *dataset.Matrix, chars map[string][]float64, targetYear int, kee
 	if pred.NumMachines() == 0 {
 		return nil, fmt.Errorf("transpose: split %q: subset selection left no predictive machines", label)
 	}
-	var out []FoldResult
+	units := make([]foldUnit, 0, len(d.Benchmarks))
 	for _, app := range d.Benchmarks {
-		m, actual, predicted, err := RunFold(pred, tgt, app, chars, newP())
-		if err != nil {
-			return nil, fmt.Errorf("transpose: split %q app %q: %w", label, app, err)
-		}
-		out = append(out, FoldResult{Split: label, App: app, Metrics: m, Actual: actual, Predicted: predicted})
+		units = append(units, foldUnit{kind: "split", split: label, pred: pred, tgt: tgt, app: app})
 	}
-	return out, nil
+	return runFolds(pool, units, chars, newP)
 }
 
 // Aggregate summarises fold metrics the way the paper's tables do: the mean
@@ -200,22 +214,22 @@ func MedoidSubset(k int) func(*dataset.Matrix) (*dataset.Matrix, error) {
 
 // GoodnessOfFit runs all leave-one-out folds for one split and returns the
 // mean R² of predictions against measurements across applications — the
-// y-axis of Figure 8.
-func GoodnessOfFit(pred, tgt *dataset.Matrix, chars map[string][]float64, newP func() Predictor) (float64, error) {
+// y-axis of Figure 8. Folds run concurrently on pool (nil means
+// engine.Default()); the mean is accumulated in benchmark order so the
+// result does not depend on the worker count.
+func GoodnessOfFit(pool *engine.Pool, pred, tgt *dataset.Matrix, chars map[string][]float64, newP func() Predictor) (float64, error) {
 	if len(tgt.Benchmarks) == 0 {
 		return 0, fmt.Errorf("transpose: goodness of fit over zero benchmarks")
 	}
-	var r2s []float64
-	for _, app := range tgt.Benchmarks {
-		_, actual, predicted, err := RunFold(pred, tgt, app, chars, newP())
+	r2s, err := engine.Collect(pool, len(tgt.Benchmarks), func(i int) (float64, error) {
+		_, actual, predicted, err := RunFold(pred, tgt, tgt.Benchmarks[i], chars, newP())
 		if err != nil {
 			return 0, err
 		}
-		r2, err := stats.RSquared(actual, predicted)
-		if err != nil {
-			return 0, err
-		}
-		r2s = append(r2s, r2)
+		return stats.RSquared(actual, predicted)
+	})
+	if err != nil {
+		return 0, err
 	}
 	return stats.Mean(r2s), nil
 }

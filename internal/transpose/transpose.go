@@ -145,6 +145,11 @@ type MLPT struct {
 	// Config controls training; zero-valued fields fall back to the WEKA
 	// defaults.
 	Config mlp.Config
+	// Ensemble is the number of independently initialised networks whose
+	// predictions are averaged; members train concurrently on the
+	// engine's default worker pool. 0 or 1 means a single network — the
+	// paper's setting.
+	Ensemble int
 }
 
 // NewMLPT returns an MLPᵀ predictor with WEKA-default training driven by
@@ -179,7 +184,11 @@ func (m *MLPT) PredictApp(f Fold) ([]float64, error) {
 		inputs[p] = f.Pred.Col(p)
 		targets[p] = []float64{f.AppOnPred[p]}
 	}
-	net, err := mlp.Train(inputs, targets, m.Config)
+	members := m.Ensemble
+	if members < 1 {
+		members = 1
+	}
+	net, err := mlp.TrainEnsemble(inputs, targets, m.Config, members, nil)
 	if err != nil {
 		return nil, fmt.Errorf("transpose: MLP^T training: %w", err)
 	}

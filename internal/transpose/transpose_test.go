@@ -225,7 +225,7 @@ func TestFamilyCVStructure(t *testing.T) {
 		copy(d.Scores[b][:4], pred.Scores[b])
 		copy(d.Scores[b][4:], tgt.Scores[b])
 	}
-	rs, err := FamilyCV(d, nil, func() Predictor { return NNT{} })
+	rs, err := FamilyCV(nil, d, nil, func() Predictor { return NNT{} })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestFamilyCVTooFewBenchmarks(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.Scores[0][0] = 1
-	if _, err := FamilyCV(d, nil, func() Predictor { return NNT{} }); err == nil {
+	if _, err := FamilyCV(nil, d, nil, func() Predictor { return NNT{} }); err == nil {
 		t.Fatal("want too-few-benchmarks error")
 	}
 }
@@ -267,7 +267,7 @@ func TestYearCV(t *testing.T) {
 		copy(d.Scores[b][:4], pred.Scores[b])
 		copy(d.Scores[b][4:], tgt.Scores[b])
 	}
-	rs, err := YearCV(d, nil, 2009, func(y int) bool { return y == 2008 }, "2008->2009", func() Predictor { return NNT{} })
+	rs, err := YearCV(nil, d, nil, 2009, func(y int) bool { return y == 2008 }, "2008->2009", func() Predictor { return NNT{} })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestYearCV(t *testing.T) {
 			t.Fatalf("fold has %d targets", len(r.Actual))
 		}
 	}
-	if _, err := YearCV(d, nil, 1999, func(int) bool { return true }, "x", func() Predictor { return NNT{} }); err == nil {
+	if _, err := YearCV(nil, d, nil, 1999, func(int) bool { return true }, "x", func() Predictor { return NNT{} }); err == nil {
 		t.Fatal("want error for empty target year")
 	}
 }
@@ -306,7 +306,7 @@ func TestSubsetCVAndSelectors(t *testing.T) {
 		copy(d.Scores[b][8:], tgt.Scores[b])
 	}
 	rng := rand.New(rand.NewSource(1))
-	rs, err := SubsetCV(d, nil, 2009, func(y int) bool { return y == 2008 },
+	rs, err := SubsetCV(nil, d, nil, 2009, func(y int) bool { return y == 2008 },
 		RandomSubset(3, rng), "subset3", func() Predictor { return NNT{} })
 	if err != nil {
 		t.Fatal(err)
@@ -371,7 +371,7 @@ func TestPerApp(t *testing.T) {
 
 func TestGoodnessOfFit(t *testing.T) {
 	pred, tgt := syntheticPair(t, 6, 6, 5, 0.01, 10)
-	r2, err := GoodnessOfFit(pred, tgt, nil, func() Predictor { return NNT{} })
+	r2, err := GoodnessOfFit(nil, pred, tgt, nil, func() Predictor { return NNT{} })
 	if err != nil {
 		t.Fatal(err)
 	}

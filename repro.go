@@ -27,6 +27,7 @@ import (
 	"io"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/gaknn"
 	"repro/internal/machine"
@@ -225,7 +226,21 @@ func DefaultExperimentConfig(seed int64) ExperimentConfig {
 }
 
 // RunAllExperiments reproduces every table and figure of the paper's
-// evaluation section and writes the rendered results to w.
+// evaluation section and writes the rendered results to w. The experiment
+// fan-out (folds, draws, sweep points) and GA fitness evaluation are
+// bounded to cfg.Workers goroutines (0 = all cores); the matrix kernels
+// draw from the process-wide budget instead — use SetWorkers to bound
+// those too. The output is byte-identical for every worker count.
 func RunAllExperiments(cfg ExperimentConfig, w io.Writer) error {
 	return experiments.RunAll(cfg, w)
 }
+
+// SetWorkers bounds the process-wide worker budget shared by every
+// parallel code path that is not driven by an ExperimentConfig: GA-kNN
+// fitness evaluation, MLP ensemble training and the large-matrix kernels.
+// n <= 0 restores the default, runtime.GOMAXPROCS(0). Parallelism never
+// changes results, only wall-clock time.
+func SetWorkers(n int) { engine.SetDefaultWorkers(n) }
+
+// Workers reports the current process-wide worker budget.
+func Workers() int { return engine.Default().Workers() }
