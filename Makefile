@@ -2,8 +2,9 @@
 # identical commands.
 
 GO ?= go
+DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test bench lint ci
+.PHONY: build test bench bench-json examples lint ci
 
 build:
 	$(GO) build ./...
@@ -12,7 +13,25 @@ test:
 	$(GO) test -race -timeout 30m ./...
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+
+# Record a performance snapshot: run the benchmark suite with -benchmem
+# and write the machine-readable BENCH_<date>.json for committing.
+# Dedicated perf runs should bump -benchtime (e.g. BENCHTIME=5x).
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./... \
+		| $(GO) run ./cmd/benchstatjson -o BENCH_$(DATE).json
+	@echo wrote BENCH_$(DATE).json
+
+# Execute every example program end to end (not just compile them).
+examples:
+	$(GO) run ./examples/quickstart > /dev/null
+	$(GO) run ./examples/purchasing > /dev/null
+	$(GO) run ./examples/scheduling > /dev/null
+	$(GO) run ./examples/prototype > /dev/null
+	$(GO) run ./examples/designspace > /dev/null
+	@echo all examples ran
 
 lint:
 	$(GO) vet ./...
@@ -20,4 +39,4 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 
-ci: lint build test bench
+ci: lint build test bench examples

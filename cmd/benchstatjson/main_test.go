@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunFamilyCV/serial-8         	       2	8009723716 ns/op	59043208 B/op	  167788 allocs/op
+BenchmarkRunFamilyCV/parallel-8       	       2	8153891858 ns/op	59043040 B/op	  167786 allocs/op
+PASS
+ok  	repro	48.626s
+goos: linux
+goarch: amd64
+pkg: repro/internal/la
+BenchmarkMul-8	     100	  11402031 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GoOS != "linux" || snap.GoArch != "amd64" {
+		t.Fatalf("context = %q/%q", snap.GoOS, snap.GoArch)
+	}
+	if !strings.Contains(snap.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", snap.CPU)
+	}
+	if len(snap.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(snap.Results))
+	}
+	r := snap.Results[0]
+	if r.Name != "BenchmarkRunFamilyCV/serial-8" || r.Pkg != "repro" {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Iterations != 2 || r.NsPerOp != 8009723716 {
+		t.Fatalf("timing = %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 59043208 {
+		t.Fatalf("bytes = %+v", r.BytesPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 167788 {
+		t.Fatalf("allocs = %+v", r.AllocsPerOp)
+	}
+	// The la benchmark ran without -benchmem fields.
+	la := snap.Results[2]
+	if la.Pkg != "repro/internal/la" || la.BytesPerOp != nil || la.AllocsPerOp != nil {
+		t.Fatalf("la result = %+v", la)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("want error for input without benchmarks")
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX 12",
+		"BenchmarkX twelve 34 ns/op",
+		"BenchmarkX 12 nan-ish ns/op" + "x",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("parsed malformed line %q", line)
+		}
+	}
+}

@@ -103,8 +103,13 @@ func runCompare(args []string) error {
 	fmt.Printf("application %q, target family %q (%d machines)\n\n", *app, *family, targets.NumMachines())
 	fmt.Printf("%-8s %8s %10s %10s %-30s\n", "method", "rank", "top-1 %", "mean %", "recommended machine")
 	for _, p := range predictors {
-		predicted, err := p.PredictApp(fold)
+		// Two-phase API: fit the trained artifact once, then query it.
+		model, err := repro.FitFold(fold, p)
 		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name(), err)
+		}
+		predicted := make([]float64, model.NumTargets())
+		if err := model.PredictTargets(predicted); err != nil {
 			return fmt.Errorf("%s: %w", p.Name(), err)
 		}
 		m, err := repro.Evaluate(appOnTgt, predicted)

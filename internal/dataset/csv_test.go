@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestReadCSVErrors exercises the ReadCSV error paths one malformed input
+// at a time.
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty input":       "",
+		"too short":         "benchmark,m1\n#vendor,A\n",
+		"bad header":        "notbenchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,1\n",
+		"bad year":          "benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,xyz\nb1,1\n",
+		"bad score":         "benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,notanumber\n",
+		"negative score":    "benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,-3\n",
+		"zero score":        "benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,0\n",
+		"NaN score":         "benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,NaN\n",
+		"Inf score":         "benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,+Inf\n",
+		"missing metadata":  "benchmark,m1\n#vendor,A\n#wrong,F\n#nickname,N\n#isa,I\n#year,2000\nb1,1\n",
+		"short metadata":    "benchmark,m1\n#vendor\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,1\n",
+		"short score row":   "benchmark,m1,m2\n#vendor,A,A\n#family,F,F\n#nickname,N,N\n#isa,I,I\n#year,2000,2001\nb1,1\n",
+		"duplicate machine": "benchmark,m1,m1\n#vendor,A,A\n#family,F,F\n#nickname,N,N\n#isa,I,I\n#year,2000,2001\nb1,1,2\n",
+		"duplicate bench":   "benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,1\nb1,2\n",
+		"empty bench name":  "benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\n,1\n",
+	}
+	for name, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+// TestCSVEmptyMatrixRoundTrip covers the degenerate shapes the flat
+// backing must support: no benchmarks, and no machines.
+func TestCSVEmptyMatrixRoundTrip(t *testing.T) {
+	t.Run("no benchmarks", func(t *testing.T) {
+		d, err := New(nil, []Machine{{ID: "m1", Vendor: "A", Family: "F", Nickname: "N", ISA: "I", Year: 2001}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.NumBenchmarks() != 0 || back.NumMachines() != 1 {
+			t.Fatalf("round trip %dx%d, want 0x1", back.NumBenchmarks(), back.NumMachines())
+		}
+		if back.Machines[0] != d.Machines[0] {
+			t.Fatalf("metadata lost: %+v", back.Machines[0])
+		}
+	})
+	t.Run("no machines", func(t *testing.T) {
+		d, err := New([]string{"b1", "b2"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.NumBenchmarks() != 2 || back.NumMachines() != 0 {
+			t.Fatalf("round trip %dx%d, want 2x0", back.NumBenchmarks(), back.NumMachines())
+		}
+		if back.Benchmarks[0] != "b1" || back.Benchmarks[1] != "b2" {
+			t.Fatalf("benchmarks lost: %v", back.Benchmarks)
+		}
+	})
+}
+
+// TestWriteCSVErrors checks that WriteCSV refuses matrices that could not
+// be read back: NaN/Inf scores and duplicate metadata.
+func TestWriteCSVErrors(t *testing.T) {
+	d := sample(t)
+	d.Set(1, 2, math.NaN())
+	if err := d.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("want error writing NaN score")
+	}
+	d.Set(1, 2, math.Inf(1))
+	if err := d.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("want error writing Inf score")
+	}
+	// Non-positive scores would be refused by ReadCSV, so writing them
+	// must fail too instead of producing an unreadable file.
+	d.Set(1, 2, 0)
+	if err := d.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("want error writing zero score")
+	}
+	d.Set(1, 2, -4)
+	if err := d.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("want error writing negative score")
+	}
+	d.Set(1, 2, 6)
+	if err := d.WriteCSV(&bytes.Buffer{}); err != nil {
+		t.Fatalf("finite matrix must write: %v", err)
+	}
+	d.Machines[1].ID = d.Machines[0].ID
+	if err := d.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("want error writing duplicate machine IDs")
+	}
+}
+
+// TestCSVViewRoundTrip writes a view and reads it back: the serialised
+// form must carry exactly the view's selection.
+func TestCSVViewRoundTrip(t *testing.T) {
+	d := sample(t)
+	view := d.SelectMachines(func(m Machine) bool { return m.ID != "m2" })
+	rest, _, err := view.DropBenchmark("b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rest.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.IsView() {
+		t.Fatal("ReadCSV must produce a contiguous matrix")
+	}
+	if back.NumBenchmarks() != 1 || back.NumMachines() != 2 {
+		t.Fatalf("round trip %dx%d, want 1x2", back.NumBenchmarks(), back.NumMachines())
+	}
+	if back.At(0, 0) != 4 || back.At(0, 1) != 6 {
+		t.Fatalf("view scores lost: %v %v", back.At(0, 0), back.At(0, 1))
+	}
+}

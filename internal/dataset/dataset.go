@@ -4,6 +4,14 @@
 // release year). It provides the selections the experiments need — by
 // processor family, by release year, by benchmark leave-one-out — and CSV
 // persistence.
+//
+// Storage is columnar-friendly: every Matrix is backed by a single flat
+// row-major []float64 with a stride, and the selection operations
+// (SelectMachines, SelectBenchmarks, DropBenchmark, FamilySplit, YearSplit)
+// return lightweight index-mapped views that share the parent's backing
+// array instead of deep-copying scores. Views alias their parent: writing
+// through a view (Set, SetRow) writes into the parent's storage. Use
+// Compact to materialise an independent deep copy when isolation is needed.
 package dataset
 
 import (
@@ -38,12 +46,20 @@ func (m Machine) String() string {
 }
 
 // Matrix is a benchmarks × machines table of performance scores.
-// Scores[b][m] is the score of benchmark b on machine m; higher is better
+// At(b, m) is the score of benchmark b on machine m; higher is better
 // (SPEC speed ratios versus the reference machine).
+//
+// The scores live in a flat row-major backing array shared between a matrix
+// and every view derived from it. rowIdx/colIdx translate view coordinates
+// to backing coordinates; nil means the identity mapping.
 type Matrix struct {
 	Benchmarks []string
 	Machines   []Machine
-	Scores     [][]float64
+
+	data   []float64 // flat row-major backing in parent coordinates
+	stride int       // backing row width (machine count of the root matrix)
+	rowIdx []int     // nil = identity; row b of this matrix is backing row rowIdx[b]
+	colIdx []int     // nil = identity; col m of this matrix is backing col colIdx[m]
 }
 
 // New constructs a zero-filled Matrix and validates metadata uniqueness.
@@ -51,14 +67,11 @@ func New(benchmarks []string, machines []Machine) (*Matrix, error) {
 	if err := checkUnique(benchmarks, machines); err != nil {
 		return nil, err
 	}
-	scores := make([][]float64, len(benchmarks))
-	for b := range scores {
-		scores[b] = make([]float64, len(machines))
-	}
 	return &Matrix{
 		Benchmarks: append([]string(nil), benchmarks...),
 		Machines:   append([]Machine(nil), machines...),
-		Scores:     scores,
+		data:       make([]float64, len(benchmarks)*len(machines)),
+		stride:     len(machines),
 	}, nil
 }
 
@@ -86,20 +99,79 @@ func checkUnique(benchmarks []string, machines []Machine) error {
 	return nil
 }
 
+// offset maps view coordinates to an index into the backing array. It
+// performs no bounds checking; callers check against Benchmarks/Machines.
+func (d *Matrix) offset(b, m int) int {
+	if d.rowIdx != nil {
+		b = d.rowIdx[b]
+	}
+	if d.colIdx != nil {
+		m = d.colIdx[m]
+	}
+	return b*d.stride + m
+}
+
+func (d *Matrix) check(b, m int) {
+	if b < 0 || b >= len(d.Benchmarks) || m < 0 || m >= len(d.Machines) {
+		panic(fmt.Sprintf("dataset: index (%d, %d) out of range for %d×%d matrix",
+			b, m, len(d.Benchmarks), len(d.Machines)))
+	}
+}
+
+// At returns the score of benchmark b on machine m.
+func (d *Matrix) At(b, m int) float64 {
+	d.check(b, m)
+	return d.data[d.offset(b, m)]
+}
+
+// Set assigns the score of benchmark b on machine m. On a view this writes
+// through to the parent's storage.
+func (d *Matrix) Set(b, m int, v float64) {
+	d.check(b, m)
+	d.data[d.offset(b, m)] = v
+}
+
+// IsView reports whether the matrix is an index-mapped view onto a larger
+// backing array rather than a contiguous matrix of its own shape.
+func (d *Matrix) IsView() bool {
+	return d.rowIdx != nil || d.colIdx != nil || d.stride != len(d.Machines) ||
+		len(d.data) != len(d.Benchmarks)*len(d.Machines)
+}
+
+// Compact returns an independent deep copy with contiguous storage — the
+// old deep-copy selection semantics, for callers that must not alias.
+func (d *Matrix) Compact() *Matrix {
+	out := &Matrix{
+		Benchmarks: append([]string(nil), d.Benchmarks...),
+		Machines:   append([]Machine(nil), d.Machines...),
+		data:       make([]float64, len(d.Benchmarks)*len(d.Machines)),
+		stride:     len(d.Machines),
+	}
+	for b := range d.Benchmarks {
+		d.CopyRowInto(b, out.data[b*out.stride:(b+1)*out.stride])
+	}
+	return out
+}
+
 // Validate checks structural consistency and that every score is finite and
 // strictly positive (SPEC ratios are positive by construction).
 func (d *Matrix) Validate() error {
 	if err := checkUnique(d.Benchmarks, d.Machines); err != nil {
 		return err
 	}
-	if len(d.Scores) != len(d.Benchmarks) {
-		return fmt.Errorf("dataset: %d score rows for %d benchmarks", len(d.Scores), len(d.Benchmarks))
+	if d.rowIdx != nil && len(d.rowIdx) != len(d.Benchmarks) {
+		return fmt.Errorf("dataset: %d row indices for %d benchmarks", len(d.rowIdx), len(d.Benchmarks))
 	}
-	for b, row := range d.Scores {
-		if len(row) != len(d.Machines) {
-			return fmt.Errorf("dataset: row %q has %d scores for %d machines", d.Benchmarks[b], len(row), len(d.Machines))
-		}
-		for m, v := range row {
+	if d.colIdx != nil && len(d.colIdx) != len(d.Machines) {
+		return fmt.Errorf("dataset: %d column indices for %d machines", len(d.colIdx), len(d.Machines))
+	}
+	if d.rowIdx == nil && d.colIdx == nil && len(d.data) < len(d.Benchmarks)*d.stride {
+		return fmt.Errorf("dataset: %d scores backing %d benchmarks of stride %d",
+			len(d.data), len(d.Benchmarks), d.stride)
+	}
+	for b := range d.Benchmarks {
+		for m := range d.Machines {
+			v := d.At(b, m)
 			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
 				return fmt.Errorf("dataset: invalid score %v for %q on %q", v, d.Benchmarks[b], d.Machines[m].ID)
 			}
@@ -136,84 +208,156 @@ func (d *Matrix) MachineIndex(id string) (int, error) {
 
 // Row returns a copy of the scores of benchmark b across all machines.
 func (d *Matrix) Row(b int) []float64 {
-	return append([]float64(nil), d.Scores[b]...)
+	out := make([]float64, len(d.Machines))
+	d.CopyRowInto(b, out)
+	return out
+}
+
+// CopyRowInto copies the scores of benchmark b across all machines into
+// dst, which must have length NumMachines.
+func (d *Matrix) CopyRowInto(b int, dst []float64) {
+	if b < 0 || b >= len(d.Benchmarks) {
+		panic(fmt.Sprintf("dataset: row %d out of range for %d×%d matrix", b, len(d.Benchmarks), len(d.Machines)))
+	}
+	if len(dst) != len(d.Machines) {
+		panic(fmt.Sprintf("dataset: CopyRowInto: got %d slots, want %d", len(dst), len(d.Machines)))
+	}
+	if d.colIdx == nil {
+		base := b
+		if d.rowIdx != nil {
+			base = d.rowIdx[b]
+		}
+		copy(dst, d.data[base*d.stride:base*d.stride+len(d.Machines)])
+		return
+	}
+	for m := range dst {
+		dst[m] = d.data[d.offset(b, m)]
+	}
 }
 
 // Col returns a copy of the scores of machine m across all benchmarks.
 func (d *Matrix) Col(m int) []float64 {
 	out := make([]float64, len(d.Benchmarks))
-	for b := range d.Benchmarks {
-		out[b] = d.Scores[b][m]
-	}
+	d.CopyColInto(m, out)
 	return out
 }
 
-// SelectMachines returns a new Matrix containing only the machines for
-// which keep returns true, preserving order. Scores are copied.
+// CopyColInto copies the scores of machine m across all benchmarks into
+// dst, which must have length NumBenchmarks.
+func (d *Matrix) CopyColInto(m int, dst []float64) {
+	if m < 0 || m >= len(d.Machines) {
+		panic(fmt.Sprintf("dataset: column %d out of range for %d×%d matrix", m, len(d.Benchmarks), len(d.Machines)))
+	}
+	if len(dst) != len(d.Benchmarks) {
+		panic(fmt.Sprintf("dataset: CopyColInto: got %d slots, want %d", len(dst), len(d.Benchmarks)))
+	}
+	col := m
+	if d.colIdx != nil {
+		col = d.colIdx[m]
+	}
+	if d.rowIdx == nil {
+		for b := range dst {
+			dst[b] = d.data[b*d.stride+col]
+		}
+		return
+	}
+	for b := range dst {
+		dst[b] = d.data[d.rowIdx[b]*d.stride+col]
+	}
+}
+
+// SetRow copies v into row b. On a view this writes through to the parent.
+func (d *Matrix) SetRow(b int, v []float64) {
+	if len(v) != len(d.Machines) {
+		panic(fmt.Sprintf("dataset: SetRow: got %d values, want %d", len(v), len(d.Machines)))
+	}
+	for m, x := range v {
+		d.Set(b, m, x)
+	}
+}
+
+// SelectMachines returns a view containing only the machines for which keep
+// returns true, preserving order. The view shares the receiver's score
+// storage; writes through either alias the other.
 func (d *Matrix) SelectMachines(keep func(Machine) bool) *Matrix {
 	var idx []int
 	var machines []Machine
 	for i, m := range d.Machines {
 		if keep(m) {
-			idx = append(idx, i)
+			if d.colIdx != nil {
+				idx = append(idx, d.colIdx[i])
+			} else {
+				idx = append(idx, i)
+			}
 			machines = append(machines, m)
 		}
-	}
-	scores := make([][]float64, len(d.Benchmarks))
-	for b := range d.Benchmarks {
-		row := make([]float64, len(idx))
-		for j, i := range idx {
-			row[j] = d.Scores[b][i]
-		}
-		scores[b] = row
 	}
 	return &Matrix{
 		Benchmarks: append([]string(nil), d.Benchmarks...),
 		Machines:   machines,
-		Scores:     scores,
+		data:       d.data,
+		stride:     d.stride,
+		rowIdx:     d.rowIdx,
+		colIdx:     idx,
 	}
 }
 
-// SelectBenchmarks returns a new Matrix restricted to the named benchmarks,
-// in the given order.
+// SelectBenchmarks returns a view restricted to the named benchmarks, in
+// the given order. The view shares the receiver's score storage.
 func (d *Matrix) SelectBenchmarks(names []string) (*Matrix, error) {
-	scores := make([][]float64, 0, len(names))
+	idx := make([]int, 0, len(names))
 	for _, n := range names {
 		b, err := d.BenchmarkIndex(n)
 		if err != nil {
 			return nil, err
 		}
-		scores = append(scores, append([]float64(nil), d.Scores[b]...))
+		if d.rowIdx != nil {
+			idx = append(idx, d.rowIdx[b])
+		} else {
+			idx = append(idx, b)
+		}
 	}
 	return &Matrix{
 		Benchmarks: append([]string(nil), names...),
 		Machines:   append([]Machine(nil), d.Machines...),
-		Scores:     scores,
+		data:       d.data,
+		stride:     d.stride,
+		rowIdx:     idx,
+		colIdx:     d.colIdx,
 	}, nil
 }
 
-// DropBenchmark returns a new Matrix without the named benchmark, plus that
-// benchmark's score row. This is the leave-one-out split: the dropped
-// benchmark plays the application of interest.
+// DropBenchmark returns a view without the named benchmark, plus a copy of
+// that benchmark's score row. This is the leave-one-out split: the dropped
+// benchmark plays the application of interest. The view shares the
+// receiver's score storage — the zero-copy fold construction.
 func (d *Matrix) DropBenchmark(name string) (*Matrix, []float64, error) {
 	b, err := d.BenchmarkIndex(name)
 	if err != nil {
 		return nil, nil, err
 	}
 	rest := make([]string, 0, len(d.Benchmarks)-1)
-	scores := make([][]float64, 0, len(d.Benchmarks)-1)
+	idx := make([]int, 0, len(d.Benchmarks)-1)
 	for i, bn := range d.Benchmarks {
 		if i == b {
 			continue
 		}
 		rest = append(rest, bn)
-		scores = append(scores, append([]float64(nil), d.Scores[i]...))
+		if d.rowIdx != nil {
+			idx = append(idx, d.rowIdx[i])
+		} else {
+			idx = append(idx, i)
+		}
 	}
-	return &Matrix{
+	view := &Matrix{
 		Benchmarks: rest,
 		Machines:   append([]Machine(nil), d.Machines...),
-		Scores:     scores,
-	}, d.Row(b), nil
+		data:       d.data,
+		stride:     d.stride,
+		rowIdx:     idx,
+		colIdx:     d.colIdx,
+	}
+	return view, d.Row(b), nil
 }
 
 // Families returns the distinct processor families, sorted.
@@ -244,8 +388,9 @@ func (d *Matrix) Years() []int {
 	return out
 }
 
-// FamilySplit returns (target, predictive) sub-matrices for processor-family
-// cross-validation: machines of the named family versus all others.
+// FamilySplit returns (target, predictive) views for processor-family
+// cross-validation: machines of the named family versus all others. Both
+// views share the receiver's score storage.
 func (d *Matrix) FamilySplit(family string) (target, predictive *Matrix, err error) {
 	found := false
 	for _, m := range d.Machines {
@@ -263,7 +408,8 @@ func (d *Matrix) FamilySplit(family string) (target, predictive *Matrix, err err
 }
 
 // YearSplit returns machines released in targetYear as targets and machines
-// matching the predicate on year as the predictive set.
+// matching the predicate on year as the predictive set. Both views share
+// the receiver's score storage.
 func (d *Matrix) YearSplit(targetYear int, predictive func(year int) bool) (tgt, pred *Matrix, err error) {
 	tgt = d.SelectMachines(func(m Machine) bool { return m.Year == targetYear })
 	pred = d.SelectMachines(func(m Machine) bool { return predictive(m.Year) })
@@ -277,9 +423,24 @@ func (d *Matrix) YearSplit(targetYear int, predictive func(year int) bool) (tgt,
 }
 
 // WriteCSV writes the matrix with a header row of machine IDs and one
-// metadata block of four leading comment-style rows (vendor, family,
+// metadata block of five leading comment-style rows (vendor, family,
 // nickname, ISA, year are encoded in dedicated rows prefixed with '#').
+// It rejects matrices that would not survive the round trip: duplicate
+// metadata and scores ReadCSV would refuse (NaN, ±Inf, non-positive)
+// are errors.
 func (d *Matrix) WriteCSV(w io.Writer) error {
+	if err := checkUnique(d.Benchmarks, d.Machines); err != nil {
+		return err
+	}
+	for b := range d.Benchmarks {
+		for m := range d.Machines {
+			// Mirror ReadCSV's Validate: anything written must read back.
+			if v := d.At(b, m); math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return fmt.Errorf("dataset: invalid score %v for %q on %q cannot be written",
+					v, d.Benchmarks[b], d.Machines[m].ID)
+			}
+		}
+	}
 	cw := csv.NewWriter(w)
 	header := append([]string{"benchmark"}, ids(d.Machines)...)
 	if err := cw.Write(header); err != nil {
@@ -305,8 +466,8 @@ func (d *Matrix) WriteCSV(w io.Writer) error {
 	for b, name := range d.Benchmarks {
 		row := make([]string, 1, len(d.Machines)+1)
 		row[0] = name
-		for _, v := range d.Scores[b] {
-			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		for m := range d.Machines {
+			row = append(row, strconv.FormatFloat(d.At(b, m), 'g', -1, 64))
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -316,9 +477,15 @@ func (d *Matrix) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a matrix written by WriteCSV.
+// ReadCSV parses a matrix written by WriteCSV into contiguous flat storage.
+// Matrices with no benchmarks or no machines round-trip; duplicate machine
+// IDs, duplicate benchmarks, and invalid scores (NaN, ±Inf, non-positive)
+// are rejected.
 func ReadCSV(r io.Reader) (*Matrix, error) {
 	cr := csv.NewReader(r)
+	// A machine-less matrix serialises as one field per row; disable the
+	// uniform-field-count check and validate row widths ourselves.
+	cr.FieldsPerRecord = -1
 	records, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
@@ -327,7 +494,7 @@ func ReadCSV(r io.Reader) (*Matrix, error) {
 		return nil, errors.New("dataset: CSV too short (need header + 5 metadata rows)")
 	}
 	header := records[0]
-	if len(header) < 2 || header[0] != "benchmark" {
+	if len(header) < 1 || header[0] != "benchmark" {
 		return nil, errors.New("dataset: malformed CSV header")
 	}
 	n := len(header) - 1
@@ -368,23 +535,21 @@ func ReadCSV(r io.Reader) (*Matrix, error) {
 		}
 	}
 	var benchmarks []string
-	var scores [][]float64
+	data := make([]float64, 0, (len(records)-6)*n)
 	for _, rec := range records[6:] {
 		if len(rec) != n+1 {
 			return nil, fmt.Errorf("dataset: row %q has %d fields, want %d", rec[0], len(rec), n+1)
 		}
 		benchmarks = append(benchmarks, rec[0])
-		row := make([]float64, n)
 		for i := 0; i < n; i++ {
 			v, err := strconv.ParseFloat(rec[i+1], 64)
 			if err != nil {
 				return nil, fmt.Errorf("dataset: bad score %q for %q: %w", rec[i+1], rec[0], err)
 			}
-			row[i] = v
+			data = append(data, v)
 		}
-		scores = append(scores, row)
 	}
-	d := &Matrix{Benchmarks: benchmarks, Machines: machines, Scores: scores}
+	d := &Matrix{Benchmarks: benchmarks, Machines: machines, data: data, stride: n}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}

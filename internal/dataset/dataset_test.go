@@ -17,8 +17,8 @@ func sample(t *testing.T) *Matrix {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.Scores[0] = []float64{1, 2, 3}
-	d.Scores[1] = []float64{4, 5, 6}
+	d.SetRow(0, []float64{1, 2, 3})
+	d.SetRow(1, []float64{4, 5, 6})
 	return d
 }
 
@@ -42,14 +42,18 @@ func TestValidateScores(t *testing.T) {
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	d.Scores[0][1] = -1
+	d.Set(0, 1, -1)
 	if err := d.Validate(); err == nil {
 		t.Fatal("want error for non-positive score")
 	}
-	d.Scores[0][1] = 2
-	d.Scores[0] = d.Scores[0][:2]
+	d.Set(0, 1, 2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Structural damage: benchmark list longer than the backing rows.
+	d.Benchmarks = append(d.Benchmarks, "b3")
 	if err := d.Validate(); err == nil {
-		t.Fatal("want error for short row")
+		t.Fatal("want error for benchmark/backing mismatch")
 	}
 }
 
@@ -75,7 +79,7 @@ func TestRowColCopies(t *testing.T) {
 	d := sample(t)
 	r := d.Row(0)
 	r[0] = 99
-	if d.Scores[0][0] != 1 {
+	if d.At(0, 0) != 1 {
 		t.Fatal("Row must copy")
 	}
 	c := d.Col(1)
@@ -83,7 +87,7 @@ func TestRowColCopies(t *testing.T) {
 		t.Fatalf("Col = %v", c)
 	}
 	c[0] = 99
-	if d.Scores[0][1] != 2 {
+	if d.At(0, 1) != 2 {
 		t.Fatal("Col must copy")
 	}
 }
@@ -94,13 +98,23 @@ func TestSelectMachines(t *testing.T) {
 	if sub.NumMachines() != 2 || sub.NumBenchmarks() != 2 {
 		t.Fatalf("submatrix %dx%d", sub.NumBenchmarks(), sub.NumMachines())
 	}
-	if sub.Scores[1][1] != 5 {
-		t.Fatalf("submatrix scores wrong: %v", sub.Scores)
+	if sub.At(1, 1) != 5 {
+		t.Fatalf("submatrix score (1,1) = %v, want 5", sub.At(1, 1))
 	}
-	// Copies, not views.
-	sub.Scores[0][0] = 42
-	if d.Scores[0][0] != 1 {
-		t.Fatal("SelectMachines must copy scores")
+	if !sub.IsView() {
+		t.Fatal("SelectMachines must return a view")
+	}
+	// Views alias the parent: writes through the view are visible in d.
+	sub.Set(0, 0, 42)
+	if d.At(0, 0) != 42 {
+		t.Fatal("SelectMachines view must alias parent scores")
+	}
+	d.Set(0, 0, 1)
+	// Compact severs the aliasing.
+	cp := sub.Compact()
+	cp.Set(0, 0, 77)
+	if d.At(0, 0) != 1 {
+		t.Fatal("Compact must deep-copy")
 	}
 	empty := d.SelectMachines(func(Machine) bool { return false })
 	if empty.NumMachines() != 0 {
@@ -114,7 +128,7 @@ func TestSelectBenchmarks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sub.NumBenchmarks() != 1 || sub.Scores[0][2] != 6 {
+	if sub.NumBenchmarks() != 1 || sub.At(0, 2) != 6 {
 		t.Fatalf("SelectBenchmarks wrong: %+v", sub)
 	}
 	if _, err := d.SelectBenchmarks([]string{"zzz"}); err == nil {
@@ -134,9 +148,14 @@ func TestDropBenchmark(t *testing.T) {
 	if row[0] != 1 || row[2] != 3 {
 		t.Fatalf("dropped row = %v", row)
 	}
-	// Original untouched.
+	// Original shape untouched.
 	if d.NumBenchmarks() != 2 {
 		t.Fatal("DropBenchmark must not mutate the source")
+	}
+	// The extracted row is a copy, not a view.
+	row[0] = 99
+	if d.At(0, 0) != 1 {
+		t.Fatal("DropBenchmark row must copy")
 	}
 	if _, _, err := d.DropBenchmark("zzz"); err == nil {
 		t.Fatal("want unknown-benchmark error")
@@ -199,43 +218,15 @@ func TestCSVRoundTrip(t *testing.T) {
 	if back.NumBenchmarks() != 2 || back.NumMachines() != 3 {
 		t.Fatalf("round trip %dx%d", back.NumBenchmarks(), back.NumMachines())
 	}
-	for b := range d.Scores {
-		for m := range d.Scores[b] {
-			if back.Scores[b][m] != d.Scores[b][m] {
-				t.Fatalf("score (%d,%d) = %v, want %v", b, m, back.Scores[b][m], d.Scores[b][m])
+	for b := 0; b < d.NumBenchmarks(); b++ {
+		for m := 0; m < d.NumMachines(); m++ {
+			if back.At(b, m) != d.At(b, m) {
+				t.Fatalf("score (%d,%d) = %v, want %v", b, m, back.At(b, m), d.At(b, m))
 			}
 		}
 	}
 	if back.Machines[2] != d.Machines[2] {
 		t.Fatalf("machine metadata lost: %+v vs %+v", back.Machines[2], d.Machines[2])
-	}
-}
-
-func TestReadCSVErrors(t *testing.T) {
-	cases := []string{
-		"",
-		"benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\n", // no data rows is fine, but malformed below
-		"notbenchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,1\n",
-		"benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,xyz\nb1,1\n",
-		"benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,notanumber\n",
-		"benchmark,m1\n#vendor,A\n#family,F\n#nickname,N\n#isa,I\n#year,2000\nb1,-3\n",
-		"benchmark,m1\n#vendor,A\n#wrong,F\n#nickname,N\n#isa,I\n#year,2000\nb1,1\n",
-	}
-	for i, c := range cases {
-		if i == 1 {
-			continue // header-only file exercised separately below
-		}
-		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
-			t.Fatalf("case %d: expected parse error", i)
-		}
-	}
-	// A metadata-only file round-trips to an empty matrix.
-	d, err := ReadCSV(strings.NewReader(cases[1]))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if d.NumBenchmarks() != 0 || d.NumMachines() != 1 {
-		t.Fatalf("metadata-only matrix %dx%d", d.NumBenchmarks(), d.NumMachines())
 	}
 }
 

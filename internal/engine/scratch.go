@@ -1,0 +1,45 @@
+package engine
+
+import "sync"
+
+// Scratch is a typed pool of reusable per-worker scratch buffers for hot
+// kernels that run as units of a Pool fan-out. A unit borrows a value with
+// Get, uses it for the duration of the unit, and returns it with Put; with
+// at most Workers units in flight, the pool holds roughly one scratch per
+// worker regardless of how many units run over its lifetime.
+//
+// Scratch only ever carries buffers, never results: values must be fully
+// (re)initialised from unit inputs before use, so reuse cannot change
+// results — the engine's byte-identical-output contract extends to every
+// kernel that draws scratch from here.
+type Scratch[T any] struct {
+	pool sync.Pool
+}
+
+// NewScratch returns a Scratch whose Get falls back to newFn when no
+// borrowed value has been returned yet.
+func NewScratch[T any](newFn func() *T) *Scratch[T] {
+	return &Scratch[T]{pool: sync.Pool{New: func() any { return newFn() }}}
+}
+
+// Get borrows a scratch value. The caller must not assume anything about
+// its contents.
+func (s *Scratch[T]) Get() *T {
+	return s.pool.Get().(*T)
+}
+
+// Put returns a scratch value for reuse by later units.
+func (s *Scratch[T]) Put(v *T) {
+	if v != nil {
+		s.pool.Put(v)
+	}
+}
+
+// GrowFloats returns buf resized to length n, reusing its backing array
+// when capacity allows. Contents are unspecified — callers overwrite.
+func GrowFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}

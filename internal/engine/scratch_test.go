@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestScratchReuse(t *testing.T) {
+	s := NewScratch(func() *[]int {
+		v := make([]int, 0, 8)
+		return &v
+	})
+	// Under the race detector sync.Pool drops Puts at random, so assert
+	// reuse statistically: over many round trips at least one Get must
+	// hand back a previously Put value.
+	reused := false
+	for i := 0; i < 64 && !reused; i++ {
+		a := s.Get()
+		*a = append((*a)[:0], 1, 2, 3)
+		s.Put(a)
+		reused = s.Get() == a
+	}
+	if !reused {
+		t.Fatal("no Get ever reused a Put value")
+	}
+	s.Put(nil) // must not panic or poison the pool
+	if c := s.Get(); c == nil {
+		t.Fatal("Get returned nil after Put(nil)")
+	}
+}
+
+func TestScratchConcurrentUnits(t *testing.T) {
+	// Scratch values must never be shared between in-flight units.
+	type buf struct{ owner int }
+	s := NewScratch(func() *buf { return &buf{owner: -1} })
+	pool := New(8)
+	var mu sync.Mutex
+	seen := map[*buf]int{}
+	err := pool.Map(64, func(i int) error {
+		b := s.Get()
+		defer s.Put(b)
+		b.owner = i
+		mu.Lock()
+		seen[b]++
+		mu.Unlock()
+		if b.owner != i {
+			t.Errorf("unit %d: scratch stolen mid-use", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range seen {
+		total += n
+	}
+	if total != 64 {
+		t.Fatalf("%d borrows recorded, want 64", total)
+	}
+}
+
+func TestGrowFloats(t *testing.T) {
+	buf := make([]float64, 4, 16)
+	grown := GrowFloats(buf, 10)
+	if len(grown) != 10 || &grown[0] != &buf[0] {
+		t.Fatal("GrowFloats must reuse capacity")
+	}
+	bigger := GrowFloats(buf, 32)
+	if len(bigger) != 32 {
+		t.Fatalf("len = %d, want 32", len(bigger))
+	}
+	if cap(buf) >= 32 {
+		t.Fatal("test setup: expected reallocation")
+	}
+	if got := GrowFloats(nil, 0); len(got) != 0 {
+		t.Fatalf("GrowFloats(nil, 0) len = %d", len(got))
+	}
+}

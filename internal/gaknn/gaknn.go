@@ -20,14 +20,17 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
+	"repro/internal/engine"
 	"repro/internal/ga"
 	"repro/internal/knn"
 	"repro/internal/stats"
 	"repro/internal/transpose"
 )
 
-// Predictor implements transpose.Predictor with the GA-kNN method.
+// Predictor implements transpose.Predictor and transpose.Fitter with the
+// GA-kNN method.
 type Predictor struct {
 	// K is the number of nearest-neighbour benchmarks (the paper uses 10).
 	K int
@@ -56,8 +59,64 @@ func New(seed int64) *Predictor {
 // Name implements transpose.Predictor.
 func (p *Predictor) Name() string { return "GA-kNN" }
 
-// PredictApp implements transpose.Predictor.
+// Model is the trained GA-kNN artifact: the learned distance weights and
+// the application's nearest benchmarks under them, bound to the fold's
+// target machines.
+type Model struct {
+	// Weights are the GA-learned per-dimension distance weights.
+	Weights []float64
+	// Neighbours are the application's k nearest benchmarks (benchmark
+	// index into the fold's target matrix plus weighted distance).
+	Neighbours []knn.Neighbour
+
+	tgt rowMajor
+	nt  int
+}
+
+// NumTargets implements transpose.Model.
+func (m *Model) NumTargets() int { return m.nt }
+
+// PredictTargets implements transpose.Model: the application's score on
+// every target machine is the similarity-weighted mean of its nearest
+// benchmarks' scores on that machine.
+func (m *Model) PredictTargets(dst []float64) error {
+	if len(dst) != m.nt {
+		return fmt.Errorf("gaknn: model predicts %d targets, got %d slots", m.nt, len(dst))
+	}
+	for t := 0; t < m.nt; t++ {
+		dst[t] = weightedMean(m.Neighbours, func(b int) float64 { return m.tgt.at(b, t) })
+	}
+	return nil
+}
+
+// PredictApp implements transpose.Predictor as a thin adapter over Fit.
 func (p *Predictor) PredictApp(f transpose.Fold) ([]float64, error) {
+	return transpose.FitPredict(p, f)
+}
+
+// rowMajor is a flat row-major benchmarks × machines score table — the
+// target half of the fold materialised once per fit, so the GA fitness
+// loop streams it cache-friendly with no per-evaluation indirection.
+type rowMajor struct {
+	data []float64
+	cols int
+}
+
+func (r rowMajor) at(b, t int) float64 { return r.data[b*r.cols+t] }
+func (r rowMajor) row(b int) []float64 { return r.data[b*r.cols : (b+1)*r.cols] }
+
+// looScratch is the per-worker buffer set of one GA fitness evaluation.
+// Fitness evaluations run concurrently across genomes; each borrows one
+// scratch, fills it from its inputs, and returns it.
+type looScratch struct {
+	nbrs []knn.Neighbour
+}
+
+var looScratchPool = engine.NewScratch(func() *looScratch { return &looScratch{} })
+
+// Fit implements transpose.Fitter: it learns the distance weights on the
+// fold and returns the trained model.
+func (p *Predictor) Fit(f transpose.Fold) (transpose.Model, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,43 +152,49 @@ func (p *Predictor) PredictApp(f transpose.Fold) ([]float64, error) {
 	// learned weights are scale-free.
 	zBench, zApp := normalise(vectors, appVec)
 
+	// Materialise the target scores once: the fitness loop reads every
+	// cell per evaluation, so it must not pay view indirection there.
+	nt := f.Tgt.NumMachines()
+	scores := rowMajor{data: make([]float64, nb*nt), cols: nt}
+	for b := 0; b < nb; b++ {
+		f.Tgt.CopyRowInto(b, scores.row(b))
+	}
+
 	// Learn distance weights: minimise the leave-one-out kNN prediction
 	// error over the training benchmarks on the target machines.
 	cfg := p.GA
 	cfg.Genes = dim
 	res, err := ga.Run(func(w []float64) float64 {
-		return p.looError(w, zBench, f.Tgt.Scores)
+		return p.looError(w, zBench, scores)
 	}, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("gaknn: weight learning: %w", err)
 	}
 
-	// Predict the application on every target machine from its k nearest
-	// benchmarks under the learned metric.
-	nbrs, err := p.neighbours(res.Best, zBench, zApp, -1)
-	if err != nil {
-		return nil, err
-	}
-	nt := f.Tgt.NumMachines()
-	out := make([]float64, nt)
-	for t := 0; t < nt; t++ {
-		out[t] = weightedMean(nbrs, func(b int) float64 { return f.Tgt.Scores[b][t] })
-	}
-	return out, nil
+	// The application's k nearest benchmarks under the learned metric.
+	nbrs := p.nearest(res.Best, zBench, zApp, -1, nil)
+	return &Model{
+		Weights:    res.Best,
+		Neighbours: nbrs,
+		tgt:        scores,
+		nt:         nt,
+	}, nil
 }
 
 // looError is the GA fitness: mean relative error of leave-one-out kNN
-// prediction over the training benchmarks and all target machines.
-func (p *Predictor) looError(w []float64, zBench [][]float64, scores [][]float64) float64 {
+// prediction over the training benchmarks and all target machines. It
+// draws its neighbour buffer from a per-worker scratch pool, so one
+// evaluation allocates nothing once the pool is warm.
+func (p *Predictor) looError(w []float64, zBench [][]float64, scores rowMajor) float64 {
+	s := looScratchPool.Get()
+	defer looScratchPool.Put(s)
 	total, count := 0.0, 0
 	for b := range zBench {
-		nbrs, err := p.neighbours(w, zBench, zBench[b], b)
-		if err != nil {
-			return math.Inf(1)
-		}
-		for t := range scores[b] {
-			pred := weightedMean(nbrs, func(nb int) float64 { return scores[nb][t] })
-			actual := scores[b][t]
+		nbrs := p.nearest(w, zBench, zBench[b], b, s.nbrs)
+		s.nbrs = nbrs[:0]
+		row := scores.row(b)
+		for t, actual := range row {
+			pred := weightedMean(nbrs, func(nb int) float64 { return scores.at(nb, t) })
 			total += math.Abs(pred-actual) / actual
 			count++
 		}
@@ -140,31 +205,49 @@ func (p *Predictor) looError(w []float64, zBench [][]float64, scores [][]float64
 	return total / float64(count)
 }
 
-// neighbours returns the k nearest benchmarks to query under the weighted
-// metric, excluding index skip (pass -1 to keep all).
-func (p *Predictor) neighbours(w []float64, zBench [][]float64, query []float64, skip int) ([]knn.Neighbour, error) {
-	points := make([][]float64, 0, len(zBench))
-	idx := make([]int, 0, len(zBench))
+// nearest returns the k nearest benchmarks to query under the weighted
+// Euclidean metric, excluding index skip (pass -1 to keep all). buf, when
+// non-nil, provides the neighbour buffer (contents overwritten). Distances,
+// the stable (distance, index) ordering and the k clamp match
+// knn.Regressor.Neighbours exactly.
+func (p *Predictor) nearest(w []float64, zBench [][]float64, query []float64, skip int, buf []knn.Neighbour) []knn.Neighbour {
+	n := len(zBench)
+	if skip >= 0 {
+		n--
+	}
+	if cap(buf) < n {
+		buf = make([]knn.Neighbour, 0, n)
+	}
+	all := buf[:0]
 	for i, v := range zBench {
 		if i == skip {
 			continue
 		}
-		points = append(points, v)
-		idx = append(idx, i)
+		s := 0.0
+		for j := range query {
+			d := query[j] - v[j]
+			s += w[j] * d * d
+		}
+		all = append(all, knn.Neighbour{Index: i, Distance: math.Sqrt(s)})
 	}
-	targets := make([]float64, len(points)) // unused; Neighbours only
-	reg, err := knn.NewRegressor(points, targets, p.K, knn.WeightedEuclidean(w))
-	if err != nil {
-		return nil, err
+	// (Distance, Index) is a strict total order (distances are finite —
+	// GA genes are clamped to [0,1] — and indices unique), so this
+	// allocation-free unstable sort is permutation-identical to the
+	// stable sort knn.Regressor.Neighbours runs.
+	slices.SortFunc(all, func(a, b knn.Neighbour) int {
+		if a.Distance != b.Distance {
+			if a.Distance < b.Distance {
+				return -1
+			}
+			return 1
+		}
+		return a.Index - b.Index
+	})
+	k := p.K
+	if k > len(all) {
+		k = len(all)
 	}
-	nbrs, err := reg.Neighbours(query)
-	if err != nil {
-		return nil, err
-	}
-	for i := range nbrs {
-		nbrs[i].Index = idx[nbrs[i].Index]
-	}
-	return nbrs, nil
+	return all[:k]
 }
 
 // weightedMean combines neighbour values with inverse-squared-distance

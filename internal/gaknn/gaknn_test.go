@@ -45,7 +45,7 @@ func clusteredWorld(t *testing.T, seed int64) (pred, tgt *dataset.Matrix, chars 
 			if isB(name) {
 				pos = float64(len(tgtM) - m)
 			}
-			tgt.Scores[b][m] = scale * pos * (1 + rng.NormFloat64()*0.01)
+			tgt.Set(b, m, scale*pos*(1+rng.NormFloat64()*0.01))
 		}
 	}
 	predM := []dataset.Machine{{ID: "p0", Family: "P"}}
@@ -54,7 +54,7 @@ func clusteredWorld(t *testing.T, seed int64) (pred, tgt *dataset.Matrix, chars 
 		t.Fatal(err)
 	}
 	for b := range bench {
-		pred.Scores[b][0] = 1 + rng.Float64()
+		pred.Set(b, 0, 1+rng.Float64())
 	}
 	chars = map[string][]float64{}
 	for _, name := range bench {
@@ -199,10 +199,11 @@ func TestWeightedMeanExactHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	for m := range predicted {
-		rel := math.Abs(predicted[m]-fold.Tgt.Scores[b1][m]) / fold.Tgt.Scores[b1][m]
+		twin := fold.Tgt.At(b1, m)
+		rel := math.Abs(predicted[m]-twin) / twin
 		if rel > 0.25 {
 			t.Fatalf("machine %d: prediction %v far from twin benchmark score %v",
-				m, predicted[m], fold.Tgt.Scores[b1][m])
+				m, predicted[m], twin)
 		}
 	}
 }

@@ -108,10 +108,21 @@ func NewRegressor(points [][]float64, targets []float64, k int, dist Distance) (
 // Neighbours returns the k nearest training points to q, closest first.
 // Ties are broken by index for determinism.
 func (r *Regressor) Neighbours(q []float64) ([]Neighbour, error) {
+	return r.NeighboursInto(q, nil)
+}
+
+// NeighboursInto is Neighbours with a caller-supplied scratch buffer: buf's
+// backing array is reused when its capacity fits the training set, so
+// repeated queries allocate nothing. The returned slice aliases buf and is
+// only valid until the next call with the same buffer.
+func (r *Regressor) NeighboursInto(q []float64, buf []Neighbour) ([]Neighbour, error) {
 	if len(q) != len(r.points[0]) {
 		return nil, fmt.Errorf("knn: query has %d dims, want %d", len(q), len(r.points[0]))
 	}
-	all := make([]Neighbour, len(r.points))
+	if cap(buf) < len(r.points) {
+		buf = make([]Neighbour, len(r.points))
+	}
+	all := buf[:len(r.points)]
 	for i, p := range r.points {
 		all[i] = Neighbour{Index: i, Distance: r.dist(q, p)}
 	}

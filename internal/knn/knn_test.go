@@ -228,3 +228,40 @@ func TestDistanceAxiomsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNeighboursIntoReusesBuffer(t *testing.T) {
+	points := [][]float64{{0}, {1}, {2}, {3}}
+	r, err := NewRegressor(points, []float64{0, 1, 2, 3}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Neighbour, 0, len(points))
+	a, err := r.NeighboursInto([]float64{0.1}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 || a[0].Index != 0 || a[1].Index != 1 {
+		t.Fatalf("neighbours = %+v", a)
+	}
+	if &a[0] != &buf[:1][0] {
+		t.Fatal("NeighboursInto must reuse the caller's buffer")
+	}
+	// Same query through the allocating path agrees.
+	b, err := r.Neighbours([]float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if a[i] != b[i] {
+			t.Fatalf("buffered %v != allocating %v", a[i], b[i])
+		}
+	}
+	// A short buffer is grown, not overrun.
+	c, err := r.NeighboursInto([]float64{2.9}, make([]Neighbour, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 2 || c[0].Index != 3 {
+		t.Fatalf("neighbours = %+v", c)
+	}
+}

@@ -3,10 +3,12 @@
 // and Householder-QR least squares.
 //
 // The package is deliberately small and dependency-free (stdlib only). All
-// matrices are dense, row-major float64. Operations that can fail (shape
-// mismatches, singular systems) return errors rather than panicking, except
-// for index accessors, which panic on out-of-range indices like built-in
-// slices do.
+// matrices are dense, row-major float64, backed by a single flat slice
+// plus a stride, so contiguous rectangular windows of a matrix can be
+// exposed as zero-copy views (SubMatrixView, RowView). Operations that can
+// fail (shape mismatches, singular systems) return errors rather than
+// panicking, except for index accessors, which panic on out-of-range
+// indices like built-in slices do.
 package la
 
 import (
@@ -24,10 +26,13 @@ var ErrShape = errors.New("la: incompatible matrix shapes")
 // ErrSingular is returned when a linear system has no unique solution.
 var ErrSingular = errors.New("la: matrix is singular to working precision")
 
-// Matrix is a dense row-major matrix of float64 values.
+// Matrix is a dense row-major matrix of float64 values. Row i occupies
+// data[i*stride : i*stride+cols]; stride == cols for matrices that own
+// their storage, stride > cols for views into a wider parent.
 type Matrix struct {
 	rows, cols int
-	data       []float64 // len == rows*cols, row-major
+	stride     int
+	data       []float64 // row-major backing; len >= (rows-1)*stride+cols
 }
 
 // NewMatrix returns a zero-initialised rows×cols matrix.
@@ -36,7 +41,7 @@ func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("la: NewMatrix(%d, %d): negative dimension", rows, cols))
 	}
-	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+	return &Matrix{rows: rows, cols: cols, stride: cols, data: make([]float64, rows*cols)}
 }
 
 // NewMatrixFromRows builds a matrix from a slice of equal-length rows.
@@ -70,22 +75,28 @@ func (m *Matrix) Rows() int { return m.rows }
 // Cols returns the number of columns.
 func (m *Matrix) Cols() int { return m.cols }
 
+// Stride returns the backing-row width (== Cols for non-views).
+func (m *Matrix) Stride() int { return m.stride }
+
+// IsView reports whether the matrix shares a wider parent's backing array.
+func (m *Matrix) IsView() bool { return m.stride != m.cols }
+
 // At returns the element at row i, column j.
 func (m *Matrix) At(i, j int) float64 {
 	m.check(i, j)
-	return m.data[i*m.cols+j]
+	return m.data[i*m.stride+j]
 }
 
 // Set assigns v to the element at row i, column j.
 func (m *Matrix) Set(i, j int, v float64) {
 	m.check(i, j)
-	m.data[i*m.cols+j] = v
+	m.data[i*m.stride+j] = v
 }
 
 // Add adds v to the element at row i, column j.
 func (m *Matrix) Add(i, j int, v float64) {
 	m.check(i, j)
-	m.data[i*m.cols+j] += v
+	m.data[i*m.stride+j] += v
 }
 
 func (m *Matrix) check(i, j int) {
@@ -94,14 +105,45 @@ func (m *Matrix) check(i, j int) {
 	}
 }
 
+// row returns the aliasing slice of row i without copying.
+func (m *Matrix) row(i int) []float64 {
+	return m.data[i*m.stride : i*m.stride+m.cols]
+}
+
 // Row returns a copy of row i.
 func (m *Matrix) Row(i int) []float64 {
 	if i < 0 || i >= m.rows {
 		panic(fmt.Sprintf("la: row %d out of range for %d×%d matrix", i, m.rows, m.cols))
 	}
 	out := make([]float64, m.cols)
-	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	copy(out, m.row(i))
 	return out
+}
+
+// RowView returns row i as a slice aliasing the matrix storage: writes to
+// the slice write through to the matrix. The slice stays valid for the
+// lifetime of the backing array.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("la: row %d out of range for %d×%d matrix", i, m.rows, m.cols))
+	}
+	return m.row(i)
+}
+
+// SubMatrixView returns the r×c window with top-left corner (i0, j0) as a
+// zero-copy view: it shares the receiver's backing array with a stride, so
+// writes through either alias the other.
+func (m *Matrix) SubMatrixView(i0, j0, r, c int) *Matrix {
+	if i0 < 0 || j0 < 0 || r < 0 || c < 0 || i0+r > m.rows || j0+c > m.cols {
+		panic(fmt.Sprintf("la: SubMatrixView(%d, %d, %d, %d) out of range for %d×%d matrix",
+			i0, j0, r, c, m.rows, m.cols))
+	}
+	var data []float64
+	if r > 0 && c > 0 {
+		start := i0*m.stride + j0
+		data = m.data[start : start+(r-1)*m.stride+c]
+	}
+	return &Matrix{rows: r, cols: c, stride: m.stride, data: data}
 }
 
 // Col returns a copy of column j.
@@ -111,7 +153,7 @@ func (m *Matrix) Col(j int) []float64 {
 	}
 	out := make([]float64, m.rows)
 	for i := 0; i < m.rows; i++ {
-		out[i] = m.data[i*m.cols+j]
+		out[i] = m.data[i*m.stride+j]
 	}
 	return out
 }
@@ -121,7 +163,7 @@ func (m *Matrix) SetRow(i int, v []float64) {
 	if len(v) != m.cols {
 		panic(fmt.Sprintf("la: SetRow: got %d values, want %d", len(v), m.cols))
 	}
-	copy(m.data[i*m.cols:(i+1)*m.cols], v)
+	copy(m.row(i), v)
 }
 
 // SetCol copies v into column j.
@@ -130,14 +172,16 @@ func (m *Matrix) SetCol(j int, v []float64) {
 		panic(fmt.Sprintf("la: SetCol: got %d values, want %d", len(v), m.rows))
 	}
 	for i := 0; i < m.rows; i++ {
-		m.data[i*m.cols+j] = v[i]
+		m.data[i*m.stride+j] = v[i]
 	}
 }
 
-// Clone returns a deep copy of m.
+// Clone returns a deep, contiguous copy of m (views are compacted).
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.rows, m.cols)
-	copy(out.data, m.data)
+	for i := 0; i < m.rows; i++ {
+		copy(out.row(i), m.row(i))
+	}
 	return out
 }
 
@@ -145,8 +189,9 @@ func (m *Matrix) Clone() *Matrix {
 func (m *Matrix) T() *Matrix {
 	out := NewMatrix(m.cols, m.rows)
 	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		row := m.row(i)
+		for j, v := range row {
+			out.data[j*out.stride+i] = v
 		}
 	}
 	return out
@@ -193,14 +238,14 @@ func (m *Matrix) mulRange(out, b *Matrix, i0, i1 int) {
 		for j0 := 0; j0 < b.cols; j0 += mulBlock {
 			j1 := min(j0+mulBlock, b.cols)
 			for i := i0; i < i1; i++ {
-				mrow := m.data[i*m.cols : (i+1)*m.cols]
-				orow := out.data[i*out.cols+j0 : i*out.cols+j1]
+				mrow := m.row(i)
+				orow := out.data[i*out.stride+j0 : i*out.stride+j1]
 				for k := k0; k < k1; k++ {
 					mv := mrow[k]
 					if mv == 0 {
 						continue
 					}
-					brow := b.data[k*b.cols+j0 : k*b.cols+j1]
+					brow := b.data[k*b.stride+j0 : k*b.stride+j1]
 					for j, bv := range brow {
 						orow[j] += mv * bv
 					}
@@ -217,7 +262,7 @@ func (m *Matrix) MulVec(v []float64) ([]float64, error) {
 	}
 	out := make([]float64, m.rows)
 	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
+		row := m.row(i)
 		s := 0.0
 		for j, rv := range row {
 			s += rv * v[j]
@@ -233,8 +278,11 @@ func (m *Matrix) AddM(b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("la: AddM %d×%d and %d×%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
 	}
 	out := m.Clone()
-	for i := range out.data {
-		out.data[i] += b.data[i]
+	for i := 0; i < m.rows; i++ {
+		orow, brow := out.row(i), b.row(i)
+		for j, v := range brow {
+			orow[j] += v
+		}
 	}
 	return out, nil
 }
@@ -245,8 +293,11 @@ func (m *Matrix) SubM(b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("la: SubM %d×%d and %d×%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
 	}
 	out := m.Clone()
-	for i := range out.data {
-		out.data[i] -= b.data[i]
+	for i := 0; i < m.rows; i++ {
+		orow, brow := out.row(i), b.row(i)
+		for j, v := range brow {
+			orow[j] -= v
+		}
 	}
 	return out, nil
 }
@@ -263,9 +314,11 @@ func (m *Matrix) Scale(s float64) *Matrix {
 // MaxAbs returns the largest absolute element value, or 0 for an empty matrix.
 func (m *Matrix) MaxAbs() float64 {
 	max := 0.0
-	for _, v := range m.data {
-		if a := math.Abs(v); a > max {
-			max = a
+	for i := 0; i < m.rows; i++ {
+		for _, v := range m.row(i) {
+			if a := math.Abs(v); a > max {
+				max = a
+			}
 		}
 	}
 	return max
@@ -274,8 +327,10 @@ func (m *Matrix) MaxAbs() float64 {
 // FrobeniusNorm returns the Frobenius norm of m.
 func (m *Matrix) FrobeniusNorm() float64 {
 	s := 0.0
-	for _, v := range m.data {
-		s += v * v
+	for i := 0; i < m.rows; i++ {
+		for _, v := range m.row(i) {
+			s += v * v
+		}
 	}
 	return math.Sqrt(s)
 }
@@ -285,9 +340,12 @@ func (m *Matrix) Equal(b *Matrix, tol float64) bool {
 	if m.rows != b.rows || m.cols != b.cols {
 		return false
 	}
-	for i := range m.data {
-		if math.Abs(m.data[i]-b.data[i]) > tol {
-			return false
+	for i := 0; i < m.rows; i++ {
+		mrow, brow := m.row(i), b.row(i)
+		for j := range mrow {
+			if math.Abs(mrow[j]-brow[j]) > tol {
+				return false
+			}
 		}
 	}
 	return true

@@ -18,7 +18,7 @@ func Solve(a *Matrix, b []float64) ([]float64, error) {
 	// Work on an augmented copy.
 	aug := NewMatrix(n, n+1)
 	for i := 0; i < n; i++ {
-		copy(aug.data[i*(n+1):i*(n+1)+n], a.data[i*n:(i+1)*n])
+		copy(aug.data[i*(n+1):i*(n+1)+n], a.row(i))
 		aug.data[i*(n+1)+n] = b[i]
 	}
 	for k := 0; k < n; k++ {

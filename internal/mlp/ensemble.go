@@ -77,3 +77,63 @@ func (e *Ensemble) Predict1(x []float64) (float64, error) {
 	}
 	return out[0], nil
 }
+
+// NewForward allocates forward-pass scratch shared by all members (one
+// Ensemble always holds identically shaped networks).
+func (e *Ensemble) NewForward() (*Forward, error) {
+	if len(e.Nets) == 0 {
+		return nil, errors.New("mlp: empty ensemble")
+	}
+	return e.Nets[0].NewForward(), nil
+}
+
+// Predict1With is Predict1 with caller-owned scratch: no allocation per
+// call. The member average accumulates in member order, exactly as
+// Predict does, so results are bitwise identical.
+func (e *Ensemble) Predict1With(f *Forward, x []float64) (float64, error) {
+	if len(e.Nets) == 0 {
+		return 0, errors.New("mlp: empty ensemble")
+	}
+	s := 0.0
+	for i, net := range e.Nets {
+		if net.NOut != 1 {
+			return 0, fmt.Errorf("mlp: Predict1 on ensemble with %d outputs", net.NOut)
+		}
+		if len(x) != net.NIn {
+			return 0, fmt.Errorf("mlp: Predict with %d attributes, network has %d", len(x), net.NIn)
+		}
+		if !f.compatible(net) {
+			return 0, fmt.Errorf("mlp: Forward scratch does not fit ensemble member %d", i)
+		}
+		net.predictInto(f, x, f.out)
+		if i == 0 {
+			s = f.out[0]
+		} else {
+			s += f.out[0]
+		}
+	}
+	return s / float64(len(e.Nets)), nil
+}
+
+// Predict1Batch predicts every input vector in one call, writing
+// predictions into dst (len(dst) == len(inputs)). One set of forward
+// buffers serves the whole batch — the batch costs one allocation instead
+// of a few per input. Results are bitwise identical to calling Predict1
+// per input.
+func (e *Ensemble) Predict1Batch(inputs [][]float64, dst []float64) error {
+	if len(dst) != len(inputs) {
+		return fmt.Errorf("mlp: Predict1Batch with %d inputs and %d output slots", len(inputs), len(dst))
+	}
+	f, err := e.NewForward()
+	if err != nil {
+		return err
+	}
+	for i, x := range inputs {
+		y, err := e.Predict1With(f, x)
+		if err != nil {
+			return err
+		}
+		dst[i] = y
+	}
+	return nil
+}

@@ -117,24 +117,35 @@ func fitScaler(rows [][]float64) scaler {
 
 func (s scaler) apply(x []float64) []float64 {
 	out := make([]float64, len(x))
+	s.applyInto(x, out)
+	return out
+}
+
+// applyInto normalises x into dst without allocating. dst must have the
+// same length as x.
+func (s scaler) applyInto(x, dst []float64) {
 	for j, v := range x {
 		span := s.Max[j] - s.Min[j]
 		if span == 0 {
-			out[j] = 0
+			dst[j] = 0
 			continue
 		}
-		out[j] = 2*(v-s.Min[j])/span - 1
+		dst[j] = 2*(v-s.Min[j])/span - 1
 	}
-	return out
 }
 
 func (s scaler) invert(y []float64) []float64 {
 	out := make([]float64, len(y))
+	s.invertInto(y, out)
+	return out
+}
+
+// invertInto denormalises y into dst without allocating.
+func (s scaler) invertInto(y, dst []float64) {
 	for j, v := range y {
 		span := s.Max[j] - s.Min[j]
-		out[j] = s.Min[j] + (v+1)/2*span
+		dst[j] = s.Min[j] + (v+1)/2*span
 	}
-	return out
 }
 
 // Network is a trained multilayer perceptron.
@@ -201,12 +212,17 @@ func Train(inputs, targets [][]float64, cfg Config) (*Network, error) {
 		net.Layers = append(net.Layers, ly)
 	}
 
-	// Pre-normalise the training set once.
+	// Pre-normalise the training set once, into two flat backing arrays
+	// (one allocation each) instead of one slice per instance.
 	xs := make([][]float64, len(inputs))
 	ys := make([][]float64, len(targets))
+	xFlat := make([]float64, len(inputs)*nIn)
+	yFlat := make([]float64, len(targets)*nOut)
 	for i := range inputs {
-		xs[i] = net.In.apply(inputs[i])
-		ys[i] = net.Out.apply(targets[i])
+		xs[i] = xFlat[i*nIn : (i+1)*nIn]
+		net.In.applyInto(inputs[i], xs[i])
+		ys[i] = yFlat[i*nOut : (i+1)*nOut]
+		net.Out.applyInto(targets[i], ys[i])
 	}
 
 	order := make([]int, len(xs))
@@ -306,15 +322,64 @@ func (n *Network) backprop(x, y []float64, lr, momentum float64, acts, deltas []
 	}
 }
 
+// Forward is reusable forward-pass scratch for one network topology. A
+// Forward is valid for every network with the same layer sizes — in
+// particular for all members of one Ensemble. It is not safe for
+// concurrent use; per-worker code paths keep one Forward per worker.
+type Forward struct {
+	acts [][]float64
+	out  []float64
+}
+
+// NewForward allocates forward-pass scratch sized for n.
+func (n *Network) NewForward() *Forward {
+	return &Forward{acts: n.newActivations(), out: make([]float64, n.NOut)}
+}
+
+// compatible reports whether f's buffers fit n's topology.
+func (f *Forward) compatible(n *Network) bool {
+	if len(f.acts) != len(n.Layers)+1 || len(f.acts[0]) != n.NIn || len(f.out) != n.NOut {
+		return false
+	}
+	for l, ly := range n.Layers {
+		if len(f.acts[l+1]) != len(ly.W) {
+			return false
+		}
+	}
+	return true
+}
+
+// predictInto runs one forward pass through f's buffers, writing the
+// denormalised output into dst (length NOut). Identical arithmetic to
+// Predict — only the buffer lifetimes differ.
+func (n *Network) predictInto(f *Forward, x, dst []float64) {
+	n.In.applyInto(x, f.acts[0])
+	n.forward(f.acts)
+	n.Out.invertInto(f.acts[len(f.acts)-1], dst)
+}
+
 // Predict returns the network output for attribute vector x.
 func (n *Network) Predict(x []float64) ([]float64, error) {
 	if len(x) != n.NIn {
 		return nil, fmt.Errorf("mlp: Predict with %d attributes, network has %d", len(x), n.NIn)
 	}
-	acts := n.newActivations()
-	copy(acts[0], n.In.apply(x))
-	n.forward(acts)
-	return n.Out.invert(acts[len(acts)-1]), nil
+	out := make([]float64, n.NOut)
+	f := n.NewForward()
+	n.predictInto(f, x, out)
+	return out, nil
+}
+
+// PredictWith is Predict with caller-owned scratch: the returned slice is
+// f's internal output buffer, overwritten by the next call.
+func (n *Network) PredictWith(f *Forward, x []float64) ([]float64, error) {
+	if len(x) != n.NIn {
+		return nil, fmt.Errorf("mlp: Predict with %d attributes, network has %d", len(x), n.NIn)
+	}
+	if !f.compatible(n) {
+		return nil, fmt.Errorf("mlp: Forward scratch does not fit this network topology")
+	}
+	n.predictInto(f, x, f.out)
+	return f.out, nil
 }
 
 // Predict1 is Predict for single-output networks, returning the scalar.

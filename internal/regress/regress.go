@@ -34,12 +34,26 @@ type Simple struct {
 // FitSimple fits y ≈ a + b·x by ordinary least squares.
 // It requires at least two observations and a non-constant x.
 func FitSimple(x, y []float64) (*Simple, error) {
+	m, err := fitSimple(x, y)
+	if err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// fitSimple is the allocation-free core of FitSimple, returning the model
+// by value so hot callers (BestSimple under the NNᵀ predictor) fit
+// thousands of candidates without a heap allocation per fit. R² and RSS
+// stream past the data in the same accumulation order stats.RSquared
+// uses on a materialised prediction vector, so results are bitwise
+// identical to the buffered formulation.
+func fitSimple(x, y []float64) (Simple, error) {
 	if len(x) != len(y) {
-		return nil, fmt.Errorf("regress: FitSimple with %d x and %d y values: %w", len(x), len(y), stats.ErrLength)
+		return Simple{}, fmt.Errorf("regress: FitSimple with %d x and %d y values: %w", len(x), len(y), stats.ErrLength)
 	}
 	n := len(x)
 	if n < 2 {
-		return nil, fmt.Errorf("regress: FitSimple with %d observations: %w", n, ErrTooFew)
+		return Simple{}, fmt.Errorf("regress: FitSimple with %d observations: %w", n, ErrTooFew)
 	}
 	mx, my := stats.Mean(x), stats.Mean(y)
 	var sxx, sxy float64
@@ -49,22 +63,21 @@ func FitSimple(x, y []float64) (*Simple, error) {
 		sxy += dx * (y[i] - my)
 	}
 	if sxx == 0 {
-		return nil, ErrDegenerate
+		return Simple{}, ErrDegenerate
 	}
 	b := sxy / sxx
 	a := my - b*mx
-	m := &Simple{Intercept: a, Slope: b, N: n}
-	pred := make([]float64, n)
+	m := Simple{Intercept: a, Slope: b, N: n}
+	var ssTot float64
 	for i := range x {
-		pred[i] = m.Predict(x[i])
-		r := y[i] - pred[i]
+		r := y[i] - m.Predict(x[i])
 		m.RSS += r * r
+		d := y[i] - my
+		ssTot += d * d
 	}
-	r2, err := stats.RSquared(y, pred)
-	if err != nil {
-		return nil, err
+	if ssTot != 0 {
+		m.R2 = 1 - m.RSS/ssTot
 	}
-	m.R2 = r2
 	return m, nil
 }
 
@@ -104,10 +117,10 @@ func FitMultiple(xs [][]float64, ys []float64) (*Multiple, error) {
 		if len(row) != p-1 {
 			return nil, fmt.Errorf("regress: row %d has %d predictors, want %d: %w", i, len(row), p-1, stats.ErrLength)
 		}
-		design.Set(i, 0, 1)
-		for j, v := range row {
-			design.Set(i, j+1, v)
-		}
+		// Fill through a zero-copy row view: intercept column then predictors.
+		dst := design.RowView(i)
+		dst[0] = 1
+		copy(dst[1:], row)
 	}
 	coef, err := la.LeastSquares(design, ys)
 	if err != nil {
@@ -167,10 +180,10 @@ func FitRidge(xs [][]float64, ys []float64, lambda float64) (*Ridge, error) {
 		if len(row) != p-1 {
 			return nil, fmt.Errorf("regress: row %d has %d predictors, want %d: %w", i, len(row), p-1, stats.ErrLength)
 		}
-		design.Set(i, 0, 1)
-		for j, v := range row {
-			design.Set(i, j+1, v)
-		}
+		// Fill through a zero-copy row view: intercept column then predictors.
+		dst := design.RowView(i)
+		dst[0] = 1
+		copy(dst[1:], row)
 	}
 	xt := design.T()
 	xtx, err := xt.Mul(design)
@@ -216,22 +229,22 @@ func BestSimple(candidates [][]float64, y []float64) (int, *Simple, error) {
 		return -1, nil, fmt.Errorf("regress: BestSimple with no candidates: %w", ErrTooFew)
 	}
 	bestIdx := -1
-	var best *Simple
+	var best Simple
 	var firstErr error
 	for i, x := range candidates {
-		m, err := FitSimple(x, y)
+		m, err := fitSimple(x, y)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		if best == nil || m.R2 > best.R2 || (m.R2 == best.R2 && m.RSS < best.RSS) {
+		if bestIdx < 0 || m.R2 > best.R2 || (m.R2 == best.R2 && m.RSS < best.RSS) {
 			bestIdx, best = i, m
 		}
 	}
-	if best == nil {
+	if bestIdx < 0 {
 		return -1, nil, fmt.Errorf("regress: BestSimple: all %d candidates failed: %w", len(candidates), firstErr)
 	}
-	return bestIdx, best, nil
+	return bestIdx, &best, nil
 }

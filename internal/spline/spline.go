@@ -179,8 +179,8 @@ func fitFixed(x, y []float64, opts Options) (*Model, error) {
 
 	design := la.NewMatrix(n, p)
 	for i, xi := range x {
-		row := basis(xi, knots, p)
-		design.SetRow(i, row)
+		// Fill the design row in place through a zero-copy row view.
+		basisInto(xi, knots, design.RowView(i))
 	}
 	var coef []float64
 	var err error
@@ -223,6 +223,14 @@ func fitFixed(x, y []float64, opts Options) (*Model, error) {
 // basis evaluates the truncated-power basis of dimension p at x.
 func basis(x float64, knots []float64, p int) []float64 {
 	row := make([]float64, p)
+	basisInto(x, knots, row)
+	return row
+}
+
+// basisInto evaluates the basis into row (len(row) = dimension p),
+// overwriting every slot.
+func basisInto(x float64, knots []float64, row []float64) {
+	p := len(row)
 	row[0] = 1
 	if p >= 2 {
 		row[1] = x
@@ -237,11 +245,12 @@ func basis(x float64, knots []float64, p int) []float64 {
 		if 4+j >= p {
 			break
 		}
+		v := 0.0
 		if d := x - kn; d > 0 {
-			row[4+j] = d * d * d
+			v = d * d * d
 		}
+		row[4+j] = v
 	}
-	return row
 }
 
 // quantileKnots places k interior knots at evenly spaced quantiles of x.

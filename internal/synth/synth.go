@@ -156,7 +156,7 @@ func generate(roster []machine.Config, table *mica.Table, opts Options) (*Data, 
 			if opts.ScoreNoise > 0 {
 				score *= math.Exp(rng.NormFloat64() * opts.ScoreNoise)
 			}
-			mat.Scores[b][m] = score
+			mat.Set(b, m, score)
 		}
 	}
 	if err := mat.Validate(); err != nil {

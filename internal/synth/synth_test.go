@@ -45,9 +45,9 @@ func TestGenerateDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range a.Matrix.Scores {
-		for j := range a.Matrix.Scores[i] {
-			if a.Matrix.Scores[i][j] != b.Matrix.Scores[i][j] {
+	for i := 0; i < a.Matrix.NumBenchmarks(); i++ {
+		for j := 0; j < a.Matrix.NumMachines(); j++ {
+			if a.Matrix.At(i, j) != b.Matrix.At(i, j) {
 				t.Fatal("same seed produced different scores")
 			}
 		}
@@ -57,9 +57,9 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	same := true
-	for i := range a.Matrix.Scores {
-		for j := range a.Matrix.Scores[i] {
-			if a.Matrix.Scores[i][j] != c.Matrix.Scores[i][j] {
+	for i := 0; i < a.Matrix.NumBenchmarks(); i++ {
+		for j := 0; j < a.Matrix.NumMachines(); j++ {
+			if a.Matrix.At(i, j) != c.Matrix.At(i, j) {
 				same = false
 			}
 		}
@@ -79,9 +79,9 @@ func TestNoiseMagnitude(t *testing.T) {
 		t.Fatal(err)
 	}
 	var rel []float64
-	for i := range clean.Matrix.Scores {
-		for j := range clean.Matrix.Scores[i] {
-			rel = append(rel, math.Abs(noisy.Matrix.Scores[i][j]/clean.Matrix.Scores[i][j]-1))
+	for i := 0; i < clean.Matrix.NumBenchmarks(); i++ {
+		for j := 0; j < clean.Matrix.NumMachines(); j++ {
+			rel = append(rel, math.Abs(noisy.Matrix.At(i, j)/clean.Matrix.At(i, j)-1))
 		}
 	}
 	mean := stats.Mean(rel)
@@ -110,7 +110,7 @@ func TestOutlierStructureSurvivesNoise(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		row := d.Matrix.Scores[b]
+		row := d.Matrix.Row(b)
 		arg, err := stats.ArgMax(row)
 		if err != nil {
 			t.Fatal(err)
@@ -147,9 +147,9 @@ func TestMachineMainEffect(t *testing.T) {
 		t.Fatal(err)
 	}
 	for b, name := range d.Matrix.Benchmarks {
-		if d.Matrix.Scores[b][gt] <= d.Matrix.Scores[b][us] {
+		if d.Matrix.At(b, gt) <= d.Matrix.At(b, us) {
 			t.Fatalf("%s: Gainestown %v <= UltraSPARC III %v", name,
-				d.Matrix.Scores[b][gt], d.Matrix.Scores[b][us])
+				d.Matrix.At(b, gt), d.Matrix.At(b, us))
 		}
 	}
 }

@@ -1,0 +1,189 @@
+package transpose
+
+import (
+	"testing"
+)
+
+// fitters returns every built-in Fitter with a small, seeded budget.
+func fitters() []Fitter {
+	m := NewMLPT(3)
+	m.Config.Epochs = 40
+	return []Fitter{NNT{}, NewSPLT(), m}
+}
+
+// TestFitPredictMatchesPredictApp asserts the adapter equivalence: the
+// one-shot interface and the two-phase API produce bitwise-identical
+// predictions.
+func TestFitPredictMatchesPredictApp(t *testing.T) {
+	pred, tgt := syntheticPair(t, 8, 10, 5, 0.01, 21)
+	fold, _, err := NewFold(pred, tgt, "benchD", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ft := range fitters() {
+		p, ok := ft.(Predictor)
+		if !ok {
+			t.Fatalf("%s: fitter must still implement Predictor", ft.Name())
+		}
+		// MLPᵀ trains a fresh (seeded) network each call, so fit both ways
+		// with the same deterministic config.
+		a, err := p.PredictApp(fold)
+		if err != nil {
+			t.Fatalf("%s: %v", ft.Name(), err)
+		}
+		b, err := FitPredict(ft, fold)
+		if err != nil {
+			t.Fatalf("%s: %v", ft.Name(), err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: arity %d vs %d", ft.Name(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: prediction %d differs: %v vs %v", ft.Name(), i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestModelReusable asserts the fit-once/predict-many contract: repeated
+// PredictTargets calls on one model return identical results without
+// refitting.
+func TestModelReusable(t *testing.T) {
+	pred, tgt := syntheticPair(t, 8, 10, 5, 0.01, 22)
+	fold, _, err := NewFold(pred, tgt, "benchC", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ft := range fitters() {
+		model, err := ft.Fit(fold)
+		if err != nil {
+			t.Fatalf("%s: %v", ft.Name(), err)
+		}
+		if model.NumTargets() != fold.Tgt.NumMachines() {
+			t.Fatalf("%s: NumTargets = %d, want %d", ft.Name(), model.NumTargets(), fold.Tgt.NumMachines())
+		}
+		a := make([]float64, model.NumTargets())
+		b := make([]float64, model.NumTargets())
+		if err := model.PredictTargets(a); err != nil {
+			t.Fatalf("%s: %v", ft.Name(), err)
+		}
+		if err := model.PredictTargets(b); err != nil {
+			t.Fatalf("%s: %v", ft.Name(), err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: model not stable across predictions", ft.Name())
+			}
+		}
+		if err := model.PredictTargets(make([]float64, 1+len(a))); err == nil {
+			t.Fatalf("%s: want arity error", ft.Name())
+		}
+	}
+}
+
+// TestNNTModelServesNewApplications exercises the serving path: one fitted
+// NNᵀ model answers queries for a second application without refitting,
+// matching a fresh fit for that application (the pair selection is
+// application-independent).
+func TestNNTModelServesNewApplications(t *testing.T) {
+	pred, tgt := syntheticPair(t, 8, 6, 4, 0.01, 23)
+	foldD, _, err := NewFold(pred, tgt, "benchD", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NNT{}.Fit(foldD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, ok := model.(*NNTModel)
+	if !ok {
+		t.Fatalf("NNT.Fit returned %T", model)
+	}
+	// A hypothetical second application measured on the predictive machines.
+	app2 := make([]float64, len(foldD.AppOnPred))
+	for i, v := range foldD.AppOnPred {
+		app2[i] = 2*v + 1
+	}
+	got := make([]float64, nm.NumTargets())
+	if err := nm.PredictTargetsWith(app2, got); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: a fold identical except for the app measurements.
+	fold2 := foldD
+	fold2.AppOnPred = app2
+	want, err := FitPredict(NNT{}, fold2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("served prediction %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if err := nm.PredictTargetsWith(app2[:1], got); err == nil {
+		t.Fatal("want error for short app measurement vector")
+	}
+}
+
+// TestZeroCopyFoldMatchesDeepCopyFold is the end-to-end view-equivalence
+// guarantee: running a fold on the zero-copy views NewFold produces must
+// yield bitwise-identical predictions to running it on independent
+// deep-copied (Compact) matrices — the old construction.
+func TestZeroCopyFoldMatchesDeepCopyFold(t *testing.T) {
+	pred, tgt := syntheticPair(t, 9, 8, 6, 0.02, 24)
+	for _, ft := range fitters() {
+		viewFold, viewTruth, err := NewFold(pred, tgt, "benchE", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !viewFold.Pred.IsView() || !viewFold.Tgt.IsView() {
+			t.Fatal("NewFold must produce views")
+		}
+		deepFold := viewFold
+		deepFold.Pred = viewFold.Pred.Compact()
+		deepFold.Tgt = viewFold.Tgt.Compact()
+		a, err := FitPredict(ft, viewFold)
+		if err != nil {
+			t.Fatalf("%s: %v", ft.Name(), err)
+		}
+		b, err := FitPredict(ft, deepFold)
+		if err != nil {
+			t.Fatalf("%s: %v", ft.Name(), err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: view prediction %d = %v, deep copy = %v", ft.Name(), i, a[i], b[i])
+			}
+		}
+		if len(viewTruth) != tgt.NumMachines() {
+			t.Fatalf("ground truth arity %d", len(viewTruth))
+		}
+	}
+}
+
+// TestFoldViewsAliasSource proves NewFold is zero-copy: the fold's halves
+// alias the source matrices.
+func TestFoldViewsAliasSource(t *testing.T) {
+	pred, tgt := syntheticPair(t, 6, 4, 3, 0.01, 25)
+	fold, _, err := NewFold(pred, tgt, "benchB", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcB, err := pred.BenchmarkIndex(fold.Pred.Benchmarks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold.Pred.Set(0, 0, 1234.5)
+	if pred.At(srcB, 0) != 1234.5 {
+		t.Fatal("fold predictive half must alias the source matrix")
+	}
+	tgtB, err := tgt.BenchmarkIndex(fold.Tgt.Benchmarks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold.Tgt.Set(0, 0, 4321.5)
+	if tgt.At(tgtB, 0) != 4321.5 {
+		t.Fatal("fold target half must alias the source matrix")
+	}
+}

@@ -14,8 +14,8 @@ func TestNNTSkipsConstantPredictiveMachine(t *testing.T) {
 	pred, tgt := syntheticPair(t, 6, 4, 3, 0.01, 91)
 	// Machine 0 reports the same score for every benchmark (a broken
 	// submission); its regression is degenerate and must be skipped.
-	for b := range pred.Scores {
-		pred.Scores[b][0] = 7
+	for b := range pred.Benchmarks {
+		pred.Set(b, 0, 7)
 	}
 	m, _, _, err := RunFold(pred, tgt, "benchB", nil, NNT{})
 	if err != nil {
@@ -28,9 +28,9 @@ func TestNNTSkipsConstantPredictiveMachine(t *testing.T) {
 
 func TestNNTAllConstantPredictiveFails(t *testing.T) {
 	pred, tgt := syntheticPair(t, 6, 2, 3, 0.01, 92)
-	for b := range pred.Scores {
-		for p := range pred.Scores[b] {
-			pred.Scores[b][p] = 7
+	for b := range pred.Benchmarks {
+		for p := 0; p < pred.NumMachines(); p++ {
+			pred.Set(b, p, 7)
 		}
 	}
 	if _, _, _, err := RunFold(pred, tgt, "benchB", nil, NNT{}); err == nil {
@@ -41,7 +41,7 @@ func TestNNTAllConstantPredictiveFails(t *testing.T) {
 func TestMLPTSurvivesExtremeOutlierScore(t *testing.T) {
 	pred, tgt := syntheticPair(t, 6, 12, 4, 0.01, 93)
 	// One wildly corrupted cell in the predictive half (1000x).
-	pred.Scores[2][3] *= 1000
+	pred.Set(2, 3, pred.At(2, 3)*1000)
 	p := NewMLPT(5)
 	p.Config.Epochs = 100
 	_, _, predicted, err := RunFold(pred, tgt, "benchB", nil, p)
@@ -57,7 +57,7 @@ func TestMLPTSurvivesExtremeOutlierScore(t *testing.T) {
 
 func TestSPLTSurvivesExtremeOutlierScore(t *testing.T) {
 	pred, tgt := syntheticPair(t, 8, 6, 4, 0.01, 94)
-	pred.Scores[1][2] *= 1000
+	pred.Set(1, 2, pred.At(1, 2)*1000)
 	_, _, predicted, err := RunFold(pred, tgt, "benchC", nil, NewSPLT())
 	if err != nil {
 		t.Fatal(err)

@@ -1,9 +1,6 @@
 package transpose
 
 import (
-	"errors"
-	"fmt"
-
 	"repro/internal/spline"
 )
 
@@ -26,26 +23,7 @@ func NewSPLT() *SPLT { return &SPLT{Options: spline.DefaultOptions()} }
 // Name implements Predictor.
 func (*SPLT) Name() string { return "SPL^T" }
 
-// PredictApp implements Predictor.
+// PredictApp implements Predictor as a thin adapter over Fit.
 func (s *SPLT) PredictApp(f Fold) ([]float64, error) {
-	if err := f.Validate(); err != nil {
-		return nil, err
-	}
-	if f.Pred.NumMachines() == 0 {
-		return nil, errors.New("transpose: SPL^T needs at least one predictive machine")
-	}
-	candidates := make([][]float64, f.Pred.NumMachines())
-	for p := range candidates {
-		candidates[p] = f.Pred.Col(p)
-	}
-	out := make([]float64, f.Tgt.NumMachines())
-	for t := range out {
-		y := f.Tgt.Col(t)
-		best, model, err := spline.BestFit(candidates, y, s.Options)
-		if err != nil {
-			return nil, fmt.Errorf("transpose: SPL^T target %q: %w", f.Tgt.Machines[t].ID, err)
-		}
-		out[t] = model.Predict(f.AppOnPred[best])
-	}
-	return out, nil
+	return FitPredict(s, f)
 }

@@ -47,9 +47,9 @@ func TestSPLTCapturesNonLinearPair(t *testing.T) {
 	}
 	for b := 0; b < nb; b++ {
 		x := 1 + float64(b)
-		pred.Scores[b][0] = x
-		tgt.Scores[b][0] = 0.5 * x * x // convex relation
-		tgt.Scores[b][1] = 2 * x
+		pred.Set(b, 0, x)
+		tgt.Set(b, 0, 0.5*x*x) // convex relation
+		tgt.Set(b, 1, 2*x)
 	}
 	// Application of interest follows the same relations.
 	mSpl, _, _, err := RunFold(pred, tgt, "bh", nil, NewSPLT())

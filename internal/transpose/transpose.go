@@ -26,7 +26,6 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/mlp"
-	"repro/internal/regress"
 	"repro/internal/stats"
 )
 
@@ -97,7 +96,11 @@ func NewFold(pred, tgt *dataset.Matrix, app string, chars map[string][]float64) 
 	return f, appOnTgt, nil
 }
 
-// Predictor predicts the application's score on every target machine.
+// Predictor predicts the application's score on every target machine in
+// one shot. It is the legacy interface kept for external implementations
+// and migration; the built-in methods implement the two-phase Fitter API
+// (Fit returning a reusable Model) and satisfy Predictor through the
+// FitPredict adapter.
 type Predictor interface {
 	// Name identifies the method ("NN^T", "MLP^T", "GA-kNN").
 	Name() string
@@ -112,30 +115,12 @@ type NNT struct{}
 // Name implements Predictor.
 func (NNT) Name() string { return "NN^T" }
 
-// PredictApp implements Predictor. For each target machine it selects the
-// predictive machine whose benchmark scores fit the target's best (highest
-// R²) and extrapolates the application of interest through that regression.
-func (NNT) PredictApp(f Fold) ([]float64, error) {
-	if err := f.Validate(); err != nil {
-		return nil, err
-	}
-	if f.Pred.NumMachines() == 0 {
-		return nil, errors.New("transpose: NN^T needs at least one predictive machine")
-	}
-	candidates := make([][]float64, f.Pred.NumMachines())
-	for p := range candidates {
-		candidates[p] = f.Pred.Col(p)
-	}
-	out := make([]float64, f.Tgt.NumMachines())
-	for t := range out {
-		y := f.Tgt.Col(t)
-		best, model, err := regress.BestSimple(candidates, y)
-		if err != nil {
-			return nil, fmt.Errorf("transpose: NN^T target %q: %w", f.Tgt.Machines[t].ID, err)
-		}
-		out[t] = model.Predict(f.AppOnPred[best])
-	}
-	return out, nil
+// PredictApp implements Predictor as a thin adapter over Fit: for each
+// target machine the fitted model keeps the predictive machine whose
+// benchmark scores fit the target's best (highest R²) and extrapolates the
+// application of interest through that regression.
+func (p NNT) PredictApp(f Fold) ([]float64, error) {
+	return FitPredict(p, f)
 }
 
 // MLPT is the data-transposition predictor backed by a multilayer
@@ -166,41 +151,11 @@ func NewMLPT(seed int64) *MLPT {
 // Name implements Predictor.
 func (*MLPT) Name() string { return "MLP^T" }
 
-// PredictApp implements Predictor. Each predictive machine is one training
-// instance: inputs are its benchmark scores, the target output is the
-// application's score on it. The trained network then maps each target
-// machine's published benchmark scores to a predicted application score.
+// PredictApp implements Predictor as a thin adapter over Fit: the trained
+// network maps each target machine's published benchmark scores to a
+// predicted application score, batched over all targets in one call.
 func (m *MLPT) PredictApp(f Fold) ([]float64, error) {
-	if err := f.Validate(); err != nil {
-		return nil, err
-	}
-	n := f.Pred.NumMachines()
-	if n == 0 {
-		return nil, errors.New("transpose: MLP^T needs at least one predictive machine")
-	}
-	inputs := make([][]float64, n)
-	targets := make([][]float64, n)
-	for p := 0; p < n; p++ {
-		inputs[p] = f.Pred.Col(p)
-		targets[p] = []float64{f.AppOnPred[p]}
-	}
-	members := m.Ensemble
-	if members < 1 {
-		members = 1
-	}
-	net, err := mlp.TrainEnsemble(inputs, targets, m.Config, members, nil)
-	if err != nil {
-		return nil, fmt.Errorf("transpose: MLP^T training: %w", err)
-	}
-	out := make([]float64, f.Tgt.NumMachines())
-	for t := range out {
-		y, err := net.Predict1(f.Tgt.Col(t))
-		if err != nil {
-			return nil, fmt.Errorf("transpose: MLP^T target %q: %w", f.Tgt.Machines[t].ID, err)
-		}
-		out[t] = y
-	}
-	return out, nil
+	return FitPredict(m, f)
 }
 
 // Metrics are the paper's three accuracy measures for one fold.
@@ -234,13 +189,14 @@ func Evaluate(actual, predicted []float64) (Metrics, error) {
 	return Metrics{RankCorr: rc, Top1Err: t1, MeanErr: me}, nil
 }
 
-// RunFold executes one prediction task end to end and evaluates it.
+// RunFold executes one prediction task end to end and evaluates it. It
+// drives predictors through the two-phase Fit/Predict API when available.
 func RunFold(pred, tgt *dataset.Matrix, app string, chars map[string][]float64, p Predictor) (Metrics, []float64, []float64, error) {
 	fold, appOnTgt, err := NewFold(pred, tgt, app, chars)
 	if err != nil {
 		return Metrics{}, nil, nil, err
 	}
-	predicted, err := p.PredictApp(fold)
+	predicted, err := Predictions(p, fold)
 	if err != nil {
 		return Metrics{}, nil, nil, err
 	}

@@ -38,7 +38,7 @@ func syntheticPair(t *testing.T, nBench, nPred, nTgt int, noise float64, seed in
 		for i := range machines {
 			speed := 0.5 + rng.Float64()*4
 			for b := range bench {
-				m.Scores[b][i] = base[b] * speed * (1 + rng.NormFloat64()*noise)
+				m.Set(b, i, base[b]*speed*(1+rng.NormFloat64()*noise))
 			}
 		}
 		return m
@@ -222,8 +222,12 @@ func TestFamilyCVStructure(t *testing.T) {
 		t.Fatal(err)
 	}
 	for b := range d.Benchmarks {
-		copy(d.Scores[b][:4], pred.Scores[b])
-		copy(d.Scores[b][4:], tgt.Scores[b])
+		for i := 0; i < 4; i++ {
+			d.Set(b, i, pred.At(b, i))
+		}
+		for i := 0; i < 3; i++ {
+			d.Set(b, 4+i, tgt.At(b, i))
+		}
 	}
 	rs, err := FamilyCV(nil, d, nil, func() Predictor { return NNT{} })
 	if err != nil {
@@ -243,7 +247,7 @@ func TestFamilyCVTooFewBenchmarks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.Scores[0][0] = 1
+	d.Set(0, 0, 1)
 	if _, err := FamilyCV(nil, d, nil, func() Predictor { return NNT{} }); err == nil {
 		t.Fatal("want too-few-benchmarks error")
 	}
@@ -264,8 +268,12 @@ func TestYearCV(t *testing.T) {
 		t.Fatal(err)
 	}
 	for b := range d.Benchmarks {
-		copy(d.Scores[b][:4], pred.Scores[b])
-		copy(d.Scores[b][4:], tgt.Scores[b])
+		for i := 0; i < 4; i++ {
+			d.Set(b, i, pred.At(b, i))
+		}
+		for i := 0; i < 3; i++ {
+			d.Set(b, 4+i, tgt.At(b, i))
+		}
 	}
 	rs, err := YearCV(nil, d, nil, 2009, func(y int) bool { return y == 2008 }, "2008->2009", func() Predictor { return NNT{} })
 	if err != nil {
@@ -302,8 +310,12 @@ func TestSubsetCVAndSelectors(t *testing.T) {
 		t.Fatal(err)
 	}
 	for b := range d.Benchmarks {
-		copy(d.Scores[b][:8], pred.Scores[b])
-		copy(d.Scores[b][8:], tgt.Scores[b])
+		for i := 0; i < 8; i++ {
+			d.Set(b, i, pred.At(b, i))
+		}
+		for i := 0; i < 3; i++ {
+			d.Set(b, 8+i, tgt.At(b, i))
+		}
 	}
 	rng := rand.New(rand.NewSource(1))
 	rs, err := SubsetCV(nil, d, nil, 2009, func(y int) bool { return y == 2008 },
@@ -403,9 +415,9 @@ func TestNNTExactAffineProperty(t *testing.T) {
 		slope := 0.5 + rng.Float64()*2
 		for b := 0; b < nb; b++ {
 			base := 1 + rng.Float64()*9
-			pred.Scores[b][0] = base
-			tgt.Scores[b][0] = slope * base
-			tgt.Scores[b][1] = 2 * slope * base
+			pred.Set(b, 0, base)
+			tgt.Set(b, 0, slope*base)
+			tgt.Set(b, 1, 2*slope*base)
 		}
 		m, _, predicted, err := RunFold(pred, tgt, "b3", nil, NNT{})
 		if err != nil {
@@ -425,13 +437,16 @@ func TestFoldPermutationInvarianceProperty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Reverse target machine order.
-	rev := tgt.SelectMachines(func(dataset.Machine) bool { return true })
+	// Reverse target machine order on an independent copy (SelectMachines
+	// now returns an aliasing view, so mutate a Compact copy instead).
+	rev := tgt.Compact()
 	nm := rev.NumMachines()
 	for i := 0; i < nm/2; i++ {
 		rev.Machines[i], rev.Machines[nm-1-i] = rev.Machines[nm-1-i], rev.Machines[i]
-		for b := range rev.Scores {
-			rev.Scores[b][i], rev.Scores[b][nm-1-i] = rev.Scores[b][nm-1-i], rev.Scores[b][i]
+		for b := range rev.Benchmarks {
+			lo, hi := rev.At(b, i), rev.At(b, nm-1-i)
+			rev.Set(b, i, hi)
+			rev.Set(b, nm-1-i, lo)
 		}
 	}
 	m2, _, _, err := RunFold(pred, rev, "benchB", nil, NNT{})

@@ -53,8 +53,14 @@ type (
 	MachineConfig = machine.Config
 	// Workload is a microarchitecture-independent program profile.
 	Workload = mica.Workload
-	// Predictor predicts an application's score on target machines.
+	// Predictor predicts an application's score on target machines in one
+	// shot (the legacy interface; built-ins also implement Fitter).
 	Predictor = transpose.Predictor
+	// Fitter is the two-phase predictor API: Fit trains on a fold and
+	// returns a reusable trained Model.
+	Fitter = transpose.Fitter
+	// Model is a trained predictor artifact: fit once, predict many times.
+	Model = transpose.Model
 	// Fold is one prediction task.
 	Fold = transpose.Fold
 	// Metrics are the paper's accuracy measures for one fold.
@@ -155,12 +161,29 @@ type RankedMachine struct {
 	Predicted float64
 }
 
+// FitFold trains p on a prepared Fold and returns the trained model — the
+// serving entry point: fit once per split, then call Model.PredictTargets
+// (or the model-specific query methods, e.g. NNTModel.PredictTargetsWith)
+// for any number of ranking queries without retraining. It errors when p
+// does not implement the two-phase Fitter API.
+func FitFold(fold Fold, p Predictor) (Model, error) {
+	if p == nil {
+		return nil, errors.New("repro: nil predictor")
+	}
+	ft, ok := p.(Fitter)
+	if !ok {
+		return nil, fmt.Errorf("repro: predictor %s does not implement the Fit/Predict API", p.Name())
+	}
+	return ft.Fit(fold)
+}
+
 // RankMachines is the purchasing-decision entry point: given the published
 // scores of the benchmark suite on the target machines, the user's own
 // measurements of the same suite on the predictive machines, and the
 // application's measured scores on the predictive machines, it predicts the
 // application's performance on every target machine and returns the
-// machines ranked best-first.
+// machines ranked best-first. Predictors implementing Fitter (all
+// built-ins) are driven through the two-phase Fit/Predict API.
 //
 // Both matrices must carry the same benchmarks in the same order; the
 // application of interest itself must not be among them. Predictors that
@@ -179,7 +202,7 @@ func RankMachines(predictive, targets *Matrix, appOnPredictive []float64, p Pred
 	if err := fold.Validate(); err != nil {
 		return nil, err
 	}
-	predicted, err := p.PredictApp(fold)
+	predicted, err := transpose.Predictions(p, fold)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +226,7 @@ func RankFold(fold Fold, p Predictor) ([]RankedMachine, error) {
 	if p == nil {
 		return nil, errors.New("repro: nil predictor")
 	}
-	predicted, err := p.PredictApp(fold)
+	predicted, err := transpose.Predictions(p, fold)
 	if err != nil {
 		return nil, err
 	}
