@@ -4,7 +4,7 @@
 GO ?= go
 DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test bench bench-json examples lint ci
+.PHONY: build test bench bench-json examples serve serve-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,17 @@ examples:
 	$(GO) run ./examples/scheduling > /dev/null
 	$(GO) run ./examples/prototype > /dev/null
 	$(GO) run ./examples/designspace > /dev/null
+	$(GO) run ./examples/serving > /dev/null
 	@echo all examples ran
+
+# Run the ranking daemon on the synthetic database (Ctrl-C to stop).
+serve:
+	$(GO) run ./cmd/dtrankd
+
+# End-to-end daemon check: start dtrankd, curl /healthz and /v1/rank, and
+# assert the server ranking is byte-identical to `dtrank rank -json`.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 lint:
 	$(GO) vet ./...
@@ -39,4 +49,4 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 
-ci: lint build test bench examples
+ci: lint build test bench examples serve-smoke

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	dtrank gen    [-seed N] [-o file.csv]         write the database as CSV
-//	dtrank rank   [-seed N] [-app B] [-family F] [-method M] [-data file.csv]
+//	dtrank rank   [-seed N] [-app B] [-family F] [-method M] [-data file.csv] [-json]
 //	                                              rank one family's machines
 //	dtrank compare [-seed N] [-app B] [-family F] all four methods, side by side
 //	dtrank summary [-seed N] [-family F]          SPEC-style geometric means
@@ -30,6 +30,7 @@ import (
 	"repro"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -165,6 +166,7 @@ func runRank(args []string) error {
 	family := fs.String("family", "Intel Xeon", "target processor family")
 	method := fs.String("method", "MLP^T", "predictor: NN^T, MLP^T, SPL^T or GA-kNN")
 	top := fs.Int("top", 10, "number of machines to print")
+	asJSON := fs.Bool("json", false, "emit the ranking as JSON, byte-identical to dtrankd's POST /v1/rank response")
 	dataFile := fs.String("data", "", "load the performance database from a CSV file (as written by 'dtrank gen') instead of synthesising it; GA-kNN is unavailable in this mode because external files carry no workload characteristics")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -193,18 +195,11 @@ func runRank(args []string) error {
 	if err != nil {
 		return err
 	}
-	var p repro.Predictor
-	switch *method {
-	case "NN^T", "nnt":
-		p = repro.NewNNT()
-	case "MLP^T", "mlpt":
-		p = repro.NewMLPT(*seed + 1)
-	case "SPL^T", "splt":
-		p = repro.NewSPLT()
-	case "GA-kNN", "gaknn":
-		p = repro.NewGAKNN(*seed + 2)
-	default:
-		return fmt.Errorf("unknown method %q", *method)
+	// The predictor construction (and its seed derivation) is shared with
+	// the dtrankd serving layer, so the CLI and the server cannot drift.
+	p, canon, err := serve.NewPredictor(*method, *seed)
+	if err != nil {
+		return err
 	}
 	fold, appOnTgt, err := repro.NewFold(predictive, targets, *app, chars)
 	if err != nil {
@@ -225,6 +220,14 @@ func runRank(args []string) error {
 				predicted[i] = r.Predicted
 			}
 		}
+	}
+	if *asJSON {
+		resp, err := serve.BuildRankResponse(*family, *app, canon, matrix.Hash(),
+			fold.Tgt.Machines, predicted, appOnTgt, *top)
+		if err != nil {
+			return err
+		}
+		return serve.WriteRankResponse(os.Stdout, resp)
 	}
 	m, err := repro.Evaluate(appOnTgt, predicted)
 	if err != nil {

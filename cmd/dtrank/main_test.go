@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/serve"
 )
 
 func TestRunGenWritesReadableCSV(t *testing.T) {
@@ -42,11 +45,67 @@ func TestRunRankMethods(t *testing.T) {
 	}
 }
 
-func TestRunRankErrors(t *testing.T) {
-	if err := runRank([]string{"-method", "bogus"}); err == nil ||
-		!strings.Contains(err.Error(), "unknown method") {
+func TestRunRankUnknownMethodListsValidOnes(t *testing.T) {
+	err := runRank([]string{"-method", "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
 		t.Fatalf("want unknown-method error, got %v", err)
 	}
+	// The error must name every valid method so the user can self-correct.
+	for _, name := range []string{"NN^T", "MLP^T", "SPL^T", "GA-kNN"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list method %s", err, name)
+		}
+	}
+}
+
+func TestRunRankJSON(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := runRank([]string{"-app", "gcc", "-family", "AMD Phenom", "-method", "nnt", "-top", "3", "-json"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var resp serve.RankResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("output is not a RankResponse: %v\n%s", err, out)
+	}
+	if resp.Method != "NN^T" || resp.Family != "AMD Phenom" || resp.App != "gcc" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if len(resp.Ranking) != 3 || resp.Metrics == nil || resp.Snapshot == "" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	for i, e := range resp.Ranking {
+		if e.Rank != i+1 || e.Machine == "" || e.Measured == nil {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var buf strings.Builder
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	out := <-done
+	r.Close()
+	return out
+}
+
+func TestRunRankErrors(t *testing.T) {
 	if err := runRank([]string{"-family", "No Such Family", "-method", "nnt"}); err == nil {
 		t.Fatal("want unknown-family error")
 	}

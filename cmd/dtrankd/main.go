@@ -1,0 +1,144 @@
+// Command dtrankd is the ranking daemon: it loads (or synthesises) a
+// performance database once, then serves ranking queries over HTTP from a
+// registry of trained models, so repeated "which machine should I buy for
+// this application?" queries cost a model lookup instead of a refit.
+//
+// Usage:
+//
+//	dtrankd [-addr :8117] [-seed N] [-data file.csv] [-workers N]
+//	        [-max-models N] [-registry dir] [-save]
+//
+// Rankings are byte-identical to `dtrank rank -json` for the same seed,
+// family, application and method — the daemon is a cache in front of the
+// same deterministic fits, not a different code path.
+//
+// Endpoints: POST /v1/rank, GET /v1/methods, GET /v1/machines,
+// POST /v1/snapshot (hot-swap the database from a CSV body), GET /healthz,
+// GET /debug/vars.
+//
+// With -registry the daemon warm-starts from models saved in dir; with
+// -save it writes the registry back on shutdown, so restarts skip the
+// fitting cost entirely. Shutdown is graceful: SIGINT/SIGTERM stops the
+// listener, drains in-flight requests and cancels pending fits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintf(os.Stderr, "dtrankd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled or the listener
+// fails. When ready is non-nil, the bound address is sent once the
+// listener accepts connections (used by tests and by -addr :0).
+func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("dtrankd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8117", "listen address")
+	seed := fs.Int64("seed", 1, "dataset and predictor seed (must match the dtrank run being mirrored)")
+	dataFile := fs.String("data", "", "load the performance database from CSV (as written by 'dtrank gen') instead of synthesising it; GA-kNN is unavailable in this mode")
+	workers := fs.Int("workers", 0, "worker pool bound for fitting (0 = all cores)")
+	maxModels := fs.Int("max-models", serve.DefaultMaxModels, "registry LRU bound")
+	registryDir := fs.String("registry", "", "warm-start the model registry from this directory")
+	save := fs.Bool("save", false, "save the registry back to -registry on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *save && *registryDir == "" {
+		return errors.New("-save requires -registry")
+	}
+	if *workers > 0 {
+		repro.SetWorkers(*workers)
+	}
+
+	var matrix *dataset.Matrix
+	var chars map[string][]float64
+	if *dataFile != "" {
+		f, err := os.Open(*dataFile)
+		if err != nil {
+			return err
+		}
+		matrix, err = dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		data, err := repro.Generate(repro.DefaultDatasetOptions(*seed))
+		if err != nil {
+			return err
+		}
+		matrix, chars = data.Matrix, data.Characteristics
+	}
+
+	srv, err := serve.NewServer(matrix, chars, serve.Options{Seed: *seed, MaxModels: *maxModels})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	log.Printf("dtrankd: snapshot %s (%d benchmarks × %d machines)",
+		srv.SnapshotHash()[:12], matrix.NumBenchmarks(), matrix.NumMachines())
+
+	if *registryDir != "" {
+		if n, err := srv.Registry().Load(ctx, *registryDir); err != nil {
+			if os.IsNotExist(err) {
+				log.Printf("dtrankd: no saved registry at %s, starting cold", *registryDir)
+			} else {
+				log.Printf("dtrankd: warm start: loaded %d models, errors: %v", n, err)
+			}
+		} else {
+			log.Printf("dtrankd: warm start: loaded %d models from %s", n, *registryDir)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("dtrankd: serving on %s", ln.Addr())
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("dtrankd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	srv.Close() // unblock any fits still pending in the registry
+	if *save {
+		if n, err := srv.Registry().Save(*registryDir); err != nil {
+			log.Printf("dtrankd: saving registry: %v", err)
+		} else {
+			log.Printf("dtrankd: saved %d models to %s", n, *registryDir)
+		}
+	}
+	return shutdownErr
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus a shutdown function that blocks until run returns.
+func startDaemon(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), func() error {
+			cancel()
+			select {
+			case err := <-errCh:
+				return err
+			case <-time.After(15 * time.Second):
+				return fmt.Errorf("daemon did not shut down")
+			}
+		}
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("daemon failed to start: %v", err)
+		return "", nil
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatal("daemon start timed out")
+		return "", nil
+	}
+}
+
+func TestDaemonServesRankAndShutsDownGracefully(t *testing.T) {
+	base, shutdown := startDaemon(t, "-seed", "2")
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	body := bytes.NewReader([]byte(`{"family":"AMD Phenom","app":"gcc","method":"NN^T","top":3}`))
+	resp, err = http.Post(base+"/v1/rank", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Method  string `json:"method"`
+		Ranking []struct {
+			Machine string `json:"machine"`
+		} `json:"ranking"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Method != "NN^T" || len(out.Ranking) != 3 {
+		t.Fatalf("rank: HTTP %d, %+v", resp.StatusCode, out)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+func TestDaemonSavesAndWarmStartsRegistry(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "registry")
+	base, shutdown := startDaemon(t, "-seed", "2", "-registry", dir, "-save")
+	body := []byte(`{"family":"AMD Phenom","app":"gcc","method":"NN^T"}`)
+	resp, err := http.Post(base+"/v1/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatalf("registry not saved: %v", err)
+	}
+
+	// Second daemon warm-starts; its first identical query must be a
+	// registry hit, not a refit.
+	base, shutdown = startDaemon(t, "-seed", "2", "-registry", dir)
+	defer shutdown()
+	resp, err = http.Post(base+"/v1/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	vars, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Registry struct {
+			Fits   int `json:"fits"`
+			Models int `json:"models"`
+		} `json:"registry"`
+	}
+	if err := json.NewDecoder(vars.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	vars.Body.Close()
+	if stats.Registry.Fits != 0 || stats.Registry.Models < 1 {
+		t.Fatalf("warm start refit: %+v", stats.Registry)
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	if err := run(context.Background(), []string{"-save"}, nil); err == nil ||
+		!strings.Contains(err.Error(), "-registry") {
+		t.Fatalf("want -save/-registry error, got %v", err)
+	}
+	if err := run(context.Background(), []string{"-data", "/no/such/file.csv"}, nil); err == nil {
+		t.Fatal("want missing-data-file error")
+	}
+}

@@ -1,0 +1,164 @@
+// Serving: run the ranking service in process — fit once, answer many
+// queries, persist the trained models, and warm-start a second server
+// from them. This is the library view of what cmd/dtrankd does over HTTP;
+// the HTTP round trip itself is exercised here too, through the server's
+// handler mounted on a test listener.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	data, err := repro.Generate(repro.DefaultDatasetOptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The service: a model registry over the snapshot plus the HTTP API.
+	srv, err := repro.NewRankServer(data.Matrix, data.Characteristics, repro.ServeOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("serving snapshot %s…\n", srv.SnapshotHash()[:12])
+
+	rank := func(label string) repro.RankResponse {
+		body, _ := json.Marshal(repro.RankRequest{
+			Family: "Intel Xeon", App: "sphinx3", Method: "NN^T", Top: 3,
+		})
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/rank", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out repro.RankResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s query answered in %s\n", label, roundDuration(time.Since(start)))
+		return out
+	}
+
+	// The first query fits NNᵀ for (Intel Xeon, sphinx3); the second is
+	// answered from the cached model.
+	cold := rank("cold")
+	warm := rank("warm")
+	fmt.Println("\ntop 3 Intel Xeon machines for sphinx3 (NN^T):")
+	for _, e := range cold.Ranking {
+		fmt.Printf("  %d. %-34s predicted %8.1f measured %8.1f\n",
+			e.Rank, e.Machine, e.Predicted, *e.Measured)
+	}
+	if asJSON(cold.Ranking) != asJSON(warm.Ranking) {
+		log.Fatal("warm query diverged from cold query")
+	}
+	stats := srv.Registry().Stats()
+	fmt.Printf("\nregistry after two queries: %d model, %d fit, %d hit\n",
+		stats.Models, stats.Fits, stats.Hits)
+
+	// Persist the trained models and warm-start a second server from them:
+	// the restart answers without refitting anything.
+	dir, err := os.MkdirTemp("", "dtrank-registry-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	saved, err := srv.Registry().Save(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restarted, err := repro.NewRankServer(data.Matrix, data.Characteristics, repro.ServeOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer restarted.Close()
+	loaded, err := restarted.Registry().Load(context.Background(), dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := restarted.Rank(context.Background(), repro.RankRequest{
+		Family: "Intel Xeon", App: "sphinx3", Method: "NN^T", Top: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if asJSON(again.Ranking) != asJSON(cold.Ranking) {
+		log.Fatal("warm-started server diverged")
+	}
+	st := restarted.Registry().Stats()
+	fmt.Printf("saved %d model(s); restarted server loaded %d and answered with %d refits\n",
+		saved, loaded, st.Fits)
+
+	// Models also travel on their own: Fit once via the library API,
+	// EncodeModel to any io.Writer, DecodeModel elsewhere — predictions
+	// are bitwise identical.
+	targets, predictive, err := data.Matrix.FamilySplit("Intel Xeon")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fold, _, err := repro.NewFold(predictive, targets, "sphinx3", data.Characteristics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := repro.FitFold(fold, repro.NewNNT())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := repro.EncodeModel(&blob, model); err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := repro.DecodeModel(&blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := make([]float64, model.NumTargets())
+	b := make([]float64, decoded.NumTargets())
+	if err := model.PredictTargets(a); err != nil {
+		log.Fatal(err)
+	}
+	if err := decoded.PredictTargets(b); err != nil {
+		log.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			log.Fatalf("decoded model diverged at target %d", i)
+		}
+	}
+	fmt.Printf("standalone model round trip: %d bytes, predictions identical\n", blob.Cap())
+}
+
+// asJSON renders a value for comparison (entries carry pointers, so
+// fmt.Sprint would compare addresses).
+func asJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(b)
+}
+
+// roundDuration keeps the example output stable-ish across machines.
+func roundDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return "<1ms"
+	case d < 10*time.Millisecond:
+		return "<10ms"
+	default:
+		return d.Round(10 * time.Millisecond).String()
+	}
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Hash returns a hex SHA-256 fingerprint of the matrix: shape, benchmark
+// names, machine metadata and the IEEE-754 bit pattern of every score, in
+// row-major order. It is the snapshot key of the serving layer's model
+// registry — two matrices hash equal exactly when every query against them
+// is answered from the same data, so a view hashes equal to its Compact()
+// and a hot-swapped snapshot invalidates cached models by key mismatch
+// alone.
+func (d *Matrix) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(len(s))
+		io.WriteString(h, s)
+	}
+	writeStr("dataset/v1")
+	writeInt(len(d.Benchmarks))
+	writeInt(len(d.Machines))
+	for _, b := range d.Benchmarks {
+		writeStr(b)
+	}
+	for _, m := range d.Machines {
+		writeStr(m.ID)
+		writeStr(m.Vendor)
+		writeStr(m.Family)
+		writeStr(m.Nickname)
+		writeStr(m.ISA)
+		writeInt(m.Year)
+	}
+	row := make([]float64, len(d.Machines))
+	rowBits := make([]byte, 8*len(d.Machines))
+	for b := range d.Benchmarks {
+		d.CopyRowInto(b, row)
+		for i, v := range row {
+			binary.LittleEndian.PutUint64(rowBits[i*8:], math.Float64bits(v))
+		}
+		h.Write(rowBits)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// matrixWire is the serialized form of a Matrix: metadata plus the dense
+// row-major scores. Views densify on encode, so a decoded matrix is always
+// contiguous and independent of the original backing array.
+type matrixWire struct {
+	Benchmarks []string
+	Machines   []Machine
+	Scores     []float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler, which encoding/gob
+// picks up automatically — a Matrix embedded in a model payload (MLPᵀ's
+// target half) serializes through here.
+func (d *Matrix) MarshalBinary() ([]byte, error) {
+	if err := checkUnique(d.Benchmarks, d.Machines); err != nil {
+		return nil, err
+	}
+	w := matrixWire{
+		Benchmarks: d.Benchmarks,
+		Machines:   d.Machines,
+		Scores:     make([]float64, len(d.Benchmarks)*len(d.Machines)),
+	}
+	nm := len(d.Machines)
+	for b := range d.Benchmarks {
+		d.CopyRowInto(b, w.Scores[b*nm:(b+1)*nm])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("dataset: encoding matrix: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, restoring a matrix
+// written by MarshalBinary into contiguous storage. Scores are restored
+// bit-for-bit; malformed payloads (shape mismatch, duplicate metadata) are
+// rejected.
+func (d *Matrix) UnmarshalBinary(p []byte) error {
+	var w matrixWire
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&w); err != nil {
+		return fmt.Errorf("dataset: decoding matrix: %w", err)
+	}
+	if len(w.Scores) != len(w.Benchmarks)*len(w.Machines) {
+		return fmt.Errorf("dataset: %d scores for a %d×%d matrix",
+			len(w.Scores), len(w.Benchmarks), len(w.Machines))
+	}
+	if err := checkUnique(w.Benchmarks, w.Machines); err != nil {
+		return err
+	}
+	*d = Matrix{
+		Benchmarks: w.Benchmarks,
+		Machines:   w.Machines,
+		data:       w.Scores,
+		stride:     len(w.Machines),
+	}
+	return nil
+}

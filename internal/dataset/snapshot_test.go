@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+func hashFixture(t *testing.T) *Matrix {
+	t.Helper()
+	m, err := New(
+		[]string{"b0", "b1", "b2"},
+		[]Machine{
+			{ID: "m0", Vendor: "v", Family: "F", Nickname: "n", ISA: "x", Year: 2008},
+			{ID: "m1", Vendor: "v", Family: "G", Nickname: "n", ISA: "x", Year: 2009},
+			{ID: "m2", Vendor: "w", Family: "F", Nickname: "o", ISA: "y", Year: 2009},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 3; b++ {
+		for c := 0; c < 3; c++ {
+			m.Set(b, c, float64(1+b*3+c)+0.5)
+		}
+	}
+	return m
+}
+
+func TestHashDeterministicAndViewInvariant(t *testing.T) {
+	m := hashFixture(t)
+	h := m.Hash()
+	if h == "" || h != m.Hash() {
+		t.Fatalf("hash not deterministic: %q vs %q", h, m.Hash())
+	}
+	view := m.SelectMachines(func(Machine) bool { return true })
+	if !view.IsView() {
+		// SelectMachines of everything still builds an index-mapped view.
+		t.Log("full selection returned a non-view; hash equality still required")
+	}
+	if view.Hash() != h {
+		t.Fatal("view must hash equal to its parent when contents match")
+	}
+	if view.Compact().Hash() != h {
+		t.Fatal("Compact() must hash equal to the original")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := hashFixture(t).Hash()
+	m := hashFixture(t)
+	m.Set(1, 2, m.At(1, 2)+1e-9)
+	if m.Hash() == base {
+		t.Fatal("score change must change the hash")
+	}
+	m = hashFixture(t)
+	m.Machines[0].Year = 2010
+	if m.Hash() == base {
+		t.Fatal("metadata change must change the hash")
+	}
+	m = hashFixture(t)
+	m.Benchmarks[2] = "b9"
+	if m.Hash() == base {
+		t.Fatal("benchmark rename must change the hash")
+	}
+	sub := hashFixture(t).SelectMachines(func(mc Machine) bool { return mc.Family == "F" })
+	if sub.Hash() == base {
+		t.Fatal("machine subset must change the hash")
+	}
+}
+
+func TestMatrixBinaryRoundTrip(t *testing.T) {
+	m := hashFixture(t)
+	// Round-trip a view: the decode must densify but preserve every bit.
+	view := m.SelectMachines(func(mc Machine) bool { return mc.Year == 2009 })
+	blob, err := view.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Matrix
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got.IsView() {
+		t.Fatal("decoded matrix must be contiguous")
+	}
+	if got.NumBenchmarks() != view.NumBenchmarks() || got.NumMachines() != view.NumMachines() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.NumBenchmarks(), got.NumMachines(),
+			view.NumBenchmarks(), view.NumMachines())
+	}
+	for b := 0; b < got.NumBenchmarks(); b++ {
+		for c := 0; c < got.NumMachines(); c++ {
+			if math.Float64bits(got.At(b, c)) != math.Float64bits(view.At(b, c)) {
+				t.Fatalf("score (%d,%d) not bit-identical", b, c)
+			}
+		}
+	}
+	if got.Hash() != view.Hash() {
+		t.Fatal("round trip must preserve the snapshot hash")
+	}
+}
+
+func TestMatrixBinaryThroughGob(t *testing.T) {
+	m := hashFixture(t)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	var got *Matrix
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != m.Hash() {
+		t.Fatal("gob round trip must preserve the snapshot hash")
+	}
+}
+
+func TestMatrixBinaryRejectsMalformed(t *testing.T) {
+	if err := new(Matrix).UnmarshalBinary([]byte("not a gob payload")); err == nil {
+		t.Fatal("want error for garbage payload")
+	}
+	// A shape-inconsistent wire struct must be rejected even though it
+	// decodes as gob.
+	var buf bytes.Buffer
+	bad := matrixWire{Benchmarks: []string{"b0"}, Machines: []Machine{{ID: "m0"}}, Scores: []float64{1, 2}}
+	if err := gob.NewEncoder(&buf).Encode(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := new(Matrix).UnmarshalBinary(buf.Bytes()); err == nil {
+		t.Fatal("want error for score/shape mismatch")
+	}
+	buf.Reset()
+	dup := matrixWire{Benchmarks: []string{"b0"}, Machines: []Machine{{ID: "m"}, {ID: "m"}}, Scores: []float64{1, 2}}
+	if err := gob.NewEncoder(&buf).Encode(dup); err != nil {
+		t.Fatal(err)
+	}
+	if err := new(Matrix).UnmarshalBinary(buf.Bytes()); err == nil {
+		t.Fatal("want error for duplicate machine IDs")
+	}
+}

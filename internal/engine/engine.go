@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -84,31 +85,59 @@ func (p *Pool) Workers() int {
 // of the lowest-indexed failed unit, so the reported error does not
 // depend on scheduling. Units already running are not interrupted.
 func (p *Pool) Map(n int, fn func(i int) error) error {
+	return p.MapContext(context.Background(), n, fn)
+}
+
+// MapContext is Map with cancellation: when ctx is cancelled mid-fanout
+// the pool stops handing out new indices, waits for the units already
+// running to finish (they are never interrupted), and returns promptly
+// without leaking goroutines. Every parallel code path of the repo routes
+// through here, so a server shutdown cancelling its base context stops
+// in-flight experiment and fitting fan-outs at the next unit boundary.
+//
+// A unit error still takes precedence over cancellation (it is the
+// deterministic, lowest-indexed one); otherwise MapContext returns
+// ctx.Err() if and only if cancellation prevented units from running.
+// A run whose units all completed returns nil even if ctx was cancelled
+// concurrently with the last unit.
+func (p *Pool) MapContext(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if fn == nil {
 		return errors.New("engine: Map with nil function")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p == nil {
 		p = Default()
 	}
 	var (
 		next    atomic.Int64
+		done    atomic.Int64
 		failed  atomic.Bool
 		mu      sync.Mutex
 		errAt   = n
 		firstEr error
 	)
+	cancelled := ctx.Done()
 	work := func() {
 		for {
-			// Check for failure BEFORE claiming an index: a claimed index
-			// always executes, and indices are claimed in ascending
-			// order, so the lowest-indexed failing unit is always among
-			// the executed ones — the reported error cannot depend on
+			// Check for failure and cancellation BEFORE claiming an index:
+			// a claimed index always executes, and indices are claimed in
+			// ascending order, so the lowest-indexed failing unit is always
+			// among the executed ones — the reported error cannot depend on
 			// scheduling.
 			if failed.Load() {
 				return
+			}
+			if cancelled != nil {
+				select {
+				case <-cancelled:
+					return
+				default:
+				}
 			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
@@ -122,6 +151,7 @@ func (p *Pool) Map(n int, fn func(i int) error) error {
 				}
 				mu.Unlock()
 			}
+			done.Add(1)
 		}
 	}
 	var wg sync.WaitGroup
@@ -143,18 +173,32 @@ spawn:
 	}
 	work()
 	wg.Wait()
-	return firstEr
+	if firstEr != nil {
+		return firstEr
+	}
+	if done.Load() != int64(n) {
+		// Only cancellation can leave units unrun without a unit error.
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Collect runs fn(i) for every i in [0, n) on p and returns the results
 // in index order, independent of scheduling. On failure it returns the
 // error of the lowest-indexed failed unit and no results.
 func Collect[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	return CollectContext(context.Background(), p, n, fn)
+}
+
+// CollectContext is Collect with cancellation, following the MapContext
+// contract: a cancelled run returns ctx.Err() (and no results) promptly
+// without leaking goroutines.
+func CollectContext[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("engine: Collect over %d units", n)
 	}
 	out := make([]T, n)
-	err := p.Map(n, func(i int) error {
+	err := p.MapContext(ctx, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

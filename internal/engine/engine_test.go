@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapCoversAllIndices(t *testing.T) {
@@ -145,6 +147,119 @@ func TestCollectOrder(t *testing.T) {
 	}
 	if _, err := Collect(New(2), -1, func(int) (int, error) { return 0, nil }); err == nil {
 		t.Fatal("want error for negative n")
+	}
+}
+
+func TestMapContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := New(4).MapContext(ctx, 100, func(int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d units ran under a pre-cancelled context", got)
+	}
+}
+
+func TestMapContextCancelMidFanoutReturnsPromptly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		const n = 10000
+		start := time.Now()
+		err := p.MapContext(ctx, n, func(i int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// At most the units already claimed when cancel hit may still
+		// finish — nowhere near the full fan-out, and nowhere near the
+		// n milliseconds a full run would sleep.
+		if got := ran.Load(); int(got) >= n/10 {
+			t.Fatalf("workers=%d: %d of %d units ran after cancellation", workers, got, n)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("workers=%d: cancelled run took %v", workers, elapsed)
+		}
+	}
+}
+
+func TestMapContextCancelDoesNotLeakGoroutines(t *testing.T) {
+	p := New(8)
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = p.MapContext(ctx, 1000, func(i int) error {
+			if i == 0 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+	}
+	// Helper goroutines return their tokens and exit when the fan-out
+	// drains; give the scheduler a moment before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after cancelled runs", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestMapContextCompletedRunIgnoresLateCancel(t *testing.T) {
+	// All units complete; a cancellation racing the tail must not turn a
+	// fully-executed run into an error.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	if err := New(2).MapContext(ctx, 50, func(int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("completed run returned %v", err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50 units", ran.Load())
+	}
+}
+
+func TestMapContextUnitErrorBeatsCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	err := New(1).MapContext(ctx, 100, func(i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the unit error", err)
+	}
+}
+
+func TestCollectContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := CollectContext(ctx, New(2), 10, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("got %v, %v; want nil, context.Canceled", out, err)
 	}
 }
 

@@ -1,0 +1,84 @@
+package gaknn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/knn"
+	"repro/internal/transpose"
+)
+
+func TestModelRoundTripBitwiseIdentical(t *testing.T) {
+	pred, tgt, chars := clusteredWorld(t, 4)
+	fold, _, err := transpose.NewFold(pred, tgt, "a1", chars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fastNew(4, 3).Fit(fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := transpose.EncodeModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := transpose.DecodeModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, ok := got.(*Model)
+	if !ok {
+		t.Fatalf("decoded %T, want *gaknn.Model", got)
+	}
+	if gm.NumTargets() != m.NumTargets() {
+		t.Fatalf("decoded %d targets, want %d", gm.NumTargets(), m.NumTargets())
+	}
+	want := make([]float64, m.NumTargets())
+	have := make([]float64, gm.NumTargets())
+	if err := m.PredictTargets(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := gm.PredictTargets(have); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(have[i]) {
+			t.Fatalf("target %d: %v decoded vs %v fitted", i, have[i], want[i])
+		}
+	}
+}
+
+func TestDecodeRejectsInconsistentPayload(t *testing.T) {
+	pred, tgt, chars := clusteredWorld(t, 5)
+	fold, _, err := transpose.NewFold(pred, tgt, "b2", chars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := fastNew(5, 3).Fit(fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := fitted.(*Model)
+
+	check := func(name string, mutate func(*Model)) {
+		t.Helper()
+		bad := &Model{
+			Weights:    append([]float64(nil), m.Weights...),
+			Neighbours: append([]knn.Neighbour(nil), m.Neighbours...),
+			tgt:        rowMajor{data: append([]float64(nil), m.tgt.data...), cols: m.tgt.cols},
+			nt:         m.nt,
+		}
+		mutate(bad)
+		var buf bytes.Buffer
+		if err := transpose.EncodeModel(&buf, bad); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if _, err := transpose.DecodeModel(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatalf("%s: corrupted payload accepted", name)
+		}
+	}
+	check("neighbour out of range", func(b *Model) { b.Neighbours[0].Index = 99 })
+	check("negative distance", func(b *Model) { b.Neighbours[0].Distance = -1 })
+	check("table shape mismatch", func(b *Model) { b.nt = b.nt + 1 })
+}

@@ -17,8 +17,10 @@
 package gaknn
 
 import (
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"slices"
 
@@ -92,6 +94,63 @@ func (m *Model) PredictTargets(dst []float64) error {
 // PredictApp implements transpose.Predictor as a thin adapter over Fit.
 func (p *Predictor) PredictApp(f transpose.Fold) ([]float64, error) {
 	return transpose.FitPredict(p, f)
+}
+
+// modelWire is the serialized form of a trained GA-kNN model: learned
+// weights, the application's neighbours, and the dense target score table
+// they vote over.
+type modelWire struct {
+	Weights    []float64
+	Neighbours []knn.Neighbour
+	Tgt        []float64
+	Cols       int
+	NT         int
+}
+
+// ModelKind implements transpose.BinaryModel.
+func (m *Model) ModelKind() string { return "gaknn" }
+
+// EncodePayload implements transpose.BinaryModel.
+func (m *Model) EncodePayload(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(modelWire{
+		Weights:    m.Weights,
+		Neighbours: m.Neighbours,
+		Tgt:        m.tgt.data,
+		Cols:       m.tgt.cols,
+		NT:         m.nt,
+	})
+}
+
+func decodeModel(r io.Reader) (transpose.Model, error) {
+	var w modelWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, err
+	}
+	if w.Cols < 1 || w.NT != w.Cols {
+		return nil, fmt.Errorf("gaknn payload predicts %d targets over a %d-column table", w.NT, w.Cols)
+	}
+	if len(w.Tgt)%w.Cols != 0 {
+		return nil, fmt.Errorf("gaknn payload has %d scores for a %d-column table", len(w.Tgt), w.Cols)
+	}
+	rows := len(w.Tgt) / w.Cols
+	for _, n := range w.Neighbours {
+		if n.Index < 0 || n.Index >= rows {
+			return nil, fmt.Errorf("gaknn payload neighbour %d outside %d benchmarks", n.Index, rows)
+		}
+		if math.IsNaN(n.Distance) || n.Distance < 0 {
+			return nil, fmt.Errorf("gaknn payload neighbour distance %v", n.Distance)
+		}
+	}
+	return &Model{
+		Weights:    w.Weights,
+		Neighbours: w.Neighbours,
+		tgt:        rowMajor{data: w.Tgt, cols: w.Cols},
+		nt:         w.NT,
+	}, nil
+}
+
+func init() {
+	transpose.RegisterModelKind("gaknn", decodeModel)
 }
 
 // rowMajor is a flat row-major benchmarks × machines score table — the

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// BenchmarkServeRank measures the serving layer end to end over real HTTP
+// on the paper's 29×117 database: a cold registry (every request pays a
+// full fit) versus a warm registry (the model is fitted once and every
+// request is answered from it), and warm serving under one versus many
+// concurrent clients. The warm/cold ratio is the registry's whole point —
+// the BENCH snapshot records it.
+func BenchmarkServeRank(b *testing.B) {
+	data, err := synth.Generate(synth.DefaultOptions(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(RankRequest{Family: "Intel Xeon", App: "gcc", Method: "NN^T", Top: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(b *testing.B, client *http.Client, url string) {
+		b.Helper()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out RankResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(out.Ranking) != 10 {
+			b.Fatalf("HTTP %d, %d entries", resp.StatusCode, len(out.Ranking))
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		// A fresh server per iteration: every request misses the registry
+		// and pays the fit — the fit-per-request baseline.
+		for i := 0; i < b.N; i++ {
+			srv, err := NewServer(data.Matrix, data.Characteristics, Options{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			post(b, ts.Client(), ts.URL+"/v1/rank")
+			ts.Close()
+			srv.Close()
+		}
+	})
+
+	newWarm := func(b *testing.B) (*httptest.Server, *Server) {
+		b.Helper()
+		srv, err := NewServer(data.Matrix, data.Characteristics, Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		post(b, ts.Client(), ts.URL+"/v1/rank") // prime the registry
+		return ts, srv
+	}
+
+	b.Run("warm", func(b *testing.B) {
+		ts, srv := newWarm(b)
+		defer ts.Close()
+		defer srv.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.Client(), ts.URL+"/v1/rank")
+		}
+	})
+
+	b.Run("warm-8clients", func(b *testing.B) {
+		ts, srv := newWarm(b)
+		defer ts.Close()
+		defer srv.Close()
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			client := ts.Client()
+			for pb.Next() {
+				post(b, client, ts.URL+"/v1/rank")
+			}
+		})
+	})
+}

@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/transpose"
+)
+
+// DefaultMaxModels is the registry's LRU bound when Options leave it zero.
+const DefaultMaxModels = 64
+
+// Key identifies one fitted model. Two queries share a model exactly when
+// every field matches: the dataset snapshot hash pins the data, Family the
+// split, App the application of interest ("" for the fresh-scores serving
+// path, where the fit is application-independent), Method the canonical
+// predictor name and Seed the deterministic seeding base.
+type Key struct {
+	Snapshot string `json:"snapshot"`
+	Family   string `json:"family"`
+	App      string `json:"app"`
+	Method   string `json:"method"`
+	Seed     int64  `json:"seed"`
+}
+
+// fileStem derives the registry file name of a key: a content hash, so
+// names are filesystem-safe regardless of family and benchmark spellings.
+func (k Key) fileStem() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%q/%q/%q/%q/%d", k.Snapshot, k.Family, k.App, k.Method, k.Seed)
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// entry is one registry slot. The ready channel implements singleflight:
+// the goroutine that creates the entry fits the model and closes ready;
+// everyone else blocks on it. queryMu serialises queries against the
+// model, which is not required to be concurrency-safe.
+type entry struct {
+	key     Key
+	ready   chan struct{}
+	model   transpose.Model
+	err     error
+	elem    *list.Element
+	queryMu sync.Mutex
+}
+
+// RegistryStats is a point-in-time counter snapshot.
+type RegistryStats struct {
+	Models    int   `json:"models"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Fits      int64 `json:"fits"`
+	FitErrors int64 `json:"fit_errors"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Registry caches fitted models under an LRU bound. Concurrent requests
+// for a missing key trigger exactly one Fit (singleflight); the rest wait
+// for it or for their context, whichever ends first. Failed fits are never
+// cached, so a transient error does not poison a key.
+type Registry struct {
+	max int
+
+	mu    sync.Mutex
+	ll    *list.List // MRU at the front
+	byKey map[Key]*entry
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	fits      atomic.Int64
+	fitErrors atomic.Int64
+	evictions atomic.Int64
+}
+
+// NewRegistry returns a registry bounded to max models (max <= 0 means
+// DefaultMaxModels).
+func NewRegistry(max int) *Registry {
+	if max <= 0 {
+		max = DefaultMaxModels
+	}
+	return &Registry{max: max, ll: list.New(), byKey: map[Key]*entry{}}
+}
+
+// Len returns the number of cached entries (including in-flight fits).
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byKey)
+}
+
+// Keys returns the cached keys, most recently used first.
+func (r *Registry) Keys() []Key {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Key, 0, r.ll.Len())
+	for e := r.ll.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*entry).key)
+	}
+	return out
+}
+
+// Stats returns a counter snapshot.
+func (r *Registry) Stats() RegistryStats {
+	return RegistryStats{
+		Models:    r.Len(),
+		Hits:      r.hits.Load(),
+		Misses:    r.misses.Load(),
+		Fits:      r.fits.Load(),
+		FitErrors: r.fitErrors.Load(),
+		Evictions: r.evictions.Load(),
+	}
+}
+
+// acquire returns the entry for key, creating it when absent. The boolean
+// reports whether the caller created it and therefore owns the fit.
+func (r *Registry) acquire(key Key) (*entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byKey[key]; ok {
+		r.ll.MoveToFront(e.elem)
+		r.hits.Add(1)
+		return e, false
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	e.elem = r.ll.PushFront(e)
+	r.byKey[key] = e
+	r.misses.Add(1)
+	r.evictLocked()
+	return e, true
+}
+
+// evictLocked drops least-recently-used entries beyond the bound. An
+// in-flight entry may be evicted from the cache; its waiters hold the
+// entry pointer and still receive the fit result — it just is not cached.
+func (r *Registry) evictLocked() {
+	for len(r.byKey) > r.max {
+		back := r.ll.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*entry)
+		r.ll.Remove(back)
+		delete(r.byKey, victim.key)
+		r.evictions.Add(1)
+	}
+}
+
+// remove forgets an entry (used for failed fits, which must not be cached).
+func (r *Registry) remove(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.byKey[e.key]; ok && cur == e {
+		r.ll.Remove(e.elem)
+		delete(r.byKey, e.key)
+	}
+}
+
+// resolve returns the ready entry for key, running the singleflight fit
+// protocol: the creating goroutine fits (at most once per key), everyone
+// else waits for it or for their context, whichever ends first. Failed
+// fits are uncached before waiters are released.
+func (r *Registry) resolve(ctx context.Context, key Key, fit func() (transpose.Model, error)) (*entry, error) {
+	e, owner := r.acquire(key)
+	if owner {
+		if err := ctx.Err(); err != nil {
+			e.err = err
+			r.remove(e)
+			close(e.ready)
+			return nil, err
+		}
+		r.fits.Add(1)
+		e.model, e.err = fit()
+		if e.err != nil {
+			r.fitErrors.Add(1)
+			r.remove(e)
+		}
+		close(e.ready)
+		return e, e.err
+	}
+	select {
+	case <-e.ready:
+		return e, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Model returns the fitted model for key, calling fit at most once per key
+// however many goroutines ask concurrently. Waiters return early with
+// ctx.Err() when their context ends first; the fit itself, once started,
+// runs to completion so late arrivals can still use it.
+func (r *Registry) Model(ctx context.Context, key Key, fit func() (transpose.Model, error)) (transpose.Model, error) {
+	e, err := r.resolve(ctx, key, fit)
+	if err != nil {
+		return nil, err
+	}
+	return e.model, nil
+}
+
+// Query runs query against the fitted model for key while holding the
+// entry's query lock: models are not required to be safe for concurrent
+// use, so queries against one model serialise here — the batching point
+// the coalescing layer in Server drains through.
+func (r *Registry) Query(ctx context.Context, key Key, fit func() (transpose.Model, error), query func(transpose.Model) error) error {
+	e, err := r.resolve(ctx, key, fit)
+	if err != nil {
+		return err
+	}
+	e.queryMu.Lock()
+	defer e.queryMu.Unlock()
+	return query(e.model)
+}
+
+// Add inserts an already-fitted model (e.g. one decoded from disk) as a
+// ready entry, evicting under the LRU bound as usual.
+func (r *Registry) Add(key Key, m transpose.Model) {
+	if m == nil {
+		return
+	}
+	e := &entry{key: key, ready: make(chan struct{}), model: m}
+	close(e.ready)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byKey[key]; ok {
+		r.ll.Remove(old.elem)
+		delete(r.byKey, key)
+	}
+	e.elem = r.ll.PushFront(e)
+	r.byKey[key] = e
+	r.evictLocked()
+}
+
+// indexEntry is one line of a registry directory's index.json.
+type indexEntry struct {
+	Key  Key    `json:"key"`
+	File string `json:"file"`
+}
+
+// Save writes every cached model that supports serialization to dir (one
+// file per model plus an index.json) and returns the number saved. The
+// index is written last and atomically (temp file + rename), so a crashed
+// save never leaves an index referencing half-written models.
+func (r *Registry) Save(dir string) (int, error) {
+	r.mu.Lock()
+	entries := make([]*entry, 0, r.ll.Len())
+	for e := r.ll.Front(); e != nil; e = e.Next() {
+		entries = append(entries, e.Value.(*entry))
+	}
+	r.mu.Unlock()
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	var index []indexEntry
+	for _, e := range entries {
+		select {
+		case <-e.ready:
+		default:
+			continue // fit still in flight; skip
+		}
+		if e.err != nil || e.model == nil {
+			continue
+		}
+		if _, ok := e.model.(transpose.BinaryModel); !ok {
+			continue
+		}
+		name := e.key.fileStem() + ".dtm"
+		f, err := os.CreateTemp(dir, "model-*.tmp")
+		if err != nil {
+			return len(index), err
+		}
+		// Queries may run concurrently with Save; hold the query lock while
+		// encoding so the snapshot is consistent.
+		e.queryMu.Lock()
+		err = transpose.EncodeModel(f, e.model)
+		e.queryMu.Unlock()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(f.Name(), filepath.Join(dir, name))
+		}
+		if err != nil {
+			os.Remove(f.Name())
+			return len(index), fmt.Errorf("serve: saving model %s: %w", name, err)
+		}
+		index = append(index, indexEntry{Key: e.key, File: name})
+	}
+	blob, err := json.MarshalIndent(index, "", "  ")
+	if err != nil {
+		return len(index), err
+	}
+	tmp, err := os.CreateTemp(dir, "index-*.tmp")
+	if err != nil {
+		return len(index), err
+	}
+	if _, err := tmp.Write(append(blob, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return len(index), err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return len(index), err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, "index.json")); err != nil {
+		os.Remove(tmp.Name())
+		return len(index), err
+	}
+	return len(index), nil
+}
+
+// Load warms the registry from a directory written by Save, decoding model
+// files in parallel on the engine's worker pool. Corrupted or truncated
+// files are skipped, not fatal: Load returns how many models it installed
+// plus the joined per-file errors, so a damaged entry costs a refit rather
+// than a failed start. Cancelling ctx stops the decode fan-out promptly.
+func (r *Registry) Load(ctx context.Context, dir string) (int, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return 0, err
+	}
+	var index []indexEntry
+	if err := json.Unmarshal(blob, &index); err != nil {
+		return 0, fmt.Errorf("serve: parsing registry index: %w", err)
+	}
+	type loaded struct {
+		model transpose.Model
+		err   error
+	}
+	results, err := engine.CollectContext(ctx, nil, len(index), func(i int) (loaded, error) {
+		f, err := os.Open(filepath.Join(dir, index[i].File))
+		if err != nil {
+			return loaded{err: err}, nil
+		}
+		defer f.Close()
+		m, err := transpose.DecodeModel(f)
+		if err != nil {
+			return loaded{err: fmt.Errorf("serve: registry file %s: %w", index[i].File, err)}, nil
+		}
+		return loaded{model: m}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	var errs []error
+	// Install in reverse index order so the first index entry — the most
+	// recently used at save time — ends up most recently used again.
+	for i := len(results) - 1; i >= 0; i-- {
+		if results[i].err != nil {
+			errs = append(errs, results[i].err)
+			continue
+		}
+		r.Add(index[i].Key, results[i].model)
+		n++
+	}
+	return n, errors.Join(errs...)
+}

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/transpose"
+)
+
+// testWorld builds a small two-family dataset with affine machine
+// structure, the shape every serve test ranks over.
+func testWorld(t testing.TB) *dataset.Matrix {
+	t.Helper()
+	const nBench, nA, nB = 8, 5, 4
+	bench := make([]string, nBench)
+	for b := range bench {
+		bench[b] = fmt.Sprintf("bench%c", 'A'+b)
+	}
+	machines := make([]dataset.Machine, 0, nA+nB)
+	for i := 0; i < nA; i++ {
+		machines = append(machines, dataset.Machine{
+			ID: fmt.Sprintf("alpha-%d", i), Vendor: "v", Family: "Alpha", Nickname: "a", ISA: "x", Year: 2008,
+		})
+	}
+	for i := 0; i < nB; i++ {
+		machines = append(machines, dataset.Machine{
+			ID: fmt.Sprintf("beta-%d", i), Vendor: "v", Family: "Beta", Nickname: "b", ISA: "x", Year: 2009,
+		})
+	}
+	m, err := dataset.New(bench, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range machines {
+		speed := 0.6 + 0.45*float64(c)
+		for b := range bench {
+			base := 1.5 + float64(b)
+			// Mild per-cell wobble keeps regressions non-degenerate.
+			wobble := 1 + 0.01*float64((b*7+c*3)%5)
+			m.Set(b, c, base*speed*wobble)
+		}
+	}
+	return m
+}
+
+func fitNNT(t testing.TB, m *dataset.Matrix, app string) (transpose.Fold, transpose.Model) {
+	t.Helper()
+	targets, predictive, err := m.FamilySplit("Alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold, _, err := transpose.NewFold(predictive, targets, app, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := transpose.NNT{}.Fit(fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fold, model
+}
+
+func TestRegistrySingleflight(t *testing.T) {
+	m := testWorld(t)
+	reg := NewRegistry(8)
+	var fits atomic.Int64
+	key := Key{Snapshot: m.Hash(), Family: "Alpha", App: "benchA", Method: "NN^T"}
+	fit := func() (transpose.Model, error) {
+		fits.Add(1)
+		_, model := fitNNT(t, m, "benchA")
+		return model, nil
+	}
+	const clients = 32
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := reg.Model(context.Background(), key, fit); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fits.Load(); got != 1 {
+		t.Fatalf("%d concurrent misses triggered %d fits, want exactly 1", clients, got)
+	}
+	st := reg.Stats()
+	if st.Misses != 1 || st.Hits != clients-1 || st.Fits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRegistryFailedFitIsNotCached(t *testing.T) {
+	reg := NewRegistry(8)
+	key := Key{Family: "Alpha", Method: "NN^T"}
+	boom := errors.New("boom")
+	calls := 0
+	fit := func() (transpose.Model, error) { calls++; return nil, boom }
+	if _, err := reg.Model(context.Background(), key, fit); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if reg.Len() != 0 {
+		t.Fatal("failed fit must not be cached")
+	}
+	if _, err := reg.Model(context.Background(), key, fit); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("fit called %d times, want a retry per request", calls)
+	}
+	if st := reg.Stats(); st.FitErrors != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRegistryLRUBound(t *testing.T) {
+	m := testWorld(t)
+	reg := NewRegistry(2)
+	_, model := fitNNT(t, m, "benchA")
+	fit := func() (transpose.Model, error) { return model, nil }
+	keys := []Key{{App: "a"}, {App: "b"}, {App: "c"}}
+	for _, k := range keys {
+		if _, err := reg.Model(context.Background(), k, fit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("registry holds %d models, bound is 2", reg.Len())
+	}
+	got := reg.Keys()
+	if len(got) != 2 || got[0].App != "c" || got[1].App != "b" {
+		t.Fatalf("keys after eviction: %+v", got)
+	}
+	if st := reg.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Touching "b" then inserting "d" must evict "c", not "b".
+	if _, err := reg.Model(context.Background(), keys[1], fit); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Model(context.Background(), Key{App: "d"}, fit); err != nil {
+		t.Fatal(err)
+	}
+	got = reg.Keys()
+	if len(got) != 2 || got[0].App != "d" || got[1].App != "b" {
+		t.Fatalf("keys after LRU touch: %+v", got)
+	}
+}
+
+func TestRegistryModelCancelledWaiter(t *testing.T) {
+	reg := NewRegistry(4)
+	key := Key{App: "slow"}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		reg.Model(context.Background(), key, func() (transpose.Model, error) {
+			close(started)
+			<-release
+			return nil, errors.New("late")
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := reg.Model(ctx, key, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestRegistrySaveLoadRoundTrip(t *testing.T) {
+	m := testWorld(t)
+	reg := NewRegistry(8)
+	hash := m.Hash()
+	apps := []string{"benchA", "benchB", "benchC"}
+	want := map[string][]float64{}
+	for _, app := range apps {
+		_, model := fitNNT(t, m, app)
+		key := Key{Snapshot: hash, Family: "Alpha", App: app, Method: "NN^T", Seed: 1}
+		reg.Add(key, model)
+		dst := make([]float64, model.NumTargets())
+		if err := model.PredictTargets(dst); err != nil {
+			t.Fatal(err)
+		}
+		want[app] = dst
+	}
+	dir := t.TempDir()
+	n, err := reg.Save(dir)
+	if err != nil || n != len(apps) {
+		t.Fatalf("Save = %d, %v", n, err)
+	}
+
+	fresh := NewRegistry(8)
+	loaded, err := fresh.Load(context.Background(), dir)
+	if err != nil || loaded != len(apps) {
+		t.Fatalf("Load = %d, %v", loaded, err)
+	}
+	for _, app := range apps {
+		key := Key{Snapshot: hash, Family: "Alpha", App: app, Method: "NN^T", Seed: 1}
+		model, err := fresh.Model(context.Background(), key, func() (transpose.Model, error) {
+			return nil, errors.New("loaded registry must not refit")
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		got := make([]float64, model.NumTargets())
+		if err := model.PredictTargets(got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[app][i] {
+				t.Fatalf("%s target %d: %v loaded vs %v fitted", app, i, got[i], want[app][i])
+			}
+		}
+	}
+	if st := fresh.Stats(); st.Fits != 0 {
+		t.Fatalf("warm registry refit: %+v", st)
+	}
+}
+
+func TestRegistryLoadSkipsCorruptFiles(t *testing.T) {
+	m := testWorld(t)
+	reg := NewRegistry(8)
+	hash := m.Hash()
+	for _, app := range []string{"benchA", "benchB"} {
+		_, model := fitNNT(t, m, app)
+		reg.Add(Key{Snapshot: hash, Family: "Alpha", App: app, Method: "NN^T"}, model)
+	}
+	dir := t.TempDir()
+	if _, err := reg.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one model file: flip a byte in the middle.
+	files, err := filepath.Glob(filepath.Join(dir, "*.dtm"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("model files: %v, %v", files, err)
+	}
+	blob, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x10
+	if err := os.WriteFile(files[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewRegistry(8)
+	n, err := fresh.Load(context.Background(), dir)
+	if n != 1 {
+		t.Fatalf("loaded %d models, want the 1 intact one", n)
+	}
+	if err == nil {
+		t.Fatal("want an error reporting the corrupt file")
+	}
+	if fresh.Len() != 1 {
+		t.Fatalf("registry holds %d entries", fresh.Len())
+	}
+}
+
+func TestRegistryLoadMissingDir(t *testing.T) {
+	if _, err := NewRegistry(4).Load(context.Background(), filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("want error for missing index")
+	}
+}

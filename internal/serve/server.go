@@ -1,0 +1,539 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/transpose"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Seed is the deterministic seeding base for predictors, matching
+	// cmd/dtrank's -seed flag (MLPᵀ uses Seed+1, GA-kNN Seed+2).
+	Seed int64
+	// MaxModels bounds the model registry (0 means DefaultMaxModels).
+	MaxModels int
+}
+
+// snapshot is an immutable (matrix, characteristics) pair plus its hash.
+// The server swaps whole snapshots atomically; in-flight queries keep the
+// one they started with.
+type snapshot struct {
+	matrix *dataset.Matrix
+	chars  map[string][]float64
+	hash   string
+}
+
+// freshScorer is the serving interface of application-independent models:
+// NNTModel and SPLTModel extrapolate any application from fresh
+// measurements on the predictive machines.
+type freshScorer interface {
+	PredictTargetsWith(appOnPred, dst []float64) error
+}
+
+// rankCall is one in-flight coalesced ranking computation. Concurrent
+// requests for the same (model key, scores) attach to the leader's call
+// and share its single PredictTargets result instead of queueing their
+// own model queries.
+type rankCall struct {
+	done chan struct{}
+	resp *RankResponse
+	err  error
+}
+
+// callKey identifies a coalescable computation: the model key plus, for
+// the fresh-scores path, the exact measurement bytes (not a hash — two
+// different score vectors must never share a call).
+type callKey struct {
+	key    Key
+	scores string
+	top    int
+}
+
+// Server is the ranking service: a snapshot of the performance database,
+// a model registry fitting each query shape once, and the HTTP handlers
+// in front of them.
+type Server struct {
+	opts  Options
+	reg   *Registry
+	snap  atomic.Pointer[snapshot]
+	start time.Time
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	cmu   sync.Mutex
+	calls map[callKey]*rankCall
+
+	requests   atomic.Int64
+	rankOK     atomic.Int64
+	rankErrors atomic.Int64
+	coalesced  atomic.Int64
+	swaps      atomic.Int64
+}
+
+// NewServer builds a Server over the given performance matrix and optional
+// workload characteristics (required only by GA-kNN queries).
+func NewServer(m *dataset.Matrix, chars map[string][]float64, opts Options) (*Server, error) {
+	if m == nil {
+		return nil, errors.New("serve: nil matrix")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: invalid snapshot: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		reg:     NewRegistry(opts.MaxModels),
+		start:   time.Now(),
+		baseCtx: ctx,
+		cancel:  cancel,
+		calls:   map[callKey]*rankCall{},
+	}
+	s.snap.Store(&snapshot{matrix: m, chars: chars, hash: m.Hash()})
+	return s, nil
+}
+
+// Registry exposes the server's model registry (for warm start and save).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// SnapshotHash returns the hash of the currently served snapshot.
+func (s *Server) SnapshotHash() string { return s.snap.Load().hash }
+
+// Close cancels the server's base context: fits waiting in the registry
+// and pending coalesced queries unblock with a cancellation error. It does
+// not stop an http.Server wrapping Handler() — shut that down first.
+func (s *Server) Close() { s.cancel() }
+
+// SwapSnapshot atomically replaces the served dataset. Queries already
+// running finish against the old snapshot; new queries see the new one.
+// Cached models for the old snapshot age out of the registry by LRU (their
+// keys no longer match any query). Characteristics may be nil, in which
+// case GA-kNN queries against the new snapshot are rejected.
+func (s *Server) SwapSnapshot(m *dataset.Matrix, chars map[string][]float64) (string, error) {
+	if m == nil {
+		return "", errors.New("serve: nil matrix")
+	}
+	if err := m.Validate(); err != nil {
+		return "", fmt.Errorf("serve: invalid snapshot: %w", err)
+	}
+	next := &snapshot{matrix: m, chars: chars, hash: m.Hash()}
+	s.snap.Store(next)
+	s.swaps.Add(1)
+	return next.hash, nil
+}
+
+// RankRequest is the body of POST /v1/rank. Exactly one of App (a
+// benchmark held out as the application of interest, the cmd/dtrank parity
+// path) or Scores (the application's measured scores on the predictive
+// machines, ordered as GET /v1/machines?family=F&role=predictive lists
+// them) must be set.
+type RankRequest struct {
+	Family string    `json:"family"`
+	Method string    `json:"method"`
+	App    string    `json:"app,omitempty"`
+	Scores []float64 `json:"scores,omitempty"`
+	Top    int       `json:"top,omitempty"`
+}
+
+// RankEntry is one machine of a predicted ranking, best first.
+type RankEntry struct {
+	Rank      int     `json:"rank"`
+	Machine   string  `json:"machine"`
+	Predicted float64 `json:"predicted"`
+	// Measured is the ground-truth score, present only on the app-named
+	// path where the held-out benchmark's scores are known.
+	Measured *float64 `json:"measured,omitempty"`
+}
+
+// RankResponse is the body of a successful POST /v1/rank — and, byte for
+// byte, of `dtrank rank -json`: both paths fill it from the same
+// deterministic fit, which is what the serve-smoke CI job asserts.
+type RankResponse struct {
+	Family   string             `json:"family"`
+	App      string             `json:"app,omitempty"`
+	Method   string             `json:"method"`
+	Snapshot string             `json:"snapshot"`
+	Metrics  *transpose.Metrics `json:"metrics,omitempty"`
+	Ranking  []RankEntry        `json:"ranking"`
+}
+
+// WriteRankResponse encodes resp as JSON followed by a newline — the one
+// serialization shared by the HTTP handler and `dtrank rank -json`, so
+// their outputs can be compared bytewise.
+func WriteRankResponse(w io.Writer, resp *RankResponse) error {
+	return json.NewEncoder(w).Encode(resp)
+}
+
+// BuildRankResponse assembles a response from raw prediction output: it
+// orders targets by predicted score (best first), attaches measured
+// scores when available, computes the paper's metrics, and clamps the
+// ranking to top entries (top <= 0 means all).
+func BuildRankResponse(family, app, method, snapshotHash string, machines []dataset.Machine, predicted, measured []float64, top int) (*RankResponse, error) {
+	if len(predicted) != len(machines) {
+		return nil, fmt.Errorf("serve: %d predictions for %d machines", len(predicted), len(machines))
+	}
+	resp := &RankResponse{Family: family, App: app, Method: method, Snapshot: snapshotHash}
+	if measured != nil {
+		if len(measured) != len(predicted) {
+			return nil, fmt.Errorf("serve: %d measured scores for %d predictions", len(measured), len(predicted))
+		}
+		m, err := transpose.Evaluate(measured, predicted)
+		if err != nil {
+			return nil, err
+		}
+		resp.Metrics = &m
+	}
+	order := transpose.Ranking(predicted)
+	if top <= 0 || top > len(order) {
+		top = len(order)
+	}
+	resp.Ranking = make([]RankEntry, top)
+	for i := 0; i < top; i++ {
+		t := order[i]
+		e := RankEntry{Rank: i + 1, Machine: machines[t].ID, Predicted: predicted[t]}
+		if measured != nil {
+			v := measured[t]
+			e.Measured = &v
+		}
+		resp.Ranking[i] = e
+	}
+	return resp, nil
+}
+
+// httpError is an error with a status code.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// Rank answers one ranking query against the current snapshot. It is the
+// HTTP-independent entry point the handler, tests and examples share.
+func (s *Server) Rank(ctx context.Context, req RankRequest) (*RankResponse, error) {
+	canon, err := CanonicalMethod(req.Method)
+	if err != nil {
+		return nil, &httpError{code: http.StatusBadRequest, err: err}
+	}
+	if req.Family == "" {
+		return nil, badRequest("missing family")
+	}
+	if (req.App == "") == (len(req.Scores) == 0) {
+		return nil, badRequest("exactly one of app or scores must be set")
+	}
+	snap := s.snap.Load()
+	targets, predictive, err := snap.matrix.FamilySplit(req.Family)
+	if err != nil {
+		return nil, &httpError{code: http.StatusBadRequest, err: err}
+	}
+
+	key := Key{Snapshot: snap.hash, Family: req.Family, App: req.App, Method: canon, Seed: s.opts.Seed}
+	ck := callKey{key: key, top: req.Top}
+	if len(req.Scores) > 0 {
+		if !SupportsFreshScores(canon) {
+			return nil, badRequest("method %s cannot rank from raw scores (its fit depends on the application); supply app instead", canon)
+		}
+		if len(req.Scores) != predictive.NumMachines() {
+			return nil, badRequest("got %d scores for %d predictive machines", len(req.Scores), predictive.NumMachines())
+		}
+		b := make([]byte, 8*len(req.Scores))
+		for i, v := range req.Scores {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return nil, badRequest("invalid score %v (scores must be finite and positive)", v)
+			}
+			binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+		}
+		ck.scores = string(b)
+	}
+
+	// Coalesce: concurrent identical queries share one fit + one model
+	// query. The leader computes, everyone else waits on its call. If the
+	// leader's own client disconnected before the work started, its
+	// cancellation error is not the followers' — they retry the loop and
+	// one of them becomes the next leader.
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.baseCtx.Err(); err != nil {
+			return nil, err
+		}
+		s.cmu.Lock()
+		c, attached := s.calls[ck]
+		if !attached {
+			c = &rankCall{done: make(chan struct{})}
+			s.calls[ck] = c
+		}
+		s.cmu.Unlock()
+		if attached {
+			s.coalesced.Add(1)
+			select {
+			case <-c.done:
+				if c.err != nil && (errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+					continue // the leader was cancelled, not us
+				}
+				return c.resp, c.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-s.baseCtx.Done():
+				return nil, s.baseCtx.Err()
+			}
+		}
+
+		// Leader path. Merge the request context with the server's
+		// lifetime so both a disconnecting client and a shutting-down
+		// server stop the wait.
+		leaderCtx, cancelMerged := context.WithCancel(ctx)
+		stop := context.AfterFunc(s.baseCtx, cancelMerged)
+		c.resp, c.err = s.rankLeader(leaderCtx, snap, key, canon, targets, predictive, req)
+		stop()
+		cancelMerged()
+		s.cmu.Lock()
+		delete(s.calls, ck)
+		s.cmu.Unlock()
+		close(c.done)
+		return c.resp, c.err
+	}
+}
+
+// rankLeader performs the actual fit-and-predict for one coalesced call.
+func (s *Server) rankLeader(ctx context.Context, snap *snapshot, key Key, canon string, targets, predictive *dataset.Matrix, req RankRequest) (*RankResponse, error) {
+	var (
+		appOnTgt []float64
+		fold     transpose.Fold
+	)
+	if req.App != "" {
+		var err error
+		fold, appOnTgt, err = transpose.NewFold(predictive, targets, req.App, snap.chars)
+		if err != nil {
+			return nil, &httpError{code: http.StatusBadRequest, err: err}
+		}
+	} else {
+		const freshApp = "application-of-interest"
+		if _, err := predictive.BenchmarkIndex(freshApp); err == nil {
+			return nil, badRequest("snapshot contains a benchmark named %q; rank it via app instead", freshApp)
+		}
+		fold = transpose.Fold{
+			AppName:   freshApp,
+			Pred:      predictive,
+			AppOnPred: req.Scores,
+			Tgt:       targets,
+		}
+		if err := fold.Validate(); err != nil {
+			return nil, badRequest("invalid fold: %v", err)
+		}
+	}
+
+	fit := func() (transpose.Model, error) {
+		p, _, err := NewPredictor(canon, s.opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ft, ok := p.(transpose.Fitter)
+		if !ok {
+			return nil, fmt.Errorf("serve: method %s does not implement the Fit/Predict API", canon)
+		}
+		return ft.Fit(fold)
+	}
+	predicted := make([]float64, targets.NumMachines())
+	err := s.reg.Query(ctx, key, fit, func(m transpose.Model) error {
+		if m.NumTargets() != len(predicted) {
+			return fmt.Errorf("serve: model predicts %d targets, snapshot family has %d machines", m.NumTargets(), len(predicted))
+		}
+		if len(req.Scores) > 0 {
+			fs, ok := m.(freshScorer)
+			if !ok {
+				return fmt.Errorf("serve: %s model cannot predict from raw scores", canon)
+			}
+			return fs.PredictTargetsWith(req.Scores, predicted)
+		}
+		return m.PredictTargets(predicted)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return BuildRankResponse(req.Family, req.App, canon, snap.hash, targets.Machines, predicted, appOnTgt, req.Top)
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/rank      rank a family's machines for an application
+//	GET  /v1/methods   the served prediction methods
+//	GET  /v1/machines  the snapshot's machines (?family= filters)
+//	POST /v1/snapshot  hot-swap the performance database (CSV body)
+//	GET  /healthz      liveness plus snapshot hash and model count
+//	GET  /debug/vars   service counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/rank", s.handleRank)
+	mux.HandleFunc("GET /v1/methods", s.handleMethods)
+	mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	var req RankRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.rankErrors.Add(1)
+		s.writeError(w, badRequest("decoding request: %v", err))
+		return
+	}
+	resp, err := s.Rank(r.Context(), req)
+	if err != nil {
+		s.rankErrors.Add(1)
+		s.writeError(w, err)
+		return
+	}
+	s.rankOK.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	WriteRankResponse(w, resp)
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	type method struct {
+		Name string `json:"name"`
+		// FreshScores reports whether the method answers queries for
+		// applications supplied as raw measurements (scores) rather than a
+		// held-out benchmark name.
+		FreshScores bool `json:"fresh_scores"`
+	}
+	out := make([]method, 0, len(MethodNames))
+	for _, name := range MethodNames {
+		out = append(out, method{Name: name, FreshScores: SupportsFreshScores(name)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"methods": out})
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	family := r.URL.Query().Get("family")
+	role := r.URL.Query().Get("role")
+	// With ?family=F, ?role=target lists F's machines and ?role=predictive
+	// everything else — the split a /v1/rank query for F uses, in the
+	// exact order a fresh-scores request's Scores must follow.
+	switch role {
+	case "", "target", "predictive":
+	default:
+		s.writeError(w, badRequest("unknown role %q (valid: target, predictive)", role))
+		return
+	}
+	if role != "" && family == "" {
+		s.writeError(w, badRequest("role=%s requires family", role))
+		return
+	}
+	if family != "" {
+		if _, _, err := snap.matrix.FamilySplit(family); err != nil {
+			s.writeError(w, badRequest("%v", err))
+			return
+		}
+	}
+	keep := func(m dataset.Machine) bool {
+		switch role {
+		case "predictive":
+			return m.Family != family
+		case "target":
+			return m.Family == family
+		default:
+			return family == "" || m.Family == family
+		}
+	}
+	type machine struct {
+		ID       string `json:"id"`
+		Vendor   string `json:"vendor,omitempty"`
+		Family   string `json:"family"`
+		Nickname string `json:"nickname,omitempty"`
+		ISA      string `json:"isa,omitempty"`
+		Year     int    `json:"year,omitempty"`
+	}
+	var out []machine
+	for _, m := range snap.matrix.Machines {
+		if !keep(m) {
+			continue
+		}
+		out = append(out, machine{ID: m.ID, Vendor: m.Vendor, Family: m.Family, Nickname: m.Nickname, ISA: m.ISA, Year: m.Year})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot":   snap.hash,
+		"benchmarks": snap.matrix.Benchmarks,
+		"machines":   out,
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	const maxCSV = 64 << 20
+	m, err := dataset.ReadCSV(io.LimitReader(r.Body, maxCSV))
+	if err != nil {
+		s.writeError(w, badRequest("parsing snapshot CSV: %v", err))
+		return
+	}
+	hash, err := s.SwapSnapshot(m, nil)
+	if err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot":   hash,
+		"benchmarks": m.NumBenchmarks(),
+		"machines":   m.NumMachines(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"snapshot":       s.snap.Load().hash,
+		"models":         s.reg.Len(),
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":       s.requests.Load(),
+		"rank_ok":        s.rankOK.Load(),
+		"rank_errors":    s.rankErrors.Load(),
+		"coalesced":      s.coalesced.Load(),
+		"snapshot_swaps": s.swaps.Load(),
+		"registry":       s.reg.Stats(),
+	})
+}

@@ -1,0 +1,220 @@
+package transpose
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mlp"
+)
+
+// codecFold builds a deterministic fold big enough that every model family
+// fits something non-trivial.
+func codecFold(t *testing.T) Fold {
+	t.Helper()
+	pred, tgt := syntheticPair(t, 9, 7, 5, 0.02, 11)
+	fold, _, err := NewFold(pred, tgt, "benchD", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fold
+}
+
+func codecFitters(t *testing.T) []Fitter {
+	t.Helper()
+	mlpt := NewMLPT(5)
+	mlpt.Config.Epochs = 40
+	mlpt.Ensemble = 2
+	return []Fitter{NNT{}, NewSPLT(), mlpt}
+}
+
+func roundTrip(t *testing.T, m Model) Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func assertSamePredictions(t *testing.T, name string, want, got Model) {
+	t.Helper()
+	if want.NumTargets() != got.NumTargets() {
+		t.Fatalf("%s: %d targets decoded as %d", name, want.NumTargets(), got.NumTargets())
+	}
+	a := make([]float64, want.NumTargets())
+	b := make([]float64, got.NumTargets())
+	if err := want.PredictTargets(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.PredictTargets(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s: target %d predicts %v decoded vs %v fitted — not bitwise identical", name, i, b[i], a[i])
+		}
+	}
+}
+
+func TestModelRoundTripBitwiseIdentical(t *testing.T) {
+	fold := codecFold(t)
+	for _, ft := range codecFitters(t) {
+		m, err := ft.Fit(fold)
+		if err != nil {
+			t.Fatalf("%s: %v", ft.Name(), err)
+		}
+		assertSamePredictions(t, ft.Name(), m, roundTrip(t, m))
+	}
+}
+
+func TestNNTRoundTripServesFreshApplications(t *testing.T) {
+	fold := codecFold(t)
+	m, err := NNT{}.Fit(fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, m).(*NNTModel)
+	fresh := make([]float64, len(fold.AppOnPred))
+	for i, v := range fold.AppOnPred {
+		fresh[i] = v * 1.75
+	}
+	want := make([]float64, m.NumTargets())
+	have := make([]float64, m.NumTargets())
+	if err := m.(*NNTModel).PredictTargetsWith(fresh, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.PredictTargetsWith(fresh, have); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(have[i]) {
+			t.Fatalf("target %d: %v vs %v", i, have[i], want[i])
+		}
+	}
+}
+
+func TestSPLTPredictTargetsWithMatchesPredictTargets(t *testing.T) {
+	fold := codecFold(t)
+	m, err := NewSPLT().Fit(fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := m.(*SPLTModel)
+	a := make([]float64, sm.NumTargets())
+	b := make([]float64, sm.NumTargets())
+	if err := sm.PredictTargets(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.PredictTargetsWith(fold.AppOnPred, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("target %d: %v vs %v", i, b[i], a[i])
+		}
+	}
+	if err := sm.PredictTargetsWith(fold.AppOnPred[:1], b); err == nil {
+		t.Fatal("want error for too few predictive scores")
+	}
+}
+
+func TestDecodeModelRejectsDamage(t *testing.T) {
+	fold := codecFold(t)
+	m, err := NNT{}.Fit(fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := DecodeModel(bytes.NewReader(nil)); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("foreign magic", func(t *testing.T) {
+		bad := append([]byte("NOTMODEL"), blob[8:]...)
+		if _, err := DecodeModel(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "not a model file") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("version mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[8], bad[9] = 0xff, 0xff
+		if _, err := DecodeModel(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		// kind starts after magic(8) + version(2) + kindLen(2).
+		bad[12], bad[13], bad[14] = 'z', 'z', 'z'
+		if _, err := DecodeModel(bytes.NewReader(bad)); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{9, 13, 20, len(blob) / 2, len(blob) - 3} {
+			if _, err := DecodeModel(bytes.NewReader(blob[:cut])); err == nil {
+				t.Fatalf("truncation at %d of %d bytes accepted", cut, len(blob))
+			}
+		}
+	})
+	t.Run("corrupted payload", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[len(bad)/2] ^= 0x40
+		if _, err := DecodeModel(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("trailing garbage is ignored by design", func(t *testing.T) {
+		// Streams may carry several models back to back; the decoder must
+		// consume exactly one.
+		r := bytes.NewReader(append(append([]byte(nil), blob...), blob...))
+		if _, err := DecodeModel(r); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeModel(r); err != nil {
+			t.Fatalf("second model in stream: %v", err)
+		}
+		if _, err := DecodeModel(r); err != io.ErrUnexpectedEOF && err != nil && !strings.Contains(err.Error(), "EOF") {
+			t.Fatalf("stream end: %v", err)
+		}
+	})
+}
+
+func TestEncodeModelRejectsNonBinaryModels(t *testing.T) {
+	if err := EncodeModel(io.Discard, fakeModel{}); err == nil {
+		t.Fatal("want ErrNotBinaryModel")
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) NumTargets() int                { return 0 }
+func (fakeModel) PredictTargets([]float64) error { return nil }
+
+func TestMLPTRoundTripKeepsEnsembleOrder(t *testing.T) {
+	fold := codecFold(t)
+	mlpt := &MLPT{Config: mlp.DefaultConfig(9), Ensemble: 3}
+	mlpt.Config.Epochs = 25
+	m, err := mlpt.Fit(fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, m).(*MLPTModel)
+	if len(got.Net.Nets) != 3 {
+		t.Fatalf("ensemble decoded with %d members", len(got.Net.Nets))
+	}
+	assertSamePredictions(t, "MLP^T ensemble", m, got)
+}

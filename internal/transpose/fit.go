@@ -194,13 +194,27 @@ type SPLTModel struct {
 // NumTargets implements Model.
 func (m *SPLTModel) NumTargets() int { return len(m.Pair) }
 
-// PredictTargets implements Model.
+// PredictTargets implements Model using the fitted fold's application
+// measurements.
 func (m *SPLTModel) PredictTargets(dst []float64) error {
+	return m.PredictTargetsWith(m.appOnPred, dst)
+}
+
+// PredictTargetsWith extrapolates an application with the given scores on
+// the predictive machines — the serving path, mirroring
+// NNTModel.PredictTargetsWith: the spline pairs depend only on the
+// training benchmarks, so one fitted model ranks the same target set for
+// any application.
+func (m *SPLTModel) PredictTargetsWith(appOnPred, dst []float64) error {
 	if len(dst) != len(m.Pair) {
 		return fmt.Errorf("transpose: SPL^T model predicts %d targets, got %d slots", len(m.Pair), len(dst))
 	}
 	for t := range m.Pair {
-		dst[t] = m.Pair[t].Predict(m.appOnPred[m.PredIdx[t]])
+		p := m.PredIdx[t]
+		if p < 0 || p >= len(appOnPred) {
+			return fmt.Errorf("transpose: SPL^T model needs %d predictive scores, got %d", p+1, len(appOnPred))
+		}
+		dst[t] = m.Pair[t].Predict(appOnPred[p])
 	}
 	return nil
 }

@@ -19,6 +19,13 @@
 // (NewNNT, NewMLPT) and the prior-art workload-similarity baseline
 // (NewGAKNN). The experiments subcommands reproduce every table and figure
 // of the paper's evaluation; see the EXPERIMENTS.md file.
+//
+// Beyond the one-shot library calls, NewRankServer turns the reproduction
+// into a service: trained models are cached in a Registry (fit once, serve
+// many queries), persisted with EncodeModel/DecodeModel for cheap
+// restarts, and exposed over a small HTTP JSON API — cmd/dtrankd is the
+// ready-made daemon, and server rankings are byte-identical to the
+// library path. See the README's Serving section.
 package repro
 
 import (
@@ -33,6 +40,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mica"
 	"repro/internal/perfmodel"
+	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/transpose"
 )
@@ -71,6 +79,25 @@ type (
 	ExperimentConfig = experiments.Config
 	// CPIBreakdown itemises the analytic performance model's components.
 	CPIBreakdown = perfmodel.Breakdown
+	// BinaryModel is a trained Model that can be persisted with
+	// EncodeModel and restored with DecodeModel. All four built-in model
+	// artifacts implement it.
+	BinaryModel = transpose.BinaryModel
+	// RankServer is the ranking service: a model registry over a dataset
+	// snapshot plus the HTTP API in front of it (cmd/dtrankd's engine).
+	RankServer = serve.Server
+	// ServeOptions configures a RankServer.
+	ServeOptions = serve.Options
+	// Registry caches fitted models with singleflight fitting and an LRU
+	// bound, and persists them to and from a directory.
+	Registry = serve.Registry
+	// RegistryKey identifies one fitted model in a Registry.
+	RegistryKey = serve.Key
+	// RankRequest is the body of the server's POST /v1/rank.
+	RankRequest = serve.RankRequest
+	// RankResponse is the ranking answer shared byte-for-byte by the
+	// server and `dtrank rank -json`.
+	RankResponse = serve.RankResponse
 )
 
 // DefaultDatasetOptions returns the synthesis options used for all
@@ -257,6 +284,27 @@ func DefaultExperimentConfig(seed int64) ExperimentConfig {
 func RunAllExperiments(cfg ExperimentConfig, w io.Writer) error {
 	return experiments.RunAll(cfg, w)
 }
+
+// NewRankServer builds the ranking service over a performance matrix and
+// optional workload characteristics (required only by GA-kNN queries).
+// Mount Handler() on an http.Server, or use Rank directly in process; see
+// cmd/dtrankd for the full daemon and examples/serving for library use.
+func NewRankServer(m *Matrix, chars map[string][]float64, opts ServeOptions) (*RankServer, error) {
+	return serve.NewServer(m, chars, opts)
+}
+
+// NewRegistry returns a standalone model registry bounded to max models
+// (max <= 0 means serve.DefaultMaxModels).
+func NewRegistry(max int) *Registry { return serve.NewRegistry(max) }
+
+// EncodeModel persists a trained model (NNᵀ, SPLᵀ, MLPᵀ or GA-kNN) in the
+// versioned binary format. A decoded model's predictions are bitwise
+// identical to the original's.
+func EncodeModel(w io.Writer, m Model) error { return transpose.EncodeModel(w, m) }
+
+// DecodeModel restores a model written by EncodeModel, rejecting
+// truncated, corrupted and version-mismatched payloads.
+func DecodeModel(r io.Reader) (Model, error) { return transpose.DecodeModel(r) }
 
 // SetWorkers bounds the process-wide worker budget shared by every
 // parallel code path that is not driven by an ExperimentConfig: GA-kNN

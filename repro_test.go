@@ -1,6 +1,8 @@
 package repro_test
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -210,5 +212,91 @@ func TestEvaluateFacade(t *testing.T) {
 	}
 	if m.RankCorr != 1 {
 		t.Fatalf("rank %v", m.RankCorr)
+	}
+}
+
+func TestServingFacade(t *testing.T) {
+	data := generate(t)
+	srv, err := repro.NewRankServer(data.Matrix, data.Characteristics, repro.ServeOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := srv.Rank(context.Background(), repro.RankRequest{
+		Family: "Intel Xeon", App: "gcc", Method: "NN^T", Top: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Ranking) != 4 || resp.Method != "NN^T" || resp.Metrics == nil {
+		t.Fatalf("resp = %+v", resp)
+	}
+
+	// The server ranking must equal the library ranking, machine for
+	// machine and bit for bit.
+	targets, predictive, err := data.Matrix.FamilySplit("Intel Xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold, _, err := repro.NewFold(predictive, targets, "gcc", data.Characteristics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := repro.RankFold(fold, repro.NewNNT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range resp.Ranking {
+		if e.Machine != ranked[i].Machine.ID ||
+			math.Float64bits(e.Predicted) != math.Float64bits(ranked[i].Predicted) {
+			t.Fatalf("rank %d: server %s@%v, library %s@%v",
+				i+1, e.Machine, e.Predicted, ranked[i].Machine.ID, ranked[i].Predicted)
+		}
+	}
+
+	// A model persisted through the public facade predicts identically.
+	model, err := repro.FitFold(fold, repro.NewNNT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := model.(repro.BinaryModel); !ok {
+		t.Fatal("built-in model must implement BinaryModel")
+	}
+	var blob bytes.Buffer
+	if err := repro.EncodeModel(&blob, model); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := repro.DecodeModel(&blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float64, model.NumTargets())
+	b := make([]float64, decoded.NumTargets())
+	if err := model.PredictTargets(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.PredictTargets(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("decoded model diverged at target %d", i)
+		}
+	}
+
+	// The standalone registry facade: fit once, hit afterwards.
+	reg := repro.NewRegistry(4)
+	key := repro.RegistryKey{Snapshot: data.Matrix.Hash(), Family: "Intel Xeon", App: "gcc", Method: "NN^T", Seed: 1}
+	fits := 0
+	for i := 0; i < 3; i++ {
+		if _, err := reg.Model(context.Background(), key, func() (repro.Model, error) {
+			fits++
+			return repro.FitFold(fold, repro.NewNNT())
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fits != 1 {
+		t.Fatalf("registry fitted %d times for one key", fits)
 	}
 }
