@@ -4,7 +4,7 @@
 GO ?= go
 DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test bench bench-json examples serve serve-smoke lint ci
+.PHONY: build test bench bench-json examples serve serve-smoke cache-smoke lint staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -43,10 +43,25 @@ serve:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
+# End-to-end result-store check: run `dtrank run -spec all -cache` twice
+# and assert the warm rerun is byte-identical and recomputes nothing.
+cache-smoke:
+	./scripts/cache-smoke.sh
+
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 
-ci: lint build test bench examples serve-smoke
+# Mirrors the CI staticcheck job. CI installs the pinned version; locally
+# the check is skipped with a hint when the binary is absent, so offline
+# machines keep a working `make ci`.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
+
+ci: lint staticcheck build test bench examples serve-smoke cache-smoke

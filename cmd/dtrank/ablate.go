@@ -1,37 +1,22 @@
 package main
 
 import (
-	"fmt"
+	"os"
 
 	"repro/internal/experiments"
 )
 
-// runAblate executes the reproduction's ablation studies: the simulated
-// characterisation failure, the MLPᵀ learning-rate-decay deviation, the
-// model-flexibility comparison (NNᵀ/SPLᵀ/MLPᵀ) and the predictive-machine
-// selection strategies.
+// runAblate executes the reproduction's ablation studies through the spec
+// pipeline: the simulated characterisation failure, the MLPᵀ
+// learning-rate-decay deviation, the model-flexibility comparison
+// (NNᵀ/SPLᵀ/MLPᵀ) and the predictive-machine selection strategies.
 func runAblate(args []string) error {
 	return runExperiment(args, func(cfg experiments.Config) error {
-		hc, err := experiments.RunAblationHonestChars(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(hc.Render())
-		md, err := experiments.RunAblationMLPTDecay(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(md.Render())
-		pr, err := experiments.RunAblationPredictors(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(pr.Render())
-		sel, err := experiments.RunAblationSelection(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(sel.Render())
-		return nil
+		return experiments.RunSpecs(cfg, os.Stdout,
+			experiments.SpecAblationChars,
+			experiments.SpecAblationDecay,
+			experiments.SpecAblationPredictors,
+			experiments.SpecAblationSelection,
+		)
 	})
 }

@@ -16,20 +16,25 @@
 //	dtrank fig8   [-seed N] [-fast] [-draws D] [-maxk K]
 //	dtrank ablate [-seed N] [-fast]               ablation studies
 //	dtrank all    [-seed N] [-fast] [-draws D]    everything, in paper order
+//	dtrank run    [-spec id,..|all] [-cache dir]  declarative spec pipeline,
+//	                                              incremental via the result store
+//	dtrank methods [-json]                        the method registry
 //
 // Every experiment command accepts -workers N to bound the engine worker
 // pool (default: all cores). Output is byte-identical for every worker
-// count.
+// count, and — for 'run' — for cold versus warm result stores.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/method"
 	"repro/internal/serve"
 )
 
@@ -101,6 +106,10 @@ func main() {
 		err = runCompare(args)
 	case "ablate":
 		err = runAblate(args)
+	case "methods":
+		err = runMethods(args)
+	case "run":
+		err = runRun(args)
 	case "all":
 		err = runExperiment(args, func(cfg experiments.Config) error {
 			return experiments.RunAll(cfg, os.Stdout)
@@ -132,6 +141,8 @@ commands:
   fig8    reproduce Figure 8 (k-medoids vs random machine selection)
   ablate  run the reproduction's ablation studies
   all     reproduce every table and figure
+  run     run experiment specs (-spec id,..|all), incremental with -cache dir
+  methods list the prediction-method registry (names, aliases, capabilities)
 
 run 'dtrank <command> -h' for command flags`)
 }
@@ -164,7 +175,7 @@ func runRank(args []string) error {
 	seed := fs.Int64("seed", 1, "dataset seed")
 	app := fs.String("app", "libquantum", "benchmark playing the application of interest")
 	family := fs.String("family", "Intel Xeon", "target processor family")
-	method := fs.String("method", "MLP^T", "predictor: NN^T, MLP^T, SPL^T or GA-kNN")
+	methodName := fs.String("method", method.MLPT, "predictor: "+strings.Join(method.Names(), ", "))
 	top := fs.Int("top", 10, "number of machines to print")
 	asJSON := fs.Bool("json", false, "emit the ranking as JSON, byte-identical to dtrankd's POST /v1/rank response")
 	dataFile := fs.String("data", "", "load the performance database from a CSV file (as written by 'dtrank gen') instead of synthesising it; GA-kNN is unavailable in this mode because external files carry no workload characteristics")
@@ -197,7 +208,7 @@ func runRank(args []string) error {
 	}
 	// The predictor construction (and its seed derivation) is shared with
 	// the dtrankd serving layer, so the CLI and the server cannot drift.
-	p, canon, err := serve.NewPredictor(*method, *seed)
+	p, canon, err := serve.NewPredictor(*methodName, *seed)
 	if err != nil {
 		return err
 	}
@@ -245,29 +256,40 @@ func runRank(args []string) error {
 	return nil
 }
 
-func runExperiment(args []string, run func(experiments.Config) error) error {
-	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+// experimentFlags registers the flags shared by every experiment command
+// on fs and returns a builder that assembles the Config after parsing —
+// the one place the CLI's experiment configuration is defined, whether
+// the command is a dedicated runner or the spec pipeline.
+func experimentFlags(fs *flag.FlagSet) func() experiments.Config {
 	seed := fs.Int64("seed", 1, "dataset and model seed")
 	fast := fs.Bool("fast", false, "reduced model budgets (quick smoke run)")
 	draws := fs.Int("draws", 0, "random draws for Table 4 / Figure 8 (0 = default)")
 	maxk := fs.Int("maxk", 0, "largest predictive-set size in Figure 8 (0 = default)")
 	workers := fs.Int("workers", 0, "worker pool size for the experiment fan-out (0 = all cores)")
+	return func() experiments.Config {
+		cfg := experiments.DefaultConfig(*seed)
+		cfg.Fast = *fast
+		if *draws > 0 {
+			cfg.RandomDraws = *draws
+		}
+		if *maxk > 0 {
+			cfg.MaxK = *maxk
+		}
+		if *workers > 0 {
+			// Bound both the experiment fan-out and the process-wide budget
+			// that the inner layers (GA fitness, matrix kernels) draw from.
+			cfg.Workers = *workers
+			repro.SetWorkers(*workers)
+		}
+		return cfg
+	}
+}
+
+func runExperiment(args []string, run func(experiments.Config) error) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	build := experimentFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.DefaultConfig(*seed)
-	cfg.Fast = *fast
-	if *draws > 0 {
-		cfg.RandomDraws = *draws
-	}
-	if *maxk > 0 {
-		cfg.MaxK = *maxk
-	}
-	if *workers > 0 {
-		// Bound both the experiment fan-out and the process-wide budget
-		// that the inner layers (GA fitness, matrix kernels) draw from.
-		cfg.Workers = *workers
-		repro.SetWorkers(*workers)
-	}
-	return run(cfg)
+	return run(build())
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/method"
+	"repro/internal/resultstore"
+)
+
+// runMethods prints the method registry — the same rows dtrankd serves on
+// GET /v1/methods, generated from the one registry in internal/method.
+func runMethods(args []string) error {
+	fs := flag.NewFlagSet("methods", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the registry as JSON (the body of dtrankd's GET /v1/methods)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	infos := method.List()
+	if *asJSON {
+		return json.NewEncoder(os.Stdout).Encode(map[string]any{"methods": infos})
+	}
+	fmt.Printf("%-8s %-10s %-6s %-6s %s\n", "method", "aliases", "seed", "codec", "capabilities")
+	for _, m := range infos {
+		var caps []string
+		if m.Compared {
+			caps = append(caps, "compared")
+		}
+		if m.FreshScores {
+			caps = append(caps, "fresh-scores")
+		}
+		if m.NeedsChars {
+			caps = append(caps, "needs-chars")
+		}
+		if m.Stochastic {
+			caps = append(caps, "stochastic")
+		}
+		seed := "base"
+		if m.SeedOffset != 0 {
+			seed = fmt.Sprintf("base+%d", m.SeedOffset)
+		}
+		fmt.Printf("%-8s %-10s %-6s %-6s %s\n",
+			m.Name, strings.Join(m.Aliases, ","), seed, m.CodecKind, strings.Join(caps, ","))
+	}
+	return nil
+}
+
+// runRun executes experiment specs through the declarative pipeline,
+// optionally against a persistent result store: with -cache, every table
+// cell / figure point / ablation variant already in the store is served
+// instead of recomputed, so reruns after a crash or a partial change are
+// incremental. Rendered output is byte-identical to the spec's dedicated
+// subcommand, cold or warm.
+func runRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	spec := fs.String("spec", "all", "comma-separated spec ids, or 'all' (valid: "+strings.Join(experiments.SpecIDs(), ", ")+")")
+	cache := fs.String("cache", "", "result-store directory (persists unit results across runs; default: in-memory only)")
+	build := experimentFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := experiments.SpecIDs()
+	if *spec != "all" {
+		ids = strings.Split(*spec, ",")
+	}
+	st, err := resultstore.Open(*cache)
+	if err != nil {
+		return err
+	}
+	cfg := build()
+	cfg.Store = st
+	if err := experiments.RunSpecs(cfg, os.Stdout, ids...); err != nil {
+		return err
+	}
+	// The cache summary goes to stderr so stdout stays byte-comparable
+	// between cold and warm runs.
+	stats := st.Stats()
+	where := "in-memory"
+	if st.Dir() != "" {
+		where = st.Dir()
+	}
+	fmt.Fprintf(os.Stderr, "dtrank run: result store %s: %d hits, %d misses, %d computed, %d corrupt\n",
+		where, stats.Hits, stats.Misses, stats.Puts, stats.Corrupt)
+	return nil
+}

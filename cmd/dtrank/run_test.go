@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestRunMethodsGolden pins the exact registry listing: the table is
+// generated from internal/method, so any registry change (a new method,
+// alias or capability) must be reflected here deliberately.
+func TestRunMethodsGolden(t *testing.T) {
+	got := captureStdout(t, func() {
+		if err := runMethods(nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	want := `method   aliases    seed   codec  capabilities
+NN^T     nnt        base   nnt    compared,fresh-scores
+MLP^T    mlpt       base+1 mlpt   compared,stochastic
+SPL^T    splt       base   splt   fresh-scores
+GA-kNN   gaknn      base+2 gaknn  compared,needs-chars,stochastic
+`
+	if got != want {
+		t.Fatalf("dtrank methods output drifted:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}
+
+// TestRunMethodsJSONMatchesRegistry asserts -json emits exactly the
+// registry rows the server serves on GET /v1/methods.
+func TestRunMethodsJSONMatchesRegistry(t *testing.T) {
+	got := captureStdout(t, func() {
+		if err := runMethods([]string{"-json"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var body struct {
+		Methods []repro.MethodInfo `json:"methods"`
+	}
+	if err := json.Unmarshal([]byte(got), &body); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, got)
+	}
+	want := repro.Methods()
+	if len(body.Methods) != len(want) {
+		t.Fatalf("%d methods, want %d", len(body.Methods), len(want))
+	}
+	for i := range want {
+		a, b := body.Methods[i], want[i]
+		if a.Name != b.Name || a.SeedOffset != b.SeedOffset || a.CodecKind != b.CodecKind ||
+			a.FreshScores != b.FreshScores || a.NeedsChars != b.NeedsChars {
+			t.Fatalf("method %d = %+v, registry %+v", i, a, b)
+		}
+	}
+}
+
+// TestRunSpecCached runs one spec cold and warm against a cache directory
+// and asserts identical stdout plus a fully served second run.
+func TestRunSpecCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two pipeline runs in -short mode")
+	}
+	cache := filepath.Join(t.TempDir(), "cache")
+	args := []string{"-spec", "table3", "-cache", cache, "-fast", "-draws", "2", "-maxk", "3"}
+	cold := captureStdout(t, func() {
+		if err := runRun(args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(cold, "Table 3") {
+		t.Fatalf("missing Table 3:\n%s", cold)
+	}
+	entries, err := filepath.Glob(filepath.Join(cache, "*.dtr"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries (%v)", err)
+	}
+	warm := captureStdout(t, func() {
+		if err := runRun(args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if warm != cold {
+		t.Fatalf("warm run output differs:\n--- cold\n%s\n--- warm\n%s", cold, warm)
+	}
+}
+
+func TestRunUnknownSpec(t *testing.T) {
+	err := runRun([]string{"-spec", "table9"})
+	if err == nil || !strings.Contains(err.Error(), "unknown spec") {
+		t.Fatalf("want unknown-spec error, got %v", err)
+	}
+	// The error must list every valid spec id.
+	for _, id := range repro.ExperimentSpecIDs() {
+		if !strings.Contains(err.Error(), id) {
+			t.Fatalf("error %q does not list spec %s", err, id)
+		}
+	}
+}
+
+func TestRunBadCacheDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root; unwritable-dir check is meaningless")
+	}
+	if err := runRun([]string{"-spec", "table3", "-cache", "/proc/nope/cache"}); err == nil {
+		t.Fatal("want cache-dir error")
+	}
+}

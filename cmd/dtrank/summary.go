@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro"
+	"repro/internal/serve"
 	"repro/internal/stats"
 )
 
@@ -90,11 +91,16 @@ func runCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	predictors := []repro.Predictor{
-		repro.NewNNT(),
-		repro.NewSPLT(),
-		repro.NewMLPT(*seed + 1),
-		repro.NewGAKNN(*seed + 2),
+	// Build every registered method through the registry, so compare uses
+	// exactly the predictors (and seed offsets) the server and the
+	// experiment pipeline use.
+	var predictors []repro.Predictor
+	for _, name := range serve.MethodNames {
+		p, _, err := serve.NewPredictor(name, *seed)
+		if err != nil {
+			return err
+		}
+		predictors = append(predictors, p)
 	}
 	fold, appOnTgt, err := repro.NewFold(predictive, targets, *app, data.Characteristics)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/method"
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/transpose"
@@ -25,6 +26,26 @@ import (
 //     transposition step need?
 //   - Selection: PAM k-medoids vs k-means vs random predictive-machine
 //     selection (extends Figure 8 with a second clustering algorithm).
+//
+// Every variant is one result-store unit, so ablations are as resumable
+// and incremental as the paper's tables.
+
+// mlptVariant builds the registry's MLPᵀ predictor with the learning-rate
+// decay toggled — the one place an ablation modifies a constructed
+// predictor rather than constructing its own.
+func (c Config) mlptVariant(decay bool) func() transpose.Predictor {
+	d, err := method.Get(method.MLPT)
+	if err != nil {
+		panic(err)
+	}
+	opts := c.methodOptions()
+	seed := c.Seed
+	return func() transpose.Predictor {
+		p := d.NewWith(seed, opts).(*transpose.MLPT)
+		p.Config.Decay = decay
+		return p
+	}
+}
 
 // AblationHonestChars reruns GA-kNN family CV with truthful outlier
 // characteristics and compares against the default (distorted) run.
@@ -35,21 +56,41 @@ type AblationHonestChars struct {
 }
 
 // RunAblationHonestChars executes the characterisation ablation. The two
-// variants and their folds fan out on the configured worker pool.
+// variants and their folds fan out on the configured worker pool. Both
+// units are keyed by the default dataset's fingerprint: the honest
+// variant is a pure function of the same synthesis options.
 func RunAblationHonestChars(cfg Config) (*AblationHonestChars, error) {
+	base, err := synth.Generate(cfg.synthOptions())
+	if err != nil {
+		return nil, err
+	}
 	eng := cfg.eng()
+	st := cfg.store()
+	fp := datasetFingerprint(base)
+	gaknn, err := cfg.method(method.GAKNN)
+	if err != nil {
+		return nil, err
+	}
+	labels := []string{"distorted", "honest"}
 	ss, err := engine.Collect(eng, 2, func(i int) (Summary, error) {
-		opts := cfg.synthOptions()
-		opts.HonestCharacteristics = i == 1
-		data, err := synth.Generate(opts)
-		if err != nil {
-			return Summary{}, err
-		}
-		rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, cfg.newGAKNN)
-		if err != nil {
-			return Summary{}, err
-		}
-		return summarize(rs, data.Matrix.Benchmarks)
+		key := cfg.unitKey(fp, SpecAblationChars, gaknn.Name, labels[i])
+		return storeUnit(st, key, func() (Summary, error) {
+			data := base
+			if i == 1 {
+				opts := cfg.synthOptions()
+				opts.HonestCharacteristics = true
+				var err error
+				data, err = synth.Generate(opts)
+				if err != nil {
+					return Summary{}, err
+				}
+			}
+			rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, gaknn.New)
+			if err != nil {
+				return Summary{}, err
+			}
+			return summarize(rs, data.Matrix.Benchmarks)
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -82,20 +123,18 @@ func RunAblationMLPTDecay(cfg Config) (*AblationMLPTDecay, error) {
 		return nil, err
 	}
 	eng := cfg.eng()
+	st := cfg.store()
+	fp := datasetFingerprint(data)
+	labels := []string{"decay", "pure-weka"}
 	ss, err := engine.Collect(eng, 2, func(i int) (Summary, error) {
-		decay := i == 0
-		rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, func() transpose.Predictor {
-			p := transpose.NewMLPT(cfg.Seed + 1)
-			p.Config.Decay = decay
-			if cfg.Fast {
-				p.Config.Epochs = 60
+		key := cfg.unitKey(fp, SpecAblationDecay, method.MLPT, labels[i])
+		return storeUnit(st, key, func() (Summary, error) {
+			rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, cfg.mlptVariant(i == 0))
+			if err != nil {
+				return Summary{}, err
 			}
-			return p
+			return summarize(rs, data.Matrix.Benchmarks)
 		})
-		if err != nil {
-			return Summary{}, err
-		}
-		return summarize(rs, data.Matrix.Benchmarks)
 	})
 	if err != nil {
 		return nil, err
@@ -125,28 +164,30 @@ func RunAblationPredictors(cfg Config) (*AblationPredictors, error) {
 	if err != nil {
 		return nil, err
 	}
-	factories := []struct {
-		name string
-		mk   func() transpose.Predictor
-	}{
-		{"NN^T", func() transpose.Predictor { return transpose.NNT{} }},
-		{"SPL^T", func() transpose.Predictor { return transpose.NewSPLT() }},
-		{"MLP^T", cfg.newMLPT},
-	}
 	eng := cfg.eng()
-	ss, err := engine.Collect(eng, len(factories), func(i int) (Summary, error) {
-		rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, factories[i].mk)
+	st := cfg.store()
+	fp := datasetFingerprint(data)
+	names := []string{method.NNT, method.SPLT, method.MLPT}
+	ss, err := engine.Collect(eng, len(names), func(i int) (Summary, error) {
+		m, err := cfg.method(names[i])
 		if err != nil {
-			return Summary{}, fmt.Errorf("experiments: predictor ablation %s: %w", factories[i].name, err)
+			return Summary{}, err
 		}
-		return summarize(rs, data.Matrix.Benchmarks)
+		key := cfg.unitKey(fp, SpecAblationPredictors, m.Name, "family-cv")
+		return storeUnit(st, key, func() (Summary, error) {
+			rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, m.New)
+			if err != nil {
+				return Summary{}, fmt.Errorf("experiments: predictor ablation %s: %w", m.Name, err)
+			}
+			return summarize(rs, data.Matrix.Benchmarks)
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := &AblationPredictors{}
-	for i, f := range factories {
-		out.Names = append(out.Names, f.name)
+	for i, name := range names {
+		out.Names = append(out.Names, name)
 		out.Summaries = append(out.Summaries, ss[i])
 	}
 	return out, nil
@@ -184,7 +225,9 @@ func RunAblationSelection(cfg Config) (*AblationSelection, error) {
 		return nil, err
 	}
 	eng := cfg.eng()
-	mlpt, err := cfg.method("MLP^T")
+	st := cfg.store()
+	fp := datasetFingerprint(data)
+	mlpt, err := cfg.method(method.MLPT)
 	if err != nil {
 		return nil, err
 	}
@@ -227,17 +270,27 @@ func RunAblationSelection(cfg Config) (*AblationSelection, error) {
 			}
 			return transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
 		}
-		med, err := fit(transpose.MedoidSubset(k))
+		unit := func(split string, compute func() (float64, error)) (float64, error) {
+			key := cfg.unitKey(fp, SpecAblationSelection, mlpt.Name, split)
+			return storeUnit(st, key, compute)
+		}
+		med, err := unit(fmt.Sprintf("medoid/k=%d", k), func() (float64, error) {
+			return fit(transpose.MedoidSubset(k))
+		})
 		if err != nil {
 			return point{}, err
 		}
-		km, err := fit(kmeansSel(k))
+		km, err := unit(fmt.Sprintf("kmeans/k=%d", k), func() (float64, error) {
+			return fit(kmeansSel(k))
+		})
 		if err != nil {
 			return point{}, err
 		}
 		r2s, err := engine.Collect(eng, out.Draws, func(d int) (float64, error) {
-			rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(500+k), int64(d))))
-			return fit(transpose.RandomSubset(k, rng))
+			return unit(fmt.Sprintf("random/k=%d#%d", k, d), func() (float64, error) {
+				rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(500+k), int64(d))))
+				return fit(transpose.RandomSubset(k, rng))
+			})
 		})
 		if err != nil {
 			return point{}, err

@@ -7,13 +7,18 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/engine"
-	"repro/internal/ga"
-	"repro/internal/gaknn"
+	"repro/internal/method"
+	"repro/internal/resultstore"
 	"repro/internal/synth"
 	"repro/internal/transpose"
 )
@@ -37,6 +42,13 @@ type Config struct {
 	// points; 0 means the process-wide default (runtime.GOMAXPROCS(0)).
 	// Results are byte-identical for every worker count.
 	Workers int
+	// Store receives every computed unit result (table cells, figure
+	// points, ablation variants) and serves previously computed ones, so
+	// reruns are incremental. nil means a fresh in-memory store per
+	// runner call; open a directory-backed store (resultstore.Open) to
+	// persist results across runs. Cached results never change output:
+	// cold and warm runs render byte-identical text.
+	Store *resultstore.Store
 	// pool is the run's worker pool, created lazily by eng(). Predictor
 	// factories hand it to the GA's inner fan-out so one token budget
 	// bounds the fold and fitness layers. (The la matrix kernels draw
@@ -86,50 +98,130 @@ func (c *Config) eng() *engine.Pool {
 	return c.pool
 }
 
+// store returns the run's result store, creating an in-memory one when
+// the Config carries none. Runners must call store() on the same Config
+// pointer they later hand to unit helpers, so one run shares one store.
+func (c *Config) store() *resultstore.Store {
+	if c.Store == nil {
+		c.Store = resultstore.New()
+	}
+	return c.Store
+}
+
+// methodOptions is the construction tuning every predictor of this run
+// shares. Runners must call eng() first so the factories capture the
+// run's pool.
+func (c Config) methodOptions() method.Options {
+	return method.Options{Fast: c.Fast, Pool: c.pool}
+}
+
 // Method is a named predictor factory.
 type Method struct {
 	Name string
 	New  func() transpose.Predictor
 }
 
-// MethodNames lists the methods in the paper's column order.
-var MethodNames = []string{"NN^T", "MLP^T", "GA-kNN"}
+// MethodNames lists the methods in the paper's column order, from the
+// method registry.
+var MethodNames = method.ComparedNames()
 
-// Methods returns the three compared methods, seeded from the Config.
+// Methods returns the paper's compared methods, built from the method
+// registry with this run's seed, budget and worker pool.
 func (c Config) Methods() []Method {
-	return []Method{
-		{Name: "NN^T", New: func() transpose.Predictor { return transpose.NNT{} }},
-		{Name: "MLP^T", New: c.newMLPT},
-		{Name: "GA-kNN", New: c.newGAKNN},
+	names := MethodNames
+	out := make([]Method, 0, len(names))
+	for _, name := range names {
+		m, err := c.method(name)
+		if err != nil {
+			// Registry names always resolve; a failure here is a
+			// programming error in the registry itself.
+			panic(err)
+		}
+		out = append(out, m)
 	}
+	return out
 }
 
-func (c Config) newMLPT() transpose.Predictor {
-	p := transpose.NewMLPT(c.Seed + 1)
-	if c.Fast {
-		p.Config.Epochs = 60
-	}
-	return p
+// MethodByName resolves one method's predictor factory through the
+// registry (canonical name or alias), with this run's seed, budget and
+// pool — the entry point the registry drift test uses to assert this
+// layer builds the same predictors as the CLI and the server.
+func (c Config) MethodByName(name string) (Method, error) {
+	return c.method(name)
 }
 
-func (c Config) newGAKNN() transpose.Predictor {
-	p := gaknn.New(c.Seed + 2)
-	if c.Fast {
-		p.GA = ga.Config{Pop: 8, Generations: 5, Patience: 3, Seed: c.Seed + 2, Parallel: true}
-	}
-	// Share the run's token budget with the GA's inner fan-out (nil
-	// means the process-wide default).
-	p.GA.Pool = c.pool
-	return p
-}
-
+// method resolves a predictor factory through the method registry; the
+// factory applies the registry's seed-offset convention and this run's
+// options.
 func (c Config) method(name string) (Method, error) {
-	for _, m := range c.Methods() {
-		if m.Name == name {
-			return m, nil
+	d, err := method.Get(name)
+	if err != nil {
+		return Method{}, fmt.Errorf("experiments: %w", err)
+	}
+	opts := c.methodOptions()
+	seed := c.Seed
+	return Method{Name: d.Name, New: func() transpose.Predictor { return d.NewWith(seed, opts) }}, nil
+}
+
+// datasetFingerprint hashes everything the experiment units consume from
+// the dataset: the score matrix snapshot plus the (possibly distorted)
+// workload characteristics. It is the Snapshot component of every result
+// key, so any dataset change — new machines, new scores, a different
+// characterisation — invalidates every cached unit.
+func datasetFingerprint(data *synth.Data) string {
+	h := sha256.New()
+	io.WriteString(h, data.Matrix.Hash())
+	names := make([]string, 0, len(data.Characteristics))
+	for name := range data.Characteristics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "%q:", name)
+		for _, v := range data.Characteristics[name] {
+			binary.Write(h, binary.LittleEndian, math.Float64bits(v))
 		}
 	}
-	return Method{}, fmt.Errorf("experiments: unknown method %q", name)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// unitKey builds the result-store key of one experiment unit, attaching
+// the run's training-budget regime: a -fast run and a full run address
+// disjoint units, so neither can serve the other's results.
+func (c Config) unitKey(fp, spec, methodName, split string) resultstore.Key {
+	k := resultstore.Key{Snapshot: fp, Spec: spec, Method: methodName, Split: split, Seed: c.Seed}
+	if c.Fast {
+		k.Budget = "fast"
+	}
+	return k
+}
+
+// storeUnit computes one experiment unit through the result store: a
+// previously stored result is served as-is, otherwise compute runs and
+// its result is stored. The returned value always comes from the store's
+// canonical encoding, so cold and warm runs continue with bit-identical
+// values.
+func storeUnit[T any](st *resultstore.Store, key resultstore.Key, compute func() (T, error)) (T, error) {
+	var v T
+	ok, err := st.Get(key, &v)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	if ok {
+		return v, nil
+	}
+	v, err = compute()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	var out T
+	if err := st.Put(key, v, &out); err != nil {
+		var zero T
+		return zero, err
+	}
+	return out, nil
 }
 
 // Summary holds the paper's table cell format: the mean over folds and the
@@ -186,10 +278,12 @@ type FamilyRun struct {
 	Results map[string][]transpose.FoldResult
 }
 
-// RunFamilyCV executes the §6.2 experiment for all three methods. Methods
-// and their folds fan out on the configured worker pool; results are
-// collected per method in the serial order, so output is independent of
-// the worker count.
+// RunFamilyCV executes the §6.2 experiment for all three methods. Every
+// (method, family) cell is one result-store unit: cells fan out on the
+// configured worker pool (their folds fan out within), results are
+// assembled in the serial family-major order, so output is independent of
+// the worker count, and a warm store serves previously computed cells
+// without refitting anything.
 func RunFamilyCV(cfg Config) (*FamilyRun, error) {
 	data, err := synth.Generate(cfg.synthOptions())
 	if err != nil {
@@ -200,11 +294,18 @@ func RunFamilyCV(cfg Config) (*FamilyRun, error) {
 		Results: map[string][]transpose.FoldResult{},
 	}
 	eng := cfg.eng()
+	st := cfg.store()
+	fp := datasetFingerprint(data)
 	methods := cfg.Methods()
-	perMethod, err := engine.Collect(eng, len(methods), func(i int) ([]transpose.FoldResult, error) {
-		rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, methods[i].New)
+	families := data.Matrix.Families()
+	cells, err := engine.Collect(eng, len(methods)*len(families), func(i int) ([]transpose.FoldResult, error) {
+		m, family := methods[i/len(families)], families[i%len(families)]
+		key := cfg.unitKey(fp, unitFamilyCV, m.Name, family)
+		rs, err := storeUnit(st, key, func() ([]transpose.FoldResult, error) {
+			return transpose.FamilyFolds(eng, data.Matrix, data.Characteristics, family, m.New)
+		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: family CV with %s: %w", methods[i].Name, err)
+			return nil, fmt.Errorf("experiments: family CV with %s: %w", m.Name, err)
 		}
 		return rs, nil
 	})
@@ -212,7 +313,11 @@ func RunFamilyCV(cfg Config) (*FamilyRun, error) {
 		return nil, err
 	}
 	for i, m := range methods {
-		run.Results[m.Name] = perMethod[i]
+		var rs []transpose.FoldResult
+		for f := range families {
+			rs = append(rs, cells[i*len(families)+f]...)
+		}
+		run.Results[m.Name] = rs
 	}
 	return run, nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/method"
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/textplot"
@@ -44,7 +45,9 @@ func RunFigure8(cfg Config) (*Figure8, error) {
 	}
 	out := &Figure8{Draws: cfg.draws()}
 	eng := cfg.eng()
-	mlpt, err := cfg.method("MLP^T")
+	st := cfg.store()
+	fp := datasetFingerprint(data)
+	mlpt, err := cfg.method(method.MLPT)
 	if err != nil {
 		return nil, err
 	}
@@ -52,26 +55,34 @@ func RunFigure8(cfg Config) (*Figure8, error) {
 	points, err := engine.Collect(eng, maxK, func(i int) (point, error) {
 		k := i + 1
 
-		sub, err := transpose.MedoidSubset(k)(pool)
-		if err != nil {
-			return point{}, err
-		}
-		medoid, err := transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
-		if err != nil {
-			return point{}, fmt.Errorf("experiments: Figure 8 medoid k=%d: %w", k, err)
-		}
-
-		r2s, err := engine.Collect(eng, out.Draws, func(d int) (float64, error) {
-			rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(1000+k), int64(d))))
-			sub, err := transpose.RandomSubset(k, rng)(pool)
+		medoid, err := storeUnit(st, cfg.unitKey(fp, SpecFigure8, mlpt.Name, fmt.Sprintf("medoid/k=%d", k)), func() (float64, error) {
+			sub, err := transpose.MedoidSubset(k)(pool)
 			if err != nil {
 				return 0, err
 			}
 			r2, err := transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
 			if err != nil {
-				return 0, fmt.Errorf("experiments: Figure 8 random k=%d draw %d: %w", k, d, err)
+				return 0, fmt.Errorf("experiments: Figure 8 medoid k=%d: %w", k, err)
 			}
 			return r2, nil
+		})
+		if err != nil {
+			return point{}, err
+		}
+
+		r2s, err := engine.Collect(eng, out.Draws, func(d int) (float64, error) {
+			return storeUnit(st, cfg.unitKey(fp, SpecFigure8, mlpt.Name, fmt.Sprintf("random/k=%d#%d", k, d)), func() (float64, error) {
+				rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(1000+k), int64(d))))
+				sub, err := transpose.RandomSubset(k, rng)(pool)
+				if err != nil {
+					return 0, err
+				}
+				r2, err := transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
+				if err != nil {
+					return 0, fmt.Errorf("experiments: Figure 8 random k=%d draw %d: %w", k, d, err)
+				}
+				return r2, nil
+			})
 		})
 		if err != nil {
 			return point{}, err

@@ -1,56 +1,16 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 )
 
-// RunAll executes every experiment and streams the rendered tables and
-// figures to w, in the paper's order.
+// RunAll executes every experiment of the paper's evaluation and streams
+// the rendered tables and figures to w, in the paper's order. It is
+// RunSpecs over the paper's spec set: one result store and one worker
+// pool are shared across all specs, so the family cross-validation is
+// computed once and rendered three ways, and a directory-backed
+// cfg.Store makes the whole evaluation resumable — a rerun recomputes
+// only units missing from the store.
 func RunAll(cfg Config, w io.Writer) error {
-	fr, err := RunFamilyCV(cfg)
-	if err != nil {
-		return err
-	}
-	t2, err := fr.Table2()
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%s\n", t2.Render()); err != nil {
-		return err
-	}
-	f6, err := fr.Figure6()
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%s\n", f6.Render()); err != nil {
-		return err
-	}
-	f7, err := fr.Figure7()
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%s\n", f7.Render()); err != nil {
-		return err
-	}
-	t3, err := RunTable3(cfg)
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%s\n", t3.Render()); err != nil {
-		return err
-	}
-	t4, err := RunTable4(cfg)
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%s\n", t4.Render()); err != nil {
-		return err
-	}
-	f8, err := RunFigure8(cfg)
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintf(w, "%s\n", f8.Render())
-	return err
+	return RunSpecs(cfg, w, paperSpecIDs...)
 }

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Spec ids. Runnable specs (the ids accepted by RunSpecs and `dtrank run
+// -spec`) render one table, figure or ablation each; unitFamilyCV is the
+// shared unit namespace of the family cross-validation that Table 2 and
+// Figures 6-7 all read, so the expensive folds are computed once and the
+// three views render from the same stored cells.
+const (
+	unitFamilyCV = "family-cv"
+
+	SpecTable2             = "table2"
+	SpecFigure6            = "figure6"
+	SpecFigure7            = "figure7"
+	SpecTable3             = "table3"
+	SpecTable4             = "table4"
+	SpecFigure8            = "figure8"
+	SpecAblationChars      = "ablate-chars"
+	SpecAblationDecay      = "ablate-decay"
+	SpecAblationPredictors = "ablate-predictors"
+	SpecAblationSelection  = "ablate-selection"
+)
+
+// Spec is one declarative experiment: an id, a human title, and a run
+// function that computes through the result store and renders to w. Specs
+// carry no method or split knowledge of their own — every cell they
+// render is a store unit keyed (snapshot, spec, method, split, seed).
+type Spec struct {
+	ID    string
+	Title string
+	run   func(cfg Config, w io.Writer) error
+}
+
+// specs lists every runnable spec in the paper's presentation order,
+// ablations last. RunAll renders the paper set; `dtrank run -spec all`
+// renders everything.
+var specs = []Spec{
+	{SpecTable2, "Table 2: processor-family cross-validation", func(cfg Config, w io.Writer) error {
+		fr, err := RunFamilyCV(cfg)
+		if err != nil {
+			return err
+		}
+		t2, err := fr.Table2()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", t2.Render())
+		return err
+	}},
+	{SpecFigure6, "Figure 6: rank correlation per benchmark", func(cfg Config, w io.Writer) error {
+		fr, err := RunFamilyCV(cfg)
+		if err != nil {
+			return err
+		}
+		f6, err := fr.Figure6()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", f6.Render())
+		return err
+	}},
+	{SpecFigure7, "Figure 7: top-1 error per benchmark", func(cfg Config, w io.Writer) error {
+		fr, err := RunFamilyCV(cfg)
+		if err != nil {
+			return err
+		}
+		f7, err := fr.Figure7()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", f7.Render())
+		return err
+	}},
+	{SpecTable3, "Table 3: predicting future machines", func(cfg Config, w io.Writer) error {
+		t3, err := RunTable3(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", t3.Render())
+		return err
+	}},
+	{SpecTable4, "Table 4: limited predictive sets", func(cfg Config, w io.Writer) error {
+		t4, err := RunTable4(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", t4.Render())
+		return err
+	}},
+	{SpecFigure8, "Figure 8: k-medoids vs random machine selection", func(cfg Config, w io.Writer) error {
+		f8, err := RunFigure8(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", f8.Render())
+		return err
+	}},
+	{SpecAblationChars, "Ablation: simulated characterisation failure", func(cfg Config, w io.Writer) error {
+		a, err := RunAblationHonestChars(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", a.Render())
+		return err
+	}},
+	{SpecAblationDecay, "Ablation: MLP^T learning-rate decay", func(cfg Config, w io.Writer) error {
+		a, err := RunAblationMLPTDecay(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", a.Render())
+		return err
+	}},
+	{SpecAblationPredictors, "Ablation: transposition model flexibility", func(cfg Config, w io.Writer) error {
+		a, err := RunAblationPredictors(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", a.Render())
+		return err
+	}},
+	{SpecAblationSelection, "Ablation: predictive-machine selection", func(cfg Config, w io.Writer) error {
+		a, err := RunAblationSelection(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", a.Render())
+		return err
+	}},
+}
+
+// paperSpecIDs is the RunAll set: every table and figure of the paper's
+// evaluation, in the paper's order (ablations are this reproduction's
+// own and render via their own ids).
+var paperSpecIDs = []string{SpecTable2, SpecFigure6, SpecFigure7, SpecTable3, SpecTable4, SpecFigure8}
+
+// Specs returns every runnable spec in presentation order.
+func Specs() []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	return out
+}
+
+// SpecIDs returns the runnable spec ids in presentation order.
+func SpecIDs() []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// findSpec resolves a spec id.
+func findSpec(id string) (Spec, error) {
+	for _, s := range specs {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("experiments: unknown spec %q (valid specs: %s)", id, strings.Join(SpecIDs(), ", "))
+}
+
+// RunSpecs executes the named specs in the given order, sharing one
+// worker pool and one result store across all of them: Figures 6 and 7
+// reuse the family-CV cells Table 2 computed, whether within this run
+// (in memory) or from a previous run (cfg.Store opened on a directory).
+// Output is byte-identical for every worker count and for cold versus
+// warm stores.
+func RunSpecs(cfg Config, w io.Writer, ids ...string) error {
+	resolved := make([]Spec, 0, len(ids))
+	for _, id := range ids {
+		s, err := findSpec(id)
+		if err != nil {
+			return err
+		}
+		resolved = append(resolved, s)
+	}
+	// Materialise the pool and store once on this copy; the specs' own
+	// Config copies then share both.
+	cfg.eng()
+	cfg.store()
+	for _, s := range resolved {
+		if err := s.run(cfg, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

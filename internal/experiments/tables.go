@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/method"
 	"repro/internal/synth"
 	"repro/internal/transpose"
 )
@@ -38,9 +39,9 @@ type Table3 struct {
 	Summary map[string]map[string]Summary
 }
 
-// RunTable3 executes the §6.3 experiment. The (method, split) cells and
-// their folds fan out on the configured worker pool and are assembled in
-// the paper's order afterwards.
+// RunTable3 executes the §6.3 experiment. Every (method, split) cell is
+// one result-store unit; cells and their folds fan out on the configured
+// worker pool and are assembled in the paper's order afterwards.
 func RunTable3(cfg Config) (*Table3, error) {
 	data, err := synth.Generate(cfg.synthOptions())
 	if err != nil {
@@ -48,18 +49,23 @@ func RunTable3(cfg Config) (*Table3, error) {
 	}
 	order := data.Matrix.Benchmarks
 	eng := cfg.eng()
+	st := cfg.store()
+	fp := datasetFingerprint(data)
 	methods := cfg.Methods()
 	cells, err := engine.Collect(eng, len(methods)*len(Table3Splits), func(i int) (Summary, error) {
 		m, split := methods[i/len(Table3Splits)], Table3Splits[i%len(Table3Splits)]
-		keep, err := splitKeep(split)
-		if err != nil {
-			return Summary{}, err
-		}
-		rs, err := transpose.YearCV(eng, data.Matrix, data.Characteristics, TargetYear, keep, split, m.New)
-		if err != nil {
-			return Summary{}, fmt.Errorf("experiments: Table 3 %s/%s: %w", m.Name, split, err)
-		}
-		return summarize(rs, order)
+		key := cfg.unitKey(fp, SpecTable3, m.Name, split)
+		return storeUnit(st, key, func() (Summary, error) {
+			keep, err := splitKeep(split)
+			if err != nil {
+				return Summary{}, err
+			}
+			rs, err := transpose.YearCV(eng, data.Matrix, data.Characteristics, TargetYear, keep, split, m.New)
+			if err != nil {
+				return Summary{}, fmt.Errorf("experiments: Table 3 %s/%s: %w", m.Name, split, err)
+			}
+			return summarize(rs, order)
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -128,10 +134,12 @@ func RunTable4(cfg Config) (*Table4, error) {
 	if draws > 10 {
 		draws = 10
 	}
-	methods := []string{"MLP^T", "NN^T"}
+	methods := []string{method.MLPT, method.NNT}
 	out := &Table4{Methods: methods, Sizes: Table4Sizes, Summary: map[string]map[int]Summary{}, Draws: draws}
 	keep2008 := func(y int) bool { return y == 2008 }
 	eng := cfg.eng()
+	st := cfg.store()
+	fp := datasetFingerprint(data)
 	for _, name := range methods {
 		m, err := cfg.method(name)
 		if err != nil {
@@ -140,16 +148,20 @@ func RunTable4(cfg Config) (*Table4, error) {
 		out.Summary[name] = map[int]Summary{}
 		for _, size := range Table4Sizes {
 			// Each draw owns a PRNG seeded from (Seed, size, draw), so
-			// draws fan out without sharing a sequential random stream.
+			// draws fan out without sharing a sequential random stream,
+			// and each is one result-store unit.
 			perDraw, err := engine.Collect(eng, draws, func(d int) ([]transpose.FoldResult, error) {
-				rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(size), int64(d))))
 				label := fmt.Sprintf("2008/%d#%d", size, d)
-				rs, err := transpose.SubsetCV(eng, data.Matrix, data.Characteristics, TargetYear, keep2008,
-					transpose.RandomSubset(size, rng), label, m.New)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: Table 4 %s size %d: %w", name, size, err)
-				}
-				return rs, nil
+				key := cfg.unitKey(fp, SpecTable4, m.Name, label)
+				return storeUnit(st, key, func() ([]transpose.FoldResult, error) {
+					rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(size), int64(d))))
+					rs, err := transpose.SubsetCV(eng, data.Matrix, data.Characteristics, TargetYear, keep2008,
+						transpose.RandomSubset(size, rng), label, m.New)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: Table 4 %s size %d: %w", name, size, err)
+					}
+					return rs, nil
+				})
 			})
 			if err != nil {
 				return nil, err

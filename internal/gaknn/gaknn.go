@@ -150,6 +150,9 @@ func decodeModel(r io.Reader) (transpose.Model, error) {
 }
 
 func init() {
+	// The kind string must equal the CodecKind of this method's
+	// descriptor in internal/method (the registry's drift test holds the
+	// two together; method cannot be imported from here without a cycle).
 	transpose.RegisterModelKind("gaknn", decodeModel)
 }
 

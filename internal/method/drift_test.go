@@ -1,0 +1,133 @@
+package method_test
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/method"
+	"repro/internal/serve"
+	"repro/internal/transpose"
+)
+
+// driftWorld builds a small two-family dataset with workload
+// characteristics, enough for every method (including GA-kNN) to fit.
+func driftWorld(t *testing.T) (*dataset.Matrix, map[string][]float64) {
+	t.Helper()
+	const nBench, nA, nB = 8, 5, 4
+	bench := make([]string, nBench)
+	for b := range bench {
+		bench[b] = fmt.Sprintf("bench%c", 'A'+b)
+	}
+	machines := make([]dataset.Machine, 0, nA+nB)
+	for i := 0; i < nA; i++ {
+		machines = append(machines, dataset.Machine{
+			ID: fmt.Sprintf("alpha-%d", i), Vendor: "v", Family: "Alpha", ISA: "x", Year: 2008,
+		})
+	}
+	for i := 0; i < nB; i++ {
+		machines = append(machines, dataset.Machine{
+			ID: fmt.Sprintf("beta-%d", i), Vendor: "v", Family: "Beta", ISA: "x", Year: 2009,
+		})
+	}
+	m, err := dataset.New(bench, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chars := make(map[string][]float64, nBench)
+	for b, name := range bench {
+		for c := range machines {
+			speed := 0.6 + 0.45*float64(c)
+			wobble := 1 + 0.01*float64((b*7+c*3)%5)
+			m.Set(b, c, (1.5+float64(b))*speed*wobble)
+		}
+		chars[name] = []float64{
+			1 + 0.3*float64(b),
+			math.Sin(float64(b)) + 2,
+			0.5 + 0.1*float64(b*b%7),
+		}
+	}
+	return m, chars
+}
+
+// TestLayersBuildIdenticalPredictors is the drift test the registry
+// exists for: the CLI/server path (serve.NewPredictor, which cmd/dtrank
+// calls) and the experiments pipeline must construct bit-identical
+// predictors for every registered method — same structure before
+// fitting, same predictions after.
+func TestLayersBuildIdenticalPredictors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits every method in -short mode")
+	}
+	m, chars := driftWorld(t)
+	const seed = int64(7)
+	cfg := experiments.Config{Seed: seed}
+
+	targets, predictive, err := m.FamilySplit("Alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold, _, err := transpose.NewFold(predictive, targets, "benchC", chars)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	predictOnce := func(p transpose.Predictor) []float64 {
+		t.Helper()
+		model, err := p.(transpose.Fitter).Fit(fold)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		out := make([]float64, model.NumTargets())
+		if err := model.PredictTargets(out); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		return out
+	}
+
+	for _, name := range method.Names() {
+		reg, canon, err := method.New(name, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, srvCanon, err := serve.NewPredictor(name, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := cfg.MethodByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canon != name || srvCanon != name || exp.Name != name {
+			t.Fatalf("canonical drift: %q / %q / %q", canon, srvCanon, exp.Name)
+		}
+		expP := exp.New()
+
+		// Identical construction: every layer must produce the same
+		// configuration (seeds included) before any fitting happens.
+		if !reflect.DeepEqual(reg, srv) {
+			t.Fatalf("%s: registry and serve predictors differ:\n%#v\n%#v", name, reg, srv)
+		}
+		if !reflect.DeepEqual(reg, expP) {
+			t.Fatalf("%s: registry and experiments predictors differ:\n%#v\n%#v", name, reg, expP)
+		}
+
+		// Identical behaviour: fitting each layer's predictor on the same
+		// fold must yield bitwise-equal predictions.
+		want := predictOnce(reg)
+		for layer, p := range map[string]transpose.Predictor{"serve": srv, "experiments": expP} {
+			got := predictOnce(p)
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: %d predictions, want %d", name, layer, len(got), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s/%s: prediction %d = %v, registry %v", name, layer, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package method
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gaknn"
+	"repro/internal/transpose"
+)
+
+func TestNamesAndOrder(t *testing.T) {
+	want := []string{NNT, MLPT, SPLT, GAKNN}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if got := ComparedNames(); !reflect.DeepEqual(got, []string{NNT, MLPT, GAKNN}) {
+		t.Fatalf("ComparedNames() = %v", got)
+	}
+}
+
+func TestAliasesResolve(t *testing.T) {
+	for alias, want := range map[string]string{
+		"nnt": NNT, "NN^T": NNT, "MLPT": MLPT, "mlp^t": MLPT,
+		"spl^t": SPLT, "SPLT": SPLT, "GaKnn": GAKNN, "ga-knn": GAKNN,
+	} {
+		got, err := Canonical(alias)
+		if err != nil || got != want {
+			t.Fatalf("Canonical(%q) = %q, %v", alias, got, err)
+		}
+	}
+}
+
+func TestUnknownNameListsEveryMethod(t *testing.T) {
+	_, err := Get("weka")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list %s", err, name)
+		}
+	}
+	if _, _, err := New("weka", 1); err == nil {
+		t.Fatal("New must reject unknown names")
+	}
+}
+
+// TestSeedOffsetConvention pins the one copy of the seed-offset
+// convention: MLPᵀ draws seed+1, GA-kNN seed+2, and the deterministic
+// methods ignore the seed entirely.
+func TestSeedOffsetConvention(t *testing.T) {
+	offsets := map[string]int64{NNT: 0, MLPT: 1, SPLT: 0, GAKNN: 2}
+	for _, d := range All() {
+		if d.SeedOffset != offsets[d.Name] {
+			t.Fatalf("%s: seed offset %d, want %d", d.Name, d.SeedOffset, offsets[d.Name])
+		}
+		if d.Stochastic != (d.SeedOffset != 0) {
+			t.Fatalf("%s: stochastic %v with offset %d", d.Name, d.Stochastic, d.SeedOffset)
+		}
+	}
+	// The offset is applied by construction, not by callers: an MLPᵀ
+	// built from base seed 7 carries training seed 8.
+	p, _, err := New(MLPT, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.(*transpose.MLPT).Config.Seed; got != 8 {
+		t.Fatalf("MLP^T training seed %d, want 8", got)
+	}
+	g, _, err := New(GAKNN, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.(*gaknn.Predictor).GA.Seed; got != 9 {
+		t.Fatalf("GA-kNN seed %d, want 9", got)
+	}
+}
+
+func TestPredictorNamesMatchRegistry(t *testing.T) {
+	for _, d := range All() {
+		p := d.New(1)
+		if p.Name() != d.Name {
+			t.Fatalf("predictor Name() = %q, descriptor %q", p.Name(), d.Name)
+		}
+	}
+}
+
+// TestCodecKindsMatchRegisteredDecoders asserts the registry's codec
+// kinds and the transpose codec's registered decoders are the same set:
+// a method without a decoder cannot warm-start, an orphaned decoder is a
+// leftover from a removed method.
+func TestCodecKindsMatchRegisteredDecoders(t *testing.T) {
+	want := map[string]bool{}
+	for _, d := range All() {
+		if d.CodecKind == "" {
+			t.Fatalf("%s has no codec kind", d.Name)
+		}
+		want[d.CodecKind] = true
+	}
+	got := transpose.ModelKinds()
+	if len(got) != len(want) {
+		t.Fatalf("registered decoders %v, registry kinds %v", got, want)
+	}
+	for _, kind := range got {
+		if !want[kind] {
+			t.Fatalf("decoder %q has no method descriptor", kind)
+		}
+	}
+}
+
+func TestFastOptionsShrinkBudgets(t *testing.T) {
+	d, err := Get(MLPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := d.NewWith(1, Options{Fast: true}).(*transpose.MLPT)
+	if fast.Config.Epochs != 60 {
+		t.Fatalf("fast MLP^T epochs %d", fast.Config.Epochs)
+	}
+	g, err := Get(GAKNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := g.NewWith(1, Options{Fast: true}).(*gaknn.Predictor)
+	if gp.GA.Pop != 8 || gp.GA.Generations != 5 {
+		t.Fatalf("fast GA budget %+v", gp.GA)
+	}
+	if gp.GA.Seed != 3 {
+		t.Fatalf("fast GA seed %d, want base+2", gp.GA.Seed)
+	}
+}
+
+func TestListMatchesRegistry(t *testing.T) {
+	infos := List()
+	if len(infos) != len(All()) {
+		t.Fatalf("%d infos", len(infos))
+	}
+	for i, d := range All() {
+		in := infos[i]
+		if in.Name != d.Name || in.SeedOffset != d.SeedOffset || in.CodecKind != d.CodecKind ||
+			in.FreshScores != d.FreshScores || in.NeedsChars != d.NeedsChars ||
+			in.Compared != d.Compared || in.Stochastic != d.Stochastic ||
+			!reflect.DeepEqual(in.Aliases, d.Aliases) {
+			t.Fatalf("info %d = %+v, descriptor %+v", i, in, d)
+		}
+	}
+}
+
+func TestCapabilityFlags(t *testing.T) {
+	fresh := map[string]bool{NNT: true, SPLT: true}
+	chars := map[string]bool{GAKNN: true}
+	for _, d := range All() {
+		if d.FreshScores != fresh[d.Name] {
+			t.Fatalf("%s: FreshScores %v", d.Name, d.FreshScores)
+		}
+		if d.NeedsChars != chars[d.Name] {
+			t.Fatalf("%s: NeedsChars %v", d.Name, d.NeedsChars)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package resultstore is the content-addressed store for experiment unit
+// results. Every cell of a table, point of a figure and variant of an
+// ablation is computed as one unit addressed by the tuple
+// (snapshot fingerprint, spec id, method, split, seed); its result is
+// persisted as a small CRC-checked file, so re-running the evaluation
+// recomputes only units whose inputs changed and a warm run serves every
+// previously computed cell from the store.
+//
+// The store is two-level: an in-memory byte cache (always on, shared by
+// the specs of one run — Figures 6 and 7 reuse the family-CV units Table 2
+// computed) and an optional on-disk directory for persistence across
+// processes. Damaged entries — truncated files, checksum mismatches,
+// entries whose recorded key does not match the requested one (a stale or
+// foreign file under a colliding name) — are treated as misses and
+// recomputed, never served.
+//
+// The directory holds one file per unit plus nothing else, so it can
+// share a directory with a dtrankd model registry (index.json + *.dtm):
+// the two subsystems use disjoint file names.
+package resultstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Key addresses one experiment unit. Two runs share a result exactly when
+// every field matches.
+type Key struct {
+	// Snapshot fingerprints the input dataset (matrix and workload
+	// characteristics); any dataset change invalidates every unit.
+	Snapshot string `json:"snapshot"`
+	// Spec is the experiment spec id ("family-cv", "table3", ...).
+	Spec string `json:"spec"`
+	// Method is the canonical method name, or "" for method-independent
+	// units.
+	Method string `json:"method"`
+	// Split labels the unit within the spec: a family, a year split, a
+	// subset draw ("2008/5#3"), a sweep point ("medoid/k=4"), an ablation
+	// variant.
+	Split string `json:"split"`
+	// Seed is the run's base seed.
+	Seed int64 `json:"seed"`
+	// Budget labels the training-budget regime ("" for full budgets,
+	// "fast" for reduced smoke budgets), so a -fast run can never poison
+	// a full run's cache or vice versa.
+	Budget string `json:"budget,omitempty"`
+}
+
+// fileStem derives the entry file name of a key: a content hash, so names
+// are filesystem-safe regardless of family and split spellings.
+func (k Key) fileStem() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%q/%q/%q/%q/%d/%q", k.Snapshot, k.Spec, k.Method, k.Split, k.Seed, k.Budget)
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// The entry wire format:
+//
+//	magic   [8]byte  "DTRKRSLT"
+//	version uint16   entryVersion (little endian)
+//	keyLen  uint32   length of the JSON-encoded key
+//	key     []byte   the unit's full Key, for verification on read
+//	payLen  uint64   payload length in bytes
+//	payload []byte   gob-encoded result value
+//	crc     uint32   IEEE CRC-32 of key + payload
+//
+// The embedded key makes serving a wrong entry impossible even under file
+// renames or hash collisions: Get rejects any entry whose recorded key is
+// not exactly the requested one.
+const (
+	entryMagic   = "DTRKRSLT"
+	entryVersion = 1
+)
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits counts Gets served from memory or disk.
+	Hits int64 `json:"hits"`
+	// Misses counts Gets that found no usable entry.
+	Misses int64 `json:"misses"`
+	// Puts counts stored results (one per computed unit).
+	Puts int64 `json:"puts"`
+	// Corrupt counts on-disk entries rejected as damaged or stale.
+	Corrupt int64 `json:"corrupt"`
+}
+
+// Store is a concurrency-safe unit-result store. The zero value is not
+// usable; construct with New or Open.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	mem map[Key][]byte
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	puts    atomic.Int64
+	corrupt atomic.Int64
+}
+
+// New returns an in-memory store (no persistence): the cache that lets
+// one run's specs share units.
+func New() *Store {
+	return &Store{mem: map[Key][]byte{}}
+}
+
+// Open returns a store persisted under dir, creating the directory when
+// absent.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return New(), nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := New()
+	s.dir = dir
+	return s, nil
+}
+
+// Dir returns the store's directory ("" for in-memory stores).
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a counter snapshot.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Puts:    s.puts.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+}
+
+// Get looks key up and, when found, gob-decodes the stored result into v
+// (which must be a pointer to the type that was Put). Damaged or stale
+// disk entries count as misses and are never decoded into v.
+func (s *Store) Get(key Key, v any) (bool, error) {
+	s.mu.Lock()
+	blob, ok := s.mem[key]
+	s.mu.Unlock()
+	fromDisk := false
+	if !ok && s.dir != "" {
+		disk, err := s.readEntry(key)
+		if err != nil {
+			// A damaged entry costs a recompute, never fails the run.
+			s.corrupt.Add(1)
+		} else if disk != nil {
+			blob, ok, fromDisk = disk, true, true
+		}
+	}
+	if !ok {
+		s.misses.Add(1)
+		return false, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(v); err != nil {
+		if fromDisk {
+			// The framing verified but the payload schema did not (e.g. a
+			// result type changed without an entryVersion bump): treat it
+			// like any other damaged entry and recompute.
+			s.corrupt.Add(1)
+			s.misses.Add(1)
+			return false, nil
+		}
+		return false, fmt.Errorf("resultstore: decoding %s/%s/%s result: %w", key.Spec, key.Method, key.Split, err)
+	}
+	if fromDisk {
+		s.mu.Lock()
+		s.mem[key] = blob
+		s.mu.Unlock()
+	}
+	s.hits.Add(1)
+	return true, nil
+}
+
+// Put stores v under key (gob-encoded), persisting it when the store has
+// a directory. When out is non-nil the canonical stored bytes are decoded
+// back into it, so the caller continues with exactly the value a later
+// warm run will read — cold and warm runs render identical output by
+// construction.
+func (s *Store) Put(key Key, v, out any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("resultstore: encoding %s/%s/%s result: %w", key.Spec, key.Method, key.Split, err)
+	}
+	blob := payload.Bytes()
+	s.mu.Lock()
+	s.mem[key] = blob
+	s.mu.Unlock()
+	s.puts.Add(1)
+	if s.dir != "" {
+		if err := s.writeEntry(key, blob); err != nil {
+			return err
+		}
+	}
+	if out != nil {
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(out); err != nil {
+			return fmt.Errorf("resultstore: round-tripping %s/%s/%s result: %w", key.Spec, key.Method, key.Split, err)
+		}
+	}
+	return nil
+}
+
+// writeEntry persists one encoded result atomically (temp file + rename),
+// so a crashed run never leaves a half-written entry under a valid name.
+func (s *Store) writeEntry(key Key, payload []byte) error {
+	keyJSON, err := json.Marshal(key)
+	if err != nil {
+		return fmt.Errorf("resultstore: encoding key: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(keyJSON)
+	crc.Write(payload)
+
+	var buf bytes.Buffer
+	buf.WriteString(entryMagic)
+	binary.Write(&buf, binary.LittleEndian, uint16(entryVersion))
+	binary.Write(&buf, binary.LittleEndian, uint32(len(keyJSON)))
+	buf.Write(keyJSON)
+	binary.Write(&buf, binary.LittleEndian, uint64(len(payload)))
+	buf.Write(payload)
+	binary.Write(&buf, binary.LittleEndian, crc.Sum32())
+
+	f, err := os.CreateTemp(s.dir, "result-*.tmp")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	_, err = f.Write(buf.Bytes())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), filepath.Join(s.dir, key.fileStem()+".dtr"))
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("resultstore: writing entry: %w", err)
+	}
+	return nil
+}
+
+// readEntry loads and verifies one on-disk entry. It returns (nil, nil)
+// when the entry does not exist, and an error for any damaged, foreign,
+// version-skewed or key-mismatched file — all of which the caller treats
+// as a recomputable miss.
+func (s *Store) readEntry(key Key) ([]byte, error) {
+	blob, err := os.ReadFile(filepath.Join(s.dir, key.fileStem()+".dtr"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(blob)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("resultstore: truncated entry header: %w", err)
+	}
+	if string(magic[:]) != entryMagic {
+		return nil, fmt.Errorf("resultstore: not a result entry (magic %q)", magic[:])
+	}
+	var version uint16
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("resultstore: reading entry version: %w", err)
+	}
+	if version != entryVersion {
+		return nil, fmt.Errorf("resultstore: entry format version %d, this build reads %d", version, entryVersion)
+	}
+	var keyLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &keyLen); err != nil {
+		return nil, fmt.Errorf("resultstore: reading key length: %w", err)
+	}
+	const maxEntry = 1 << 30
+	if int64(keyLen) > maxEntry {
+		return nil, fmt.Errorf("resultstore: key of %d bytes exceeds the %d limit", keyLen, maxEntry)
+	}
+	keyJSON := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, keyJSON); err != nil {
+		return nil, fmt.Errorf("resultstore: truncated key: %w", err)
+	}
+	var payLen uint64
+	if err := binary.Read(r, binary.LittleEndian, &payLen); err != nil {
+		return nil, fmt.Errorf("resultstore: reading payload length: %w", err)
+	}
+	if payLen > maxEntry {
+		return nil, fmt.Errorf("resultstore: payload of %d bytes exceeds the %d limit", payLen, maxEntry)
+	}
+	payload := make([]byte, payLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("resultstore: truncated payload: %w", err)
+	}
+	var wantCRC uint32
+	if err := binary.Read(r, binary.LittleEndian, &wantCRC); err != nil {
+		return nil, fmt.Errorf("resultstore: reading checksum: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(keyJSON)
+	crc.Write(payload)
+	if got := crc.Sum32(); got != wantCRC {
+		return nil, fmt.Errorf("resultstore: entry checksum mismatch (%08x != %08x): corrupted entry", got, wantCRC)
+	}
+	var stored Key
+	if err := json.Unmarshal(keyJSON, &stored); err != nil {
+		return nil, fmt.Errorf("resultstore: decoding entry key: %w", err)
+	}
+	if stored != key {
+		// A stale or foreign entry under this name (e.g. an old snapshot
+		// hash): never serve it.
+		return nil, fmt.Errorf("resultstore: entry key %+v does not match requested %+v", stored, key)
+	}
+	return payload, nil
+}

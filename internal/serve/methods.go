@@ -9,69 +9,43 @@
 // by the server equals the ranking computed by repro.RankFold / cmd/dtrank
 // bit for bit. Fitting is deterministic, models answer queries without
 // refitting, and parallelism only ever changes wall-clock time.
+//
+// Method names, aliases, seed offsets and predictor construction all come
+// from the internal/method registry — the same source cmd/dtrank and the
+// experiments pipeline use, which is what keeps the three layers from
+// drifting. The thin wrappers below exist so serve's callers keep a local
+// spelling; they add no knowledge of their own.
 package serve
 
 import (
-	"fmt"
-	"strings"
-
-	"repro/internal/gaknn"
+	"repro/internal/method"
 	"repro/internal/transpose"
 )
 
-// MethodNames lists the canonical names of the served prediction methods.
-var MethodNames = []string{"NN^T", "MLP^T", "SPL^T", "GA-kNN"}
-
-// methodAliases maps lower-cased spellings to canonical names.
-var methodAliases = map[string]string{
-	"nn^t":   "NN^T",
-	"nnt":    "NN^T",
-	"mlp^t":  "MLP^T",
-	"mlpt":   "MLP^T",
-	"spl^t":  "SPL^T",
-	"splt":   "SPL^T",
-	"ga-knn": "GA-kNN",
-	"gaknn":  "GA-kNN",
-}
+// MethodNames lists the canonical names of the served prediction methods,
+// straight from the method registry.
+var MethodNames = method.Names()
 
 // CanonicalMethod resolves a method name or alias ("nnt", "NN^T", ...) to
 // its canonical form. Unknown names return an error that lists every valid
 // method, so CLI and HTTP callers get an actionable message.
 func CanonicalMethod(name string) (string, error) {
-	if canon, ok := methodAliases[strings.ToLower(name)]; ok {
-		return canon, nil
-	}
-	return "", fmt.Errorf("unknown method %q (valid methods: %s)", name, strings.Join(MethodNames, ", "))
+	return method.Canonical(name)
 }
 
 // NewPredictor constructs the predictor for a method name (canonical or
-// alias), seeded exactly as cmd/dtrank seeds it: MLPᵀ draws seed+1 and
-// GA-kNN seed+2 from the base seed, NNᵀ and SPLᵀ are deterministic. This
-// single constructor is what keeps the server path and the CLI path
-// byte-identical — both build their predictors here.
+// alias), seeded per the registry's seed-offset convention (MLPᵀ draws
+// seed+1 and GA-kNN seed+2 from the base seed; NNᵀ and SPLᵀ are
+// deterministic). This single constructor is what keeps the server path
+// and the CLI path byte-identical — both build their predictors here.
 func NewPredictor(name string, seed int64) (transpose.Predictor, string, error) {
-	canon, err := CanonicalMethod(name)
-	if err != nil {
-		return nil, "", err
-	}
-	switch canon {
-	case "NN^T":
-		return transpose.NNT{}, canon, nil
-	case "MLP^T":
-		return transpose.NewMLPT(seed + 1), canon, nil
-	case "SPL^T":
-		return transpose.NewSPLT(), canon, nil
-	case "GA-kNN":
-		return gaknn.New(seed + 2), canon, nil
-	}
-	return nil, "", fmt.Errorf("unknown method %q", name) // unreachable
+	return method.New(name, seed)
 }
 
 // SupportsFreshScores reports whether the method can answer queries for an
 // application supplied as raw measurements on the predictive machines
-// (the PredictTargetsWith serving path). NNᵀ and SPLᵀ fit one model per
-// (family, method) pair that extrapolates any application; MLPᵀ and GA-kNN
-// bake the application into the fit itself.
+// (the PredictTargetsWith serving path).
 func SupportsFreshScores(canonical string) bool {
-	return canonical == "NN^T" || canonical == "SPL^T"
+	d, err := method.Get(canonical)
+	return err == nil && d.FreshScores
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/method"
 	"repro/internal/synth"
 	"repro/internal/transpose"
 )
@@ -479,6 +480,48 @@ func TestCanonicalMethodAliases(t *testing.T) {
 	for _, name := range MethodNames {
 		if !strings.Contains(err.Error(), name) {
 			t.Fatalf("error %q does not list %s", err, name)
+		}
+	}
+}
+
+// TestMethodsEndpointMatchesRegistry asserts GET /v1/methods is generated
+// from the method registry: every row carries the registry's aliases,
+// seed offset, codec kind and capability flags, in registry order.
+func TestMethodsEndpointMatchesRegistry(t *testing.T) {
+	m := testWorld(t)
+	srv, err := NewServer(m, nil, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/methods", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d", rec.Code)
+	}
+	var body struct {
+		Methods []method.Info `json:"methods"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%v\n%s", err, rec.Body.Bytes())
+	}
+	want := method.List()
+	if len(body.Methods) != len(want) {
+		t.Fatalf("%d methods, want %d", len(body.Methods), len(want))
+	}
+	for i, w := range want {
+		g := body.Methods[i]
+		if g.Name != w.Name || g.SeedOffset != w.SeedOffset || g.CodecKind != w.CodecKind ||
+			g.FreshScores != w.FreshScores || g.NeedsChars != w.NeedsChars ||
+			g.Compared != w.Compared || g.Stochastic != w.Stochastic ||
+			strings.Join(g.Aliases, ",") != strings.Join(w.Aliases, ",") {
+			t.Fatalf("method %d = %+v, registry %+v", i, g, w)
+		}
+	}
+	// Capability sanity straight against the serving contract.
+	for _, g := range body.Methods {
+		if g.FreshScores != SupportsFreshScores(g.Name) {
+			t.Fatalf("%s: fresh_scores %v contradicts SupportsFreshScores", g.Name, g.FreshScores)
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/method"
 	"repro/internal/transpose"
 )
 
@@ -430,18 +431,10 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
-	type method struct {
-		Name string `json:"name"`
-		// FreshScores reports whether the method answers queries for
-		// applications supplied as raw measurements (scores) rather than a
-		// held-out benchmark name.
-		FreshScores bool `json:"fresh_scores"`
-	}
-	out := make([]method, 0, len(MethodNames))
-	for _, name := range MethodNames {
-		out = append(out, method{Name: name, FreshScores: SupportsFreshScores(name)})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"methods": out})
+	// The response is generated straight from the method registry, so the
+	// server can never advertise a method set that differs from the CLI's
+	// `dtrank methods`.
+	writeJSON(w, http.StatusOK, map[string]any{"methods": method.List()})
 }
 
 func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {

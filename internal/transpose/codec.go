@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/dataset"
@@ -58,8 +59,10 @@ var (
 
 // RegisterModelKind installs the payload decoder for one model kind.
 // Packages defining BinaryModel implementations outside transpose (e.g.
-// gaknn) register theirs in an init function. Registering a kind twice is
-// a programming error and panics.
+// gaknn) register theirs in an init function. Kind strings are declared
+// as the CodecKind of the method's descriptor in internal/method; the
+// registry's drift test asserts the two sets match exactly. Registering
+// a kind twice is a programming error and panics.
 func RegisterModelKind(kind string, decode func(r io.Reader) (Model, error)) {
 	if kind == "" || decode == nil {
 		panic("transpose: RegisterModelKind with empty kind or nil decoder")
@@ -76,6 +79,20 @@ func init() {
 	RegisterModelKind("nnt", decodeNNTModel)
 	RegisterModelKind("splt", decodeSPLTModel)
 	RegisterModelKind("mlpt", decodeMLPTModel)
+}
+
+// ModelKinds returns the registered model kinds, sorted. The method
+// registry's drift test uses it to assert every method's CodecKind has a
+// decoder and no decoder is orphaned.
+func ModelKinds() []string {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	kinds := make([]string, 0, len(kindCodec))
+	for k := range kindCodec {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
 }
 
 // EncodeModel writes m to w in the versioned wire format. The model must

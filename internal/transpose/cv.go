@@ -50,6 +50,24 @@ func runFolds(pool *engine.Pool, units []foldUnit, chars map[string][]float64, n
 	})
 }
 
+// familyFoldUnits builds the leave-one-out fold units of one family split:
+// the named family is the target set, every other machine the predictive
+// set, and each benchmark in turn plays the application of interest.
+func familyFoldUnits(d *dataset.Matrix, family string) ([]foldUnit, error) {
+	if d.NumBenchmarks() < 2 {
+		return nil, fmt.Errorf("transpose: family CV needs >= 2 benchmarks, have %d", d.NumBenchmarks())
+	}
+	tgt, pred, err := d.FamilySplit(family)
+	if err != nil {
+		return nil, err
+	}
+	units := make([]foldUnit, 0, len(d.Benchmarks))
+	for _, app := range d.Benchmarks {
+		units = append(units, foldUnit{kind: "family", split: family, pred: pred, tgt: tgt, app: app})
+	}
+	return units, nil
+}
+
 // FamilyCV runs the paper's processor-family cross-validation (§6.2): each
 // processor family in turn becomes the target set, all other families the
 // predictive set, combined with benchmark-level leave-one-out. Folds run
@@ -61,13 +79,23 @@ func FamilyCV(pool *engine.Pool, d *dataset.Matrix, chars map[string][]float64, 
 	}
 	var units []foldUnit
 	for _, family := range d.Families() {
-		tgt, pred, err := d.FamilySplit(family)
+		us, err := familyFoldUnits(d, family)
 		if err != nil {
 			return nil, err
 		}
-		for _, app := range d.Benchmarks {
-			units = append(units, foldUnit{kind: "family", split: family, pred: pred, tgt: tgt, app: app})
-		}
+		units = append(units, us...)
+	}
+	return runFolds(pool, units, chars, newP)
+}
+
+// FamilyFolds runs the folds of a single family split of the processor-
+// family cross-validation — one (method, family) cell of Table 2 and
+// Figures 6-7, the unit granularity of the experiments result store.
+// Results are identical to the corresponding slice of FamilyCV's output.
+func FamilyFolds(pool *engine.Pool, d *dataset.Matrix, chars map[string][]float64, family string, newP func() Predictor) ([]FoldResult, error) {
+	units, err := familyFoldUnits(d, family)
+	if err != nil {
+		return nil, err
 	}
 	return runFolds(pool, units, chars, newP)
 }

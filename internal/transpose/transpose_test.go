@@ -471,3 +471,56 @@ type predictorFunc func(Fold) ([]float64, error)
 
 func (predictorFunc) Name() string                            { return "stub" }
 func (f predictorFunc) PredictApp(fd Fold) ([]float64, error) { return f(fd) }
+
+// TestFamilyFoldsMatchFamilyCV pins the contract the experiments result
+// store relies on: FamilyFolds(family) returns exactly the family's
+// slice of FamilyCV's output, bit for bit.
+func TestFamilyFoldsMatchFamilyCV(t *testing.T) {
+	pred, tgt := syntheticPair(t, 5, 4, 3, 0.01, 7)
+	machines := append(append([]dataset.Machine(nil), pred.Machines...), tgt.Machines...)
+	d, err := dataset.New(pred.Benchmarks, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range d.Benchmarks {
+		for i := 0; i < 4; i++ {
+			d.Set(b, i, pred.At(b, i))
+		}
+		for i := 0; i < 3; i++ {
+			d.Set(b, 4+i, tgt.At(b, i))
+		}
+	}
+	all, err := FamilyCV(nil, d, nil, func() Predictor { return NNT{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assembled []FoldResult
+	for _, family := range d.Families() {
+		rs, err := FamilyFolds(nil, d, nil, family, func() Predictor { return NNT{} })
+		if err != nil {
+			t.Fatal(err)
+		}
+		assembled = append(assembled, rs...)
+	}
+	if len(assembled) != len(all) {
+		t.Fatalf("%d assembled folds, FamilyCV has %d", len(assembled), len(all))
+	}
+	for i := range all {
+		if all[i].Split != assembled[i].Split || all[i].App != assembled[i].App ||
+			all[i].Metrics != assembled[i].Metrics {
+			t.Fatalf("fold %d differs: %+v vs %+v", i, all[i], assembled[i])
+		}
+		for j := range all[i].Predicted {
+			if all[i].Predicted[j] != assembled[i].Predicted[j] {
+				t.Fatalf("fold %d prediction %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestFamilyFoldsUnknownFamily(t *testing.T) {
+	pred, _ := syntheticPair(t, 4, 3, 2, 0.01, 7)
+	if _, err := FamilyFolds(nil, pred, nil, "No Such Family", func() Predictor { return NNT{} }); err == nil {
+		t.Fatal("want unknown-family error")
+	}
+}

@@ -38,8 +38,10 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gaknn"
 	"repro/internal/machine"
+	"repro/internal/method"
 	"repro/internal/mica"
 	"repro/internal/perfmodel"
+	"repro/internal/resultstore"
 	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/transpose"
@@ -98,6 +100,17 @@ type (
 	// RankResponse is the ranking answer shared byte-for-byte by the
 	// server and `dtrank rank -json`.
 	RankResponse = serve.RankResponse
+	// MethodInfo describes one registered prediction method: canonical
+	// name, aliases, seed offset, serialization kind and capability
+	// flags, straight from the method registry.
+	MethodInfo = method.Info
+	// ResultStore is the content-addressed experiment result store:
+	// every table cell, figure point and ablation variant is keyed by
+	// (snapshot fingerprint, spec id, method, split, seed), CRC-checked
+	// on disk, and reruns recompute only missing or invalidated units.
+	ResultStore = resultstore.Store
+	// ResultKey addresses one experiment unit in a ResultStore.
+	ResultKey = resultstore.Key
 )
 
 // DefaultDatasetOptions returns the synthesis options used for all
@@ -280,10 +293,36 @@ func DefaultExperimentConfig(seed int64) ExperimentConfig {
 // fan-out (folds, draws, sweep points) and GA fitness evaluation are
 // bounded to cfg.Workers goroutines (0 = all cores); the matrix kernels
 // draw from the process-wide budget instead — use SetWorkers to bound
-// those too. The output is byte-identical for every worker count.
+// those too. The output is byte-identical for every worker count, and —
+// when cfg.Store is set — for cold versus warm result stores.
 func RunAllExperiments(cfg ExperimentConfig, w io.Writer) error {
 	return experiments.RunAll(cfg, w)
 }
+
+// ExperimentSpecIDs lists the declarative experiment specs in
+// presentation order: every table, figure and ablation the reproduction
+// can render.
+func ExperimentSpecIDs() []string { return experiments.SpecIDs() }
+
+// RunExperimentSpecs executes the named experiment specs in order,
+// sharing one worker pool and one result store across them. With
+// cfg.Store opened on a directory (OpenResultStore), the run is
+// incremental: previously computed units are served from the store and
+// output stays byte-identical to a cold run.
+func RunExperimentSpecs(cfg ExperimentConfig, w io.Writer, ids ...string) error {
+	return experiments.RunSpecs(cfg, w, ids...)
+}
+
+// OpenResultStore opens a directory-backed experiment result store
+// (creating the directory when absent); dir == "" returns an in-memory
+// store. The directory layout is one CRC-checked file per unit, so it
+// can share a directory with a dtrankd -registry model store.
+func OpenResultStore(dir string) (*ResultStore, error) { return resultstore.Open(dir) }
+
+// Methods lists the registered prediction methods — names, aliases, the
+// seed-offset convention and capability flags — from the single registry
+// that the CLI, the server and the experiment pipeline all build on.
+func Methods() []MethodInfo { return method.List() }
 
 // NewRankServer builds the ranking service over a performance matrix and
 // optional workload characteristics (required only by GA-kNN queries).

@@ -300,3 +300,68 @@ func TestServingFacade(t *testing.T) {
 		t.Fatalf("registry fitted %d times for one key", fits)
 	}
 }
+
+func TestMethodsFacade(t *testing.T) {
+	ms := repro.Methods()
+	if len(ms) != 4 {
+		t.Fatalf("%d methods", len(ms))
+	}
+	offsets := map[string]int64{"NN^T": 0, "MLP^T": 1, "SPL^T": 0, "GA-kNN": 2}
+	for _, m := range ms {
+		want, ok := offsets[m.Name]
+		if !ok {
+			t.Fatalf("unexpected method %q", m.Name)
+		}
+		if m.SeedOffset != want {
+			t.Fatalf("%s: seed offset %d, want %d", m.Name, m.SeedOffset, want)
+		}
+		if len(m.Aliases) == 0 || m.CodecKind == "" {
+			t.Fatalf("%s: incomplete info %+v", m.Name, m)
+		}
+	}
+}
+
+func TestExperimentSpecsFacade(t *testing.T) {
+	ids := repro.ExperimentSpecIDs()
+	if len(ids) == 0 {
+		t.Fatal("no specs")
+	}
+	for _, want := range []string{"table2", "figure8", "ablate-selection"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("spec %q missing from %v", want, ids)
+		}
+	}
+
+	// A directory-backed store makes spec runs incremental through the
+	// public facade, with byte-identical output.
+	dir := t.TempDir()
+	run := func() string {
+		st, err := repro.OpenResultStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := repro.DefaultExperimentConfig(1)
+		cfg.Fast = true
+		cfg.RandomDraws = 1
+		cfg.MaxK = 2
+		cfg.Store = st
+		var sb strings.Builder
+		if err := repro.RunExperimentSpecs(cfg, &sb, "table3"); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	cold := run()
+	if !strings.Contains(cold, "Table 3") {
+		t.Fatalf("missing Table 3:\n%s", cold)
+	}
+	if warm := run(); warm != cold {
+		t.Fatal("warm facade run differs from cold")
+	}
+}
