@@ -4,7 +4,7 @@
 GO ?= go
 DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test bench bench-json examples serve serve-smoke cache-smoke lint staticcheck ci
+.PHONY: build test bench bench-json examples serve serve-smoke cache-smoke shard-smoke lint staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,12 @@ serve-smoke:
 cache-smoke:
 	./scripts/cache-smoke.sh
 
+# End-to-end sharding check: two `-shard i/2` processes into one shared
+# store (directory and dtrankd-served HTTP), then a merge render that
+# must be byte-identical to a single-process run with 0 recomputes.
+shard-smoke:
+	./scripts/shard-smoke.sh
+
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -64,4 +70,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
 	fi
 
-ci: lint staticcheck build test bench examples serve-smoke cache-smoke
+ci: lint staticcheck build test bench examples serve-smoke cache-smoke shard-smoke

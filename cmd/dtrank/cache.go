@@ -1,0 +1,188 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/resultstore"
+)
+
+// runCache is the result-store lifecycle subcommand:
+//
+//	dtrank cache ls     -cache dir            list entries (key, size, age)
+//	dtrank cache verify -cache dir            verify every entry's checksum
+//	dtrank cache prune  -cache dir [-keep N] [-max-age d] [-dry-run]
+//
+// It operates on a store directory — the same directory `dtrank run
+// -cache dir` writes and a dtrankd -cache daemon serves. Prune removes
+// whole snapshot fingerprints at a time (a partially pruned snapshot
+// would force a full recompute anyway), keeping the N most recently
+// written ones and/or dropping those older than -max-age; damaged
+// entries are always removed.
+func runCache(args []string) error {
+	if len(args) < 1 {
+		return errors.New("usage: dtrank cache <ls|verify|prune> -cache dir [flags]")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "ls":
+		return runCacheLs(rest)
+	case "verify":
+		return runCacheVerify(rest)
+	case "prune":
+		return runCachePrune(rest)
+	default:
+		return fmt.Errorf("unknown cache subcommand %q (valid: ls, verify, prune)", sub)
+	}
+}
+
+// cacheFlags registers the shared -cache flag and returns its value
+// pointer for reading after parsing.
+func cacheFlags(fs *flag.FlagSet) *string {
+	return fs.String("cache", "", "result-store directory (as passed to 'dtrank run -cache' or 'dtrankd -cache')")
+}
+
+func runCacheLs(args []string) error {
+	fs := flag.NewFlagSet("cache ls", flag.ExitOnError)
+	dir := cacheFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("cache ls requires -cache dir")
+	}
+	entries, err := resultstore.ScanDir(*dir)
+	if err != nil {
+		return err
+	}
+	// Group rows the way people think about the store: by snapshot, then
+	// spec, method, split.
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].Key, entries[j].Key
+		if a.Snapshot != b.Snapshot {
+			return a.Snapshot < b.Snapshot
+		}
+		if a.Spec != b.Spec {
+			return a.Spec < b.Spec
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.Split != b.Split {
+			return a.Split < b.Split
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.Budget < b.Budget
+	})
+	now := time.Now()
+	fmt.Printf("%-12s %-18s %-8s %-22s %5s %-6s %9s %8s\n",
+		"snapshot", "spec", "method", "split", "seed", "budget", "size", "age")
+	healthy, damaged := 0, 0
+	var bytes int64
+	for _, e := range entries {
+		if e.Err != nil {
+			damaged++
+			fmt.Printf("%-12s %s: DAMAGED: %v\n", "-", e.Stem, e.Err)
+			continue
+		}
+		healthy++
+		bytes += e.Size
+		budget := e.Key.Budget
+		if budget == "" {
+			budget = "full"
+		}
+		fmt.Printf("%-12s %-18s %-8s %-22s %5d %-6s %9d %8s\n",
+			shortSnap(e.Key.Snapshot), e.Key.Spec, e.Key.Method, e.Key.Split,
+			e.Key.Seed, budget, e.Size, roundAge(now.Sub(e.ModTime)))
+	}
+	fmt.Printf("%d entries (%d bytes), %d damaged\n", healthy, bytes, damaged)
+	return nil
+}
+
+func runCacheVerify(args []string) error {
+	fs := flag.NewFlagSet("cache verify", flag.ExitOnError)
+	dir := cacheFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("cache verify requires -cache dir")
+	}
+	entries, err := resultstore.ScanDir(*dir)
+	if err != nil {
+		return err
+	}
+	damaged := 0
+	for _, e := range entries {
+		if e.Err != nil {
+			damaged++
+			fmt.Printf("DAMAGED %s: %v\n", e.Stem, e.Err)
+		}
+	}
+	fmt.Printf("%d entries verified, %d damaged\n", len(entries)-damaged, damaged)
+	if damaged > 0 {
+		return fmt.Errorf("%d damaged entries (run 'dtrank cache prune' to remove them, or rerun to recompute)", damaged)
+	}
+	return nil
+}
+
+func runCachePrune(args []string) error {
+	fs := flag.NewFlagSet("cache prune", flag.ExitOnError)
+	dir := cacheFlags(fs)
+	keep := fs.Int("keep", 0, "keep only the N most recently written snapshot fingerprints (0 = no count bound)")
+	maxAge := fs.Duration("max-age", 0, "remove snapshots whose newest entry is older than this (0 = no age bound)")
+	dryRun := fs.Bool("dry-run", false, "report what would be removed without deleting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("cache prune requires -cache dir")
+	}
+	if *keep <= 0 && *maxAge <= 0 {
+		return errors.New("cache prune requires -keep and/or -max-age")
+	}
+	res, err := resultstore.Prune(*dir, time.Now(), resultstore.PruneOptions{
+		KeepSnapshots: *keep,
+		MaxAge:        *maxAge,
+		DryRun:        *dryRun,
+	})
+	if err != nil {
+		return err
+	}
+	verb := "removed"
+	if *dryRun {
+		verb = "would remove"
+	}
+	fmt.Printf("cache prune: %s %d entries of %d snapshots plus %d damaged (%d bytes); kept %d entries of %d snapshots\n",
+		verb, res.RemovedEntries, res.RemovedSnapshots, res.RemovedDamaged,
+		res.FreedBytes, res.KeptEntries, res.KeptSnapshots)
+	return nil
+}
+
+// shortSnap abbreviates a snapshot fingerprint for table display.
+func shortSnap(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
+}
+
+// roundAge renders a duration at human scale (seconds under a minute,
+// then minutes, hours, days).
+func roundAge(d time.Duration) string {
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	case d < time.Hour:
+		return fmt.Sprintf("%dm", int(d.Minutes()))
+	case d < 24*time.Hour:
+		return fmt.Sprintf("%dh", int(d.Hours()))
+	default:
+		return fmt.Sprintf("%dd", int(d.Hours()/24))
+	}
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedCache computes one small spec into a fresh cache dir.
+func seedCache(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "cache")
+	if err := runRun([]string{"-spec", "table3", "-cache", dir, "-fast", "-draws", "2", "-maxk", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestParseShard(t *testing.T) {
+	if i, n, err := parseShard("1/3"); err != nil || i != 1 || n != 3 {
+		t.Fatalf("parseShard(1/3) = %d %d %v", i, n, err)
+	}
+	for _, bad := range []string{"", "x", "3/3", "-1/2", "0/0", "2/1", "0/2/4", "1/2x", "x/2", "1/"} {
+		if _, _, err := parseShard(bad); err == nil {
+			t.Fatalf("parseShard(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunShardRequiresCache(t *testing.T) {
+	err := runRun([]string{"-spec", "table3", "-shard", "0/2", "-fast"})
+	if err == nil || !strings.Contains(err.Error(), "-shard requires -cache") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunShardsThenRender drives the CLI's distributed flow in-process:
+// two shard invocations into one cache render nothing, and the following
+// merge render is byte-identical to a single-process run.
+func TestRunShardsThenRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline runs in -short mode")
+	}
+	args := func(extra ...string) []string {
+		return append([]string{"-spec", "table3", "-fast", "-draws", "2", "-maxk", "3"}, extra...)
+	}
+	single := captureStdout(t, func() {
+		if err := runRun(args()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cache := filepath.Join(t.TempDir(), "cache")
+	for i := 0; i < 2; i++ {
+		out := captureStdout(t, func() {
+			if err := runRun(args("-cache", cache, "-shard", []string{"0/2", "1/2"}[i])); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if out != "" {
+			t.Fatalf("shard %d rendered to stdout:\n%s", i, out)
+		}
+	}
+	merged := captureStdout(t, func() {
+		if err := runRun(args("-cache", cache)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if merged != single {
+		t.Fatalf("merged render differs:\n--- single\n%s\n--- merged\n%s", single, merged)
+	}
+}
+
+func TestCacheLsAndVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run in -short mode")
+	}
+	dir := seedCache(t)
+	out := captureStdout(t, func() {
+		if err := runCache([]string{"ls", "-cache", dir}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"snapshot", "table3", "NN^T", "fast", "0 damaged"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cache ls output missing %q:\n%s", want, out)
+		}
+	}
+	out = captureStdout(t, func() {
+		if err := runCache([]string{"verify", "-cache", dir}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(out, "9 entries verified, 0 damaged") {
+		t.Fatalf("cache verify output:\n%s", out)
+	}
+
+	// Damage one entry: verify must report it and fail.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.dtr"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no entries (%v)", err)
+	}
+	if err := os.WriteFile(entries[0], []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	captureStdout(t, func() {
+		if err := runCache([]string{"verify", "-cache", dir}); err == nil {
+			t.Error("verify of damaged cache must fail")
+		}
+	})
+}
+
+func TestCachePrune(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run in -short mode")
+	}
+	dir := seedCache(t)
+	// A second snapshot (different seed ⇒ different dataset fingerprint).
+	if err := runRun([]string{"-spec", "table3", "-cache", dir, "-fast", "-draws", "2", "-maxk", "3", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.dtr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 18 {
+		t.Fatalf("%d entries, want 18", len(entries))
+	}
+	// Everything is fresh, so an age-bounded prune removes nothing.
+	out := captureStdout(t, func() {
+		if err := runCache([]string{"prune", "-cache", dir, "-max-age", "24h"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(out, "removed 0 entries") {
+		t.Fatalf("fresh prune output:\n%s", out)
+	}
+	// keep-latest-1 drops one whole snapshot (9 entries), dry-run first.
+	out = captureStdout(t, func() {
+		if err := runCache([]string{"prune", "-cache", dir, "-keep", "1", "-dry-run"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(out, "would remove 9 entries of 1 snapshots") {
+		t.Fatalf("dry-run output:\n%s", out)
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "*.dtr")); len(left) != 18 {
+		t.Fatalf("dry run deleted files: %d left", len(left))
+	}
+	out = captureStdout(t, func() {
+		if err := runCache([]string{"prune", "-cache", dir, "-keep", "1"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(out, "removed 9 entries of 1 snapshots") {
+		t.Fatalf("prune output:\n%s", out)
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "*.dtr")); len(left) != 9 {
+		t.Fatalf("%d entries left, want 9", len(left))
+	}
+
+	if err := runCache([]string{"prune", "-cache", dir}); err == nil {
+		t.Fatal("prune without criterion must fail")
+	}
+	if err := runCache([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand must fail")
+	}
+}

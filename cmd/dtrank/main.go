@@ -8,7 +8,7 @@
 //	dtrank gen    [-seed N] [-o file.csv]         write the database as CSV
 //	dtrank rank   [-seed N] [-app B] [-family F] [-method M] [-data file.csv] [-json]
 //	                                              rank one family's machines
-//	dtrank compare [-seed N] [-app B] [-family F] all four methods, side by side
+//	dtrank compare [-seed N] [-app B] [-family F] every registered method, side by side
 //	dtrank summary [-seed N] [-family F]          SPEC-style geometric means
 //	dtrank table2 [-seed N] [-fast]               Table 2 + Figures 6 and 7
 //	dtrank table3 [-seed N] [-fast]               Table 3
@@ -16,8 +16,12 @@
 //	dtrank fig8   [-seed N] [-fast] [-draws D] [-maxk K]
 //	dtrank ablate [-seed N] [-fast]               ablation studies
 //	dtrank all    [-seed N] [-fast] [-draws D]    everything, in paper order
-//	dtrank run    [-spec id,..|all] [-cache dir]  declarative spec pipeline,
-//	                                              incremental via the result store
+//	dtrank run    [-spec id,..|all] [-cache dir|url] [-shard i/n]
+//	                                              declarative spec pipeline,
+//	                                              incremental via the result store;
+//	                                              -shard computes one slice of the
+//	                                              units into the shared store
+//	dtrank cache  <ls|verify|prune> -cache dir    result-store lifecycle
 //	dtrank methods [-json]                        the method registry
 //
 // Every experiment command accepts -workers N to bound the engine worker
@@ -110,6 +114,8 @@ func main() {
 		err = runMethods(args)
 	case "run":
 		err = runRun(args)
+	case "cache":
+		err = runCache(args)
 	case "all":
 		err = runExperiment(args, func(cfg experiments.Config) error {
 			return experiments.RunAll(cfg, os.Stdout)
@@ -133,7 +139,7 @@ func usage() {
 commands:
   gen     write the synthetic SPEC CPU2006 database as CSV
   rank    rank the machines of one processor family for an application
-  compare evaluate all four predictors on one application, side by side
+  compare evaluate every registered predictor on one application, side by side
   summary print SPEC-style geometric-mean scores per machine
   table2  reproduce Table 2 and Figures 6-7 (family cross-validation)
   table3  reproduce Table 3 (predicting 2009 machines from older ones)
@@ -141,7 +147,10 @@ commands:
   fig8    reproduce Figure 8 (k-medoids vs random machine selection)
   ablate  run the reproduction's ablation studies
   all     reproduce every table and figure
-  run     run experiment specs (-spec id,..|all), incremental with -cache dir
+  run     run experiment specs (-spec id,..|all), incremental with -cache;
+          -shard i/n computes one disjoint slice of the units into a shared
+          store (a directory or a dtrankd -cache URL) for distributed runs
+  cache   result-store lifecycle: ls, verify, prune (-keep N / -max-age d)
   methods list the prediction-method registry (names, aliases, capabilities)
 
 run 'dtrank <command> -h' for command flags`)

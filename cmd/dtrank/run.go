@@ -2,9 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -55,10 +57,17 @@ func runMethods(args []string) error {
 // instead of recomputed, so reruns after a crash or a partial change are
 // incremental. Rendered output is byte-identical to the spec's dedicated
 // subcommand, cold or warm.
+//
+// With -shard i/n the command computes only its residue-class slice of
+// the planned units into the shared store and renders nothing: n such
+// processes (same seed/budget flags, one -cache directory or dtrankd
+// URL) together compute exactly the single-process unit set, and a final
+// run without -shard renders the merged report byte-identically.
 func runRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	spec := fs.String("spec", "all", "comma-separated spec ids, or 'all' (valid: "+strings.Join(experiments.SpecIDs(), ", ")+")")
-	cache := fs.String("cache", "", "result-store directory (persists unit results across runs; default: in-memory only)")
+	cache := fs.String("cache", "", "result store: a directory, or the http(s):// URL of a dtrankd -cache daemon (persists unit results across runs and processes; default: in-memory only)")
+	shard := fs.String("shard", "", "execute only shard i/n of the planned units (e.g. 0/2) into -cache, rendering nothing; run without -shard to render the merged store")
 	build := experimentFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,17 +82,65 @@ func runRun(args []string) error {
 	}
 	cfg := build()
 	cfg.Store = st
+	where := "in-memory"
+	if st.Location() != "" {
+		where = st.Location()
+	}
+
+	if *shard != "" {
+		if *cache == "" {
+			return errors.New("-shard requires -cache: shards merge through a shared store")
+		}
+		index, count, err := parseShard(*shard)
+		if err != nil {
+			return err
+		}
+		plan, err := experiments.PlanSpecs(cfg, ids...)
+		if err != nil {
+			return err
+		}
+		mine, err := plan.Shard(index, count)
+		if err != nil {
+			return err
+		}
+		if err := plan.Executor().Execute(mine); err != nil {
+			return err
+		}
+		stats := st.Stats()
+		fmt.Fprintf(os.Stderr, "dtrank run: shard %d/%d: %d of %d units into %s: %d hits, %d computed, %d corrupt\n",
+			index, count, len(mine), len(plan.Units), where, stats.Hits, stats.Puts, stats.Corrupt)
+		return nil
+	}
+
 	if err := experiments.RunSpecs(cfg, os.Stdout, ids...); err != nil {
 		return err
 	}
 	// The cache summary goes to stderr so stdout stays byte-comparable
 	// between cold and warm runs.
 	stats := st.Stats()
-	where := "in-memory"
-	if st.Dir() != "" {
-		where = st.Dir()
-	}
 	fmt.Fprintf(os.Stderr, "dtrank run: result store %s: %d hits, %d misses, %d computed, %d corrupt\n",
 		where, stats.Hits, stats.Misses, stats.Puts, stats.Corrupt)
 	return nil
+}
+
+// parseShard parses a -shard value of the form i/n with 0 <= i < n. The
+// whole string must parse — trailing input (e.g. "0/2/4") is rejected,
+// because a silently misread shard spec would break the disjointness
+// guarantee.
+func parseShard(s string) (index, count int, err error) {
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("invalid -shard %q (want i/n, e.g. 0/2)", s)
+	}
+	index, err = strconv.Atoi(is)
+	if err == nil {
+		count, err = strconv.Atoi(ns)
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("invalid -shard %q (want i/n, e.g. 0/2)", s)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("invalid -shard %q: index must be in 0..n-1", s)
+	}
+	return index, count, nil
 }

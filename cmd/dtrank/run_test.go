@@ -24,6 +24,7 @@ NN^T     nnt        base   nnt    compared,fresh-scores
 MLP^T    mlpt       base+1 mlpt   compared,stochastic
 SPL^T    splt       base   splt   fresh-scores
 GA-kNN   gaknn      base+2 gaknn  compared,needs-chars,stochastic
+kNN^M    knnm,knn   base   knnm   fresh-scores
 `
 	if got != want {
 		t.Fatalf("dtrank methods output drifted:\n--- got\n%s\n--- want\n%s", got, want)

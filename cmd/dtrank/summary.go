@@ -73,7 +73,7 @@ func runSummary(args []string) error {
 	return nil
 }
 
-// runCompare evaluates all four predictors on one application and target
+// runCompare evaluates every registered predictor on one application and target
 // family, side by side.
 func runCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	dtrankd [-addr :8117] [-seed N] [-data file.csv] [-workers N]
-//	        [-max-models N] [-registry dir] [-save]
+//	        [-max-models N] [-registry dir] [-save] [-cache dir]
 //
 // Rankings are byte-identical to `dtrank rank -json` for the same seed,
 // family, application and method — the daemon is a cache in front of the
@@ -15,6 +15,13 @@
 // Endpoints: POST /v1/rank, GET /v1/methods, GET /v1/machines,
 // POST /v1/snapshot (hot-swap the database from a CSV body), GET /healthz,
 // GET /debug/vars.
+//
+// With -cache the daemon additionally serves the experiment result store
+// under /v1/store/: sharded `dtrank run -shard i/n -cache
+// http://host:8117` processes merge their computed units through the
+// daemon, and a final `dtrank run -cache http://host:8117` renders the
+// merged report. The directory is interchangeable with a local
+// `dtrank run -cache dir` store.
 //
 // With -registry the daemon warm-starts from models saved in dir; with
 // -save it writes the registry back on shutdown, so restarts skip the
@@ -61,6 +68,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	maxModels := fs.Int("max-models", serve.DefaultMaxModels, "registry LRU bound")
 	registryDir := fs.String("registry", "", "warm-start the model registry from this directory")
 	save := fs.Bool("save", false, "save the registry back to -registry on shutdown")
+	cacheDir := fs.String("cache", "", "serve the experiment result store under /v1/store/ from this directory (the merge point of 'dtrank run -shard -cache http://this-daemon')")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,13 +99,16 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		matrix, chars = data.Matrix, data.Characteristics
 	}
 
-	srv, err := serve.NewServer(matrix, chars, serve.Options{Seed: *seed, MaxModels: *maxModels})
+	srv, err := serve.NewServer(matrix, chars, serve.Options{Seed: *seed, MaxModels: *maxModels, StoreDir: *cacheDir})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	log.Printf("dtrankd: snapshot %s (%d benchmarks × %d machines)",
 		srv.SnapshotHash()[:12], matrix.NumBenchmarks(), matrix.NumMachines())
+	if *cacheDir != "" {
+		log.Printf("dtrankd: serving result store %s on /v1/store/", *cacheDir)
+	}
 
 	if *registryDir != "" {
 		if n, err := srv.Registry().Load(ctx, *registryDir); err != nil {

@@ -55,43 +55,56 @@ type AblationHonestChars struct {
 	Distorted, Honest Summary
 }
 
-// RunAblationHonestChars executes the characterisation ablation. The two
-// variants and their folds fan out on the configured worker pool. Both
-// units are keyed by the default dataset's fingerprint: the honest
-// variant is a pure function of the same synthesis options.
-func RunAblationHonestChars(cfg Config) (*AblationHonestChars, error) {
-	base, err := synth.Generate(cfg.synthOptions())
+// ablationCharsUnits enumerates the characterisation ablation: two
+// variants, distorted first. Both units are keyed by the default
+// dataset's fingerprint: the honest variant is a pure function of the
+// same synthesis options.
+func (c *Config) ablationCharsUnits() ([]unitSpec[Summary], error) {
+	base, fp, err := c.dataset()
 	if err != nil {
 		return nil, err
 	}
-	eng := cfg.eng()
-	st := cfg.store()
-	fp := datasetFingerprint(base)
-	gaknn, err := cfg.method(method.GAKNN)
+	eng := c.eng()
+	gaknn, err := c.method(method.GAKNN)
 	if err != nil {
 		return nil, err
 	}
-	labels := []string{"distorted", "honest"}
-	ss, err := engine.Collect(eng, 2, func(i int) (Summary, error) {
-		key := cfg.unitKey(fp, SpecAblationChars, gaknn.Name, labels[i])
-		return storeUnit(st, key, func() (Summary, error) {
-			data := base
-			if i == 1 {
-				opts := cfg.synthOptions()
-				opts.HonestCharacteristics = true
-				var err error
-				data, err = synth.Generate(opts)
+	opts := c.synthOptions()
+	units := make([]unitSpec[Summary], 0, 2)
+	for i, label := range []string{"distorted", "honest"} {
+		i := i
+		units = append(units, unitSpec[Summary]{
+			key: c.unitKey(fp, SpecAblationChars, gaknn.Name, label),
+			compute: func() (Summary, error) {
+				data := base
+				if i == 1 {
+					honest := opts
+					honest.HonestCharacteristics = true
+					var err error
+					data, err = synth.Generate(honest)
+					if err != nil {
+						return Summary{}, err
+					}
+				}
+				rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, gaknn.New)
 				if err != nil {
 					return Summary{}, err
 				}
-			}
-			rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, gaknn.New)
-			if err != nil {
-				return Summary{}, err
-			}
-			return summarize(rs, data.Matrix.Benchmarks)
+				return summarize(rs, data.Matrix.Benchmarks)
+			},
 		})
-	})
+	}
+	return units, nil
+}
+
+// RunAblationHonestChars executes the characterisation ablation. The two
+// variants and their folds fan out on the configured worker pool.
+func RunAblationHonestChars(cfg Config) (*AblationHonestChars, error) {
+	units, err := cfg.ablationCharsUnits()
+	if err != nil {
+		return nil, err
+	}
+	ss, err := collectUnits(&cfg, units)
 	if err != nil {
 		return nil, err
 	}
@@ -115,27 +128,40 @@ type AblationMLPTDecay struct {
 	Decay, PureWEKA Summary
 }
 
-// RunAblationMLPTDecay executes the MLPᵀ training ablation. Both variants
-// and their folds fan out on the configured worker pool.
-func RunAblationMLPTDecay(cfg Config) (*AblationMLPTDecay, error) {
-	data, err := synth.Generate(cfg.synthOptions())
+// ablationDecayUnits enumerates the MLPᵀ training ablation: the decay
+// variant first, then the pure WEKA defaults.
+func (c *Config) ablationDecayUnits() ([]unitSpec[Summary], error) {
+	data, fp, err := c.dataset()
 	if err != nil {
 		return nil, err
 	}
-	eng := cfg.eng()
-	st := cfg.store()
-	fp := datasetFingerprint(data)
-	labels := []string{"decay", "pure-weka"}
-	ss, err := engine.Collect(eng, 2, func(i int) (Summary, error) {
-		key := cfg.unitKey(fp, SpecAblationDecay, method.MLPT, labels[i])
-		return storeUnit(st, key, func() (Summary, error) {
-			rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, cfg.mlptVariant(i == 0))
-			if err != nil {
-				return Summary{}, err
-			}
-			return summarize(rs, data.Matrix.Benchmarks)
+	eng := c.eng()
+	cfg := *c
+	units := make([]unitSpec[Summary], 0, 2)
+	for i, label := range []string{"decay", "pure-weka"} {
+		decay := i == 0
+		units = append(units, unitSpec[Summary]{
+			key: c.unitKey(fp, SpecAblationDecay, method.MLPT, label),
+			compute: func() (Summary, error) {
+				rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, cfg.mlptVariant(decay))
+				if err != nil {
+					return Summary{}, err
+				}
+				return summarize(rs, data.Matrix.Benchmarks)
+			},
 		})
-	})
+	}
+	return units, nil
+}
+
+// RunAblationMLPTDecay executes the MLPᵀ training ablation. Both variants
+// and their folds fan out on the configured worker pool.
+func RunAblationMLPTDecay(cfg Config) (*AblationMLPTDecay, error) {
+	units, err := cfg.ablationDecayUnits()
+	if err != nil {
+		return nil, err
+	}
+	ss, err := collectUnits(&cfg, units)
 	if err != nil {
 		return nil, err
 	}
@@ -157,36 +183,51 @@ type AblationPredictors struct {
 	Summaries []Summary
 }
 
-// RunAblationPredictors executes the model-flexibility ablation: linear
-// (NNᵀ), spline (SPLᵀ) and neural (MLPᵀ) data transposition.
-func RunAblationPredictors(cfg Config) (*AblationPredictors, error) {
-	data, err := synth.Generate(cfg.synthOptions())
+// ablationPredictorNames lists the compared transposition models in
+// presentation order.
+var ablationPredictorNames = []string{method.NNT, method.SPLT, method.MLPT}
+
+// ablationPredictorsUnits enumerates the model-flexibility ablation: one
+// family-CV summary per transposition model.
+func (c *Config) ablationPredictorsUnits() ([]unitSpec[Summary], error) {
+	data, fp, err := c.dataset()
 	if err != nil {
 		return nil, err
 	}
-	eng := cfg.eng()
-	st := cfg.store()
-	fp := datasetFingerprint(data)
-	names := []string{method.NNT, method.SPLT, method.MLPT}
-	ss, err := engine.Collect(eng, len(names), func(i int) (Summary, error) {
-		m, err := cfg.method(names[i])
+	eng := c.eng()
+	units := make([]unitSpec[Summary], 0, len(ablationPredictorNames))
+	for _, name := range ablationPredictorNames {
+		m, err := c.method(name)
 		if err != nil {
-			return Summary{}, err
+			return nil, err
 		}
-		key := cfg.unitKey(fp, SpecAblationPredictors, m.Name, "family-cv")
-		return storeUnit(st, key, func() (Summary, error) {
-			rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, m.New)
-			if err != nil {
-				return Summary{}, fmt.Errorf("experiments: predictor ablation %s: %w", m.Name, err)
-			}
-			return summarize(rs, data.Matrix.Benchmarks)
+		units = append(units, unitSpec[Summary]{
+			key: c.unitKey(fp, SpecAblationPredictors, m.Name, "family-cv"),
+			compute: func() (Summary, error) {
+				rs, err := transpose.FamilyCV(eng, data.Matrix, data.Characteristics, m.New)
+				if err != nil {
+					return Summary{}, fmt.Errorf("experiments: predictor ablation %s: %w", m.Name, err)
+				}
+				return summarize(rs, data.Matrix.Benchmarks)
+			},
 		})
-	})
+	}
+	return units, nil
+}
+
+// RunAblationPredictors executes the model-flexibility ablation: linear
+// (NNᵀ), spline (SPLᵀ) and neural (MLPᵀ) data transposition.
+func RunAblationPredictors(cfg Config) (*AblationPredictors, error) {
+	units, err := cfg.ablationPredictorsUnits()
+	if err != nil {
+		return nil, err
+	}
+	ss, err := collectUnits(&cfg, units)
 	if err != nil {
 		return nil, err
 	}
 	out := &AblationPredictors{}
-	for i, name := range names {
+	for i, name := range ablationPredictorNames {
 		out.Names = append(out.Names, name)
 		out.Summaries = append(out.Summaries, ss[i])
 	}
@@ -213,10 +254,20 @@ type AblationSelection struct {
 	Draws  int
 }
 
-// RunAblationSelection executes the selection-strategy ablation on the
-// 2008 pool → 2009 targets split.
-func RunAblationSelection(cfg Config) (*AblationSelection, error) {
-	data, err := synth.Generate(cfg.synthOptions())
+// selectionDraws caps the random-draw average of the selection ablation.
+func (c Config) selectionDraws() int {
+	if d := c.draws(); d <= 10 {
+		return d
+	}
+	return 10
+}
+
+// ablationSelectionUnits enumerates the selection-strategy ablation on
+// the 2008 pool → 2009 targets split: per k (3..maxK) one k-medoids
+// unit, one k-means unit, then the random draws — a fixed stride of
+// 2+draws per k.
+func (c *Config) ablationSelectionUnits() ([]unitSpec[float64], error) {
+	data, fp, err := c.dataset()
 	if err != nil {
 		return nil, err
 	}
@@ -224,20 +275,23 @@ func RunAblationSelection(cfg Config) (*AblationSelection, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := cfg.eng()
-	st := cfg.store()
-	fp := datasetFingerprint(data)
-	mlpt, err := cfg.method(method.MLPT)
+	eng := c.eng()
+	seed := c.Seed
+	mlpt, err := c.method(method.MLPT)
 	if err != nil {
 		return nil, err
 	}
-	maxK := cfg.maxK()
+	maxK := c.maxK()
 	if maxK > pool.NumMachines() {
 		maxK = pool.NumMachines()
 	}
-	out := &AblationSelection{Draws: cfg.draws()}
-	if out.Draws > 10 {
-		out.Draws = 10
+	draws := c.selectionDraws()
+	fit := func(sel func(*dataset.Matrix) (*dataset.Matrix, error)) (float64, error) {
+		sub, err := sel(pool)
+		if err != nil {
+			return 0, err
+		}
+		return transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
 	}
 	kmeansSel := func(k int) func(*dataset.Matrix) (*dataset.Matrix, error) {
 		return func(d *dataset.Matrix) (*dataset.Matrix, error) {
@@ -245,7 +299,7 @@ func RunAblationSelection(cfg Config) (*AblationSelection, error) {
 			for i := range pts {
 				pts[i] = d.Col(i)
 			}
-			res, err := cluster.KMeans(pts, k, rand.New(rand.NewSource(cfg.Seed)), 100)
+			res, err := cluster.KMeans(pts, k, rand.New(rand.NewSource(seed)), 100)
 			if err != nil {
 				return nil, err
 			}
@@ -257,54 +311,50 @@ func RunAblationSelection(cfg Config) (*AblationSelection, error) {
 			return sub, nil
 		}
 	}
-	type point struct{ medoid, kmeans, random float64 }
-	if maxK < 3 {
-		return out, nil
+	var units []unitSpec[float64]
+	unit := func(split string, compute func() (float64, error)) {
+		units = append(units, unitSpec[float64]{
+			key:     c.unitKey(fp, SpecAblationSelection, mlpt.Name, split),
+			compute: compute,
+		})
 	}
-	points, err := engine.Collect(eng, maxK-2, func(i int) (point, error) {
-		k := i + 3
-		fit := func(sel func(*dataset.Matrix) (*dataset.Matrix, error)) (float64, error) {
-			sub, err := sel(pool)
-			if err != nil {
-				return 0, err
-			}
-			return transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
-		}
-		unit := func(split string, compute func() (float64, error)) (float64, error) {
-			key := cfg.unitKey(fp, SpecAblationSelection, mlpt.Name, split)
-			return storeUnit(st, key, compute)
-		}
-		med, err := unit(fmt.Sprintf("medoid/k=%d", k), func() (float64, error) {
+	for k := 3; k <= maxK; k++ {
+		k := k
+		unit(fmt.Sprintf("medoid/k=%d", k), func() (float64, error) {
 			return fit(transpose.MedoidSubset(k))
 		})
-		if err != nil {
-			return point{}, err
-		}
-		km, err := unit(fmt.Sprintf("kmeans/k=%d", k), func() (float64, error) {
+		unit(fmt.Sprintf("kmeans/k=%d", k), func() (float64, error) {
 			return fit(kmeansSel(k))
 		})
-		if err != nil {
-			return point{}, err
-		}
-		r2s, err := engine.Collect(eng, out.Draws, func(d int) (float64, error) {
-			return unit(fmt.Sprintf("random/k=%d#%d", k, d), func() (float64, error) {
-				rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(500+k), int64(d))))
+		for d := 0; d < draws; d++ {
+			d := d
+			unit(fmt.Sprintf("random/k=%d#%d", k, d), func() (float64, error) {
+				rng := rand.New(rand.NewSource(engine.Seed(seed, int64(500+k), int64(d))))
 				return fit(transpose.RandomSubset(k, rng))
 			})
-		})
-		if err != nil {
-			return point{}, err
 		}
-		return point{medoid: med, kmeans: km, random: stats.Mean(r2s)}, nil
-	})
+	}
+	return units, nil
+}
+
+// RunAblationSelection executes the selection-strategy ablation on the
+// 2008 pool → 2009 targets split.
+func RunAblationSelection(cfg Config) (*AblationSelection, error) {
+	units, err := cfg.ablationSelectionUnits()
 	if err != nil {
 		return nil, err
 	}
-	for i, p := range points {
-		out.Ks = append(out.Ks, i+3)
-		out.Medoid = append(out.Medoid, p.medoid)
-		out.KMeans = append(out.KMeans, p.kmeans)
-		out.Random = append(out.Random, p.random)
+	vals, err := collectUnits(&cfg, units)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationSelection{Draws: cfg.selectionDraws()}
+	stride := 2 + out.Draws
+	for i := 0; i < len(vals); i += stride {
+		out.Ks = append(out.Ks, i/stride+3)
+		out.Medoid = append(out.Medoid, vals[i])
+		out.KMeans = append(out.KMeans, vals[i+1])
+		out.Random = append(out.Random, stats.Mean(vals[i+2:i+stride]))
 	}
 	return out, nil
 }

@@ -45,16 +45,27 @@ type Config struct {
 	// Store receives every computed unit result (table cells, figure
 	// points, ablation variants) and serves previously computed ones, so
 	// reruns are incremental. nil means a fresh in-memory store per
-	// runner call; open a directory-backed store (resultstore.Open) to
-	// persist results across runs. Cached results never change output:
-	// cold and warm runs render byte-identical text.
-	Store *resultstore.Store
+	// runner call; open a directory- or HTTP-backed store
+	// (resultstore.Open) to persist results across runs and processes.
+	// Cached results never change output: cold, warm and sharded runs
+	// render byte-identical text.
+	Store resultstore.Store
 	// pool is the run's worker pool, created lazily by eng(). Predictor
 	// factories hand it to the GA's inner fan-out so one token budget
 	// bounds the fold and fitness layers. (The la matrix kernels draw
 	// from the process-wide default pool instead, but never cross their
 	// parallel threshold at this repo's matrix sizes.)
 	pool *engine.Pool
+	// ds memoizes the synthesised dataset and its fingerprint, so one
+	// RunSpecs/RunAll invocation generates the dataset exactly once and
+	// every spec (and the planner) reads the same instance.
+	ds *runDataset
+}
+
+// runDataset is the memoized dataset of one run.
+type runDataset struct {
+	data *synth.Data
+	fp   string
 }
 
 // DefaultConfig returns the configuration used for reported results.
@@ -101,11 +112,26 @@ func (c *Config) eng() *engine.Pool {
 // store returns the run's result store, creating an in-memory one when
 // the Config carries none. Runners must call store() on the same Config
 // pointer they later hand to unit helpers, so one run shares one store.
-func (c *Config) store() *resultstore.Store {
+func (c *Config) store() resultstore.Store {
 	if c.Store == nil {
 		c.Store = resultstore.New()
 	}
 	return c.Store
+}
+
+// dataset returns the run's synthetic dataset and its fingerprint,
+// generating both on first use. Runners and the planner call it on the
+// same Config copy RunSpecs/PlanSpecs materialised, so a multi-spec run
+// synthesises the dataset once instead of once per spec.
+func (c *Config) dataset() (*synth.Data, string, error) {
+	if c.ds == nil {
+		data, err := synth.Generate(c.synthOptions())
+		if err != nil {
+			return nil, "", err
+		}
+		c.ds = &runDataset{data: data, fp: datasetFingerprint(data)}
+	}
+	return c.ds.data, c.ds.fp, nil
 }
 
 // methodOptions is the construction tuning every predictor of this run
@@ -196,12 +222,51 @@ func (c Config) unitKey(fp, spec, methodName, split string) resultstore.Key {
 	return k
 }
 
+// unitSpec is one enumerated experiment unit: the store key addressing
+// it plus the typed computation that produces its value. Per-spec
+// enumerators build these lists in a canonical deterministic order; the
+// runners consume them through collectUnits and the planner erases them
+// to Units through planOf — one enumeration, so the executed shards and
+// the rendered report can never disagree about what the units are.
+type unitSpec[T any] struct {
+	key     resultstore.Key
+	compute func() (T, error)
+}
+
+// planOf erases typed unit specs to planned Units, preserving order.
+func planOf[T any](us []unitSpec[T], err error) ([]Unit, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Unit, len(us))
+	for i, u := range us {
+		u := u
+		out[i] = Unit{Key: u.key, exec: func(st resultstore.Store) error {
+			_, err := storeUnit(st, u.key, u.compute)
+			return err
+		}}
+	}
+	return out, nil
+}
+
+// collectUnits computes every unit through the run's store on the run's
+// worker pool, returning the values in unit order — the rendering side
+// of the pipeline. Units already in the store are served, missing ones
+// computed and stored.
+func collectUnits[T any](cfg *Config, us []unitSpec[T]) ([]T, error) {
+	eng := cfg.eng()
+	st := cfg.store()
+	return engine.Collect(eng, len(us), func(i int) (T, error) {
+		return storeUnit(st, us[i].key, us[i].compute)
+	})
+}
+
 // storeUnit computes one experiment unit through the result store: a
 // previously stored result is served as-is, otherwise compute runs and
 // its result is stored. The returned value always comes from the store's
 // canonical encoding, so cold and warm runs continue with bit-identical
 // values.
-func storeUnit[T any](st *resultstore.Store, key resultstore.Key, compute func() (T, error)) (T, error) {
+func storeUnit[T any](st resultstore.Store, key resultstore.Key, compute func() (T, error)) (T, error) {
 	var v T
 	ok, err := st.Get(key, &v)
 	if err != nil {
@@ -278,6 +343,36 @@ type FamilyRun struct {
 	Results map[string][]transpose.FoldResult
 }
 
+// familyCVUnits enumerates the family cross-validation units shared by
+// Table 2 and Figures 6-7: one unit per (method, family) cell, in
+// method-major, family-minor order.
+func (c *Config) familyCVUnits() ([]unitSpec[[]transpose.FoldResult], error) {
+	data, fp, err := c.dataset()
+	if err != nil {
+		return nil, err
+	}
+	eng := c.eng()
+	methods := c.Methods()
+	families := data.Matrix.Families()
+	units := make([]unitSpec[[]transpose.FoldResult], 0, len(methods)*len(families))
+	for _, m := range methods {
+		for _, family := range families {
+			m, family := m, family
+			units = append(units, unitSpec[[]transpose.FoldResult]{
+				key: c.unitKey(fp, unitFamilyCV, m.Name, family),
+				compute: func() ([]transpose.FoldResult, error) {
+					rs, err := transpose.FamilyFolds(eng, data.Matrix, data.Characteristics, family, m.New)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: family CV with %s: %w", m.Name, err)
+					}
+					return rs, nil
+				},
+			})
+		}
+	}
+	return units, nil
+}
+
 // RunFamilyCV executes the §6.2 experiment for all three methods. Every
 // (method, family) cell is one result-store unit: cells fan out on the
 // configured worker pool (their folds fan out within), results are
@@ -285,7 +380,15 @@ type FamilyRun struct {
 // the worker count, and a warm store serves previously computed cells
 // without refitting anything.
 func RunFamilyCV(cfg Config) (*FamilyRun, error) {
-	data, err := synth.Generate(cfg.synthOptions())
+	units, err := cfg.familyCVUnits()
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	cells, err := collectUnits(&cfg, units)
 	if err != nil {
 		return nil, err
 	}
@@ -293,29 +396,11 @@ func RunFamilyCV(cfg Config) (*FamilyRun, error) {
 		Order:   append([]string(nil), data.Matrix.Benchmarks...),
 		Results: map[string][]transpose.FoldResult{},
 	}
-	eng := cfg.eng()
-	st := cfg.store()
-	fp := datasetFingerprint(data)
-	methods := cfg.Methods()
-	families := data.Matrix.Families()
-	cells, err := engine.Collect(eng, len(methods)*len(families), func(i int) ([]transpose.FoldResult, error) {
-		m, family := methods[i/len(families)], families[i%len(families)]
-		key := cfg.unitKey(fp, unitFamilyCV, m.Name, family)
-		rs, err := storeUnit(st, key, func() ([]transpose.FoldResult, error) {
-			return transpose.FamilyFolds(eng, data.Matrix, data.Characteristics, family, m.New)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: family CV with %s: %w", m.Name, err)
-		}
-		return rs, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, m := range methods {
+	families := len(data.Matrix.Families())
+	for i, m := range cfg.Methods() {
 		var rs []transpose.FoldResult
-		for f := range families {
-			rs = append(rs, cells[i*len(families)+f]...)
+		for f := 0; f < families; f++ {
+			rs = append(rs, cells[i*families+f]...)
 		}
 		run.Results[m.Name] = rs
 	}

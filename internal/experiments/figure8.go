@@ -8,7 +8,6 @@ import (
 	"repro/internal/engine"
 	"repro/internal/method"
 	"repro/internal/stats"
-	"repro/internal/synth"
 	"repro/internal/textplot"
 	"repro/internal/transpose"
 )
@@ -23,14 +22,13 @@ type Figure8 struct {
 	Draws  int
 }
 
-// RunFigure8 executes the §6.5 experiment. The predictive pool is the 2008
-// machines, the targets the 2009 machines, matching the setting of §6.4
-// that the selection question arises from. Sweep points (one per k) and
-// the random draws within each fan out on the configured worker pool;
-// every draw owns a PRNG seeded from (Seed, k, draw), so the series are
-// identical for every worker count.
-func RunFigure8(cfg Config) (*Figure8, error) {
-	data, err := synth.Generate(cfg.synthOptions())
+// figure8Units enumerates the §6.5 sweep: per k (1..maxK, clamped to the
+// 2008 pool size) one k-medoids unit followed by the random-draw units,
+// so the flat list has a fixed stride of 1+draws per k. Every draw owns a
+// PRNG seeded from (Seed, k, draw), so the series are identical for every
+// worker count and shard assignment.
+func (c *Config) figure8Units() ([]unitSpec[float64], error) {
+	data, fp, err := c.dataset()
 	if err != nil {
 		return nil, err
 	}
@@ -39,63 +37,76 @@ func RunFigure8(cfg Config) (*Figure8, error) {
 	if err != nil {
 		return nil, err
 	}
-	maxK := cfg.maxK()
+	maxK := c.maxK()
 	if maxK > pool.NumMachines() {
 		maxK = pool.NumMachines()
 	}
-	out := &Figure8{Draws: cfg.draws()}
-	eng := cfg.eng()
-	st := cfg.store()
-	fp := datasetFingerprint(data)
-	mlpt, err := cfg.method(method.MLPT)
+	eng := c.eng()
+	seed := c.Seed
+	draws := c.draws()
+	mlpt, err := c.method(method.MLPT)
 	if err != nil {
 		return nil, err
 	}
-	type point struct{ medoid, random float64 }
-	points, err := engine.Collect(eng, maxK, func(i int) (point, error) {
-		k := i + 1
-
-		medoid, err := storeUnit(st, cfg.unitKey(fp, SpecFigure8, mlpt.Name, fmt.Sprintf("medoid/k=%d", k)), func() (float64, error) {
-			sub, err := transpose.MedoidSubset(k)(pool)
-			if err != nil {
-				return 0, err
-			}
-			r2, err := transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
-			if err != nil {
-				return 0, fmt.Errorf("experiments: Figure 8 medoid k=%d: %w", k, err)
-			}
-			return r2, nil
-		})
-		if err != nil {
-			return point{}, err
-		}
-
-		r2s, err := engine.Collect(eng, out.Draws, func(d int) (float64, error) {
-			return storeUnit(st, cfg.unitKey(fp, SpecFigure8, mlpt.Name, fmt.Sprintf("random/k=%d#%d", k, d)), func() (float64, error) {
-				rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(1000+k), int64(d))))
-				sub, err := transpose.RandomSubset(k, rng)(pool)
+	var units []unitSpec[float64]
+	for k := 1; k <= maxK; k++ {
+		k := k
+		units = append(units, unitSpec[float64]{
+			key: c.unitKey(fp, SpecFigure8, mlpt.Name, fmt.Sprintf("medoid/k=%d", k)),
+			compute: func() (float64, error) {
+				sub, err := transpose.MedoidSubset(k)(pool)
 				if err != nil {
 					return 0, err
 				}
 				r2, err := transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
 				if err != nil {
-					return 0, fmt.Errorf("experiments: Figure 8 random k=%d draw %d: %w", k, d, err)
+					return 0, fmt.Errorf("experiments: Figure 8 medoid k=%d: %w", k, err)
 				}
 				return r2, nil
-			})
+			},
 		})
-		if err != nil {
-			return point{}, err
+		for d := 0; d < draws; d++ {
+			d := d
+			units = append(units, unitSpec[float64]{
+				key: c.unitKey(fp, SpecFigure8, mlpt.Name, fmt.Sprintf("random/k=%d#%d", k, d)),
+				compute: func() (float64, error) {
+					rng := rand.New(rand.NewSource(engine.Seed(seed, int64(1000+k), int64(d))))
+					sub, err := transpose.RandomSubset(k, rng)(pool)
+					if err != nil {
+						return 0, err
+					}
+					r2, err := transpose.GoodnessOfFit(eng, sub, tgt, data.Characteristics, mlpt.New)
+					if err != nil {
+						return 0, fmt.Errorf("experiments: Figure 8 random k=%d draw %d: %w", k, d, err)
+					}
+					return r2, nil
+				},
+			})
 		}
-		return point{medoid: medoid, random: stats.Mean(r2s)}, nil
-	})
+	}
+	return units, nil
+}
+
+// RunFigure8 executes the §6.5 experiment. The predictive pool is the 2008
+// machines, the targets the 2009 machines, matching the setting of §6.4
+// that the selection question arises from. All sweep units fan out
+// together on the configured worker pool and are reduced per k in draw
+// order afterwards.
+func RunFigure8(cfg Config) (*Figure8, error) {
+	units, err := cfg.figure8Units()
 	if err != nil {
 		return nil, err
 	}
-	for i, p := range points {
-		out.Ks = append(out.Ks, i+1)
-		out.Medoid = append(out.Medoid, p.medoid)
-		out.Random = append(out.Random, p.random)
+	vals, err := collectUnits(&cfg, units)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure8{Draws: cfg.draws()}
+	stride := 1 + out.Draws
+	for i := 0; i < len(vals); i += stride {
+		out.Ks = append(out.Ks, i/stride+1)
+		out.Medoid = append(out.Medoid, vals[i])
+		out.Random = append(out.Random, stats.Mean(vals[i+1:i+stride]))
 	}
 	return out, nil
 }

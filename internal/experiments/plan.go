@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/resultstore"
+)
+
+// This file is the distribution layer of the spec pipeline: PlanSpecs
+// enumerates every unit a set of specs reads, Plan.Shard carves the list
+// into disjoint residue-class slices, and Executor computes an assigned
+// slice into the run's result store. n processes each executing shard
+// i/n of the same plan into one shared store (a directory or a dtrankd
+// /v1/store/ URL) together compute exactly the single-process unit set;
+// any process then renders the final report from the merged store via
+// RunSpecs, byte-identical to a single-process run.
+
+// Unit is one planned experiment unit: a table cell, figure point or
+// ablation variant, addressed by its result-store key. Units are created
+// by PlanSpecs from the same per-spec enumerators the renderers consume,
+// so a plan can neither miss nor invent units.
+type Unit struct {
+	// Key addresses the unit's result in the store.
+	Key resultstore.Key
+
+	// exec computes the unit through a store with the unit's concrete
+	// result type (serving it when already present).
+	exec func(st resultstore.Store) error
+}
+
+// Plan is the deterministic unit list of a spec set, plus the
+// materialised run configuration (worker pool, store, dataset) its units
+// were enumerated against.
+type Plan struct {
+	// Units lists every unit of the planned specs exactly once, in plan
+	// order: specs in the requested order, each spec's canonical unit
+	// order, first occurrence wins for units shared between specs
+	// (Table 2 and Figures 6-7 share the family-CV cells).
+	Units []Unit
+
+	cfg Config
+}
+
+// PlanSpecs enumerates the full unit list of the named specs without
+// computing anything. The enumeration is deterministic in cfg — every
+// process planning the same (seed, budget, draws, maxK) spec set
+// produces the identical list — which is what makes residue-class
+// sharding disjoint and complete across independent processes.
+//
+// Planning synthesises the dataset (unit keys embed its fingerprint);
+// the instance is memoised on the returned Plan's configuration, so a
+// following Execute does not regenerate it.
+func PlanSpecs(cfg Config, ids ...string) (*Plan, error) {
+	resolved := make([]Spec, 0, len(ids))
+	for _, id := range ids {
+		s, err := findSpec(id)
+		if err != nil {
+			return nil, err
+		}
+		resolved = append(resolved, s)
+	}
+	// Materialise the pool, store and dataset once; the enumerators'
+	// compute closures capture them.
+	cfg.eng()
+	cfg.store()
+	if _, _, err := cfg.dataset(); err != nil {
+		return nil, err
+	}
+	seen := map[resultstore.Key]bool{}
+	var units []Unit
+	for _, s := range resolved {
+		us, err := s.plan(&cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range us {
+			if seen[u.Key] {
+				continue
+			}
+			seen[u.Key] = true
+			units = append(units, u)
+		}
+	}
+	return &Plan{Units: units, cfg: cfg}, nil
+}
+
+// Shard returns the residue-class slice of the plan assigned to shard
+// index of count: Units[j] with j%count == index. The count slices are
+// pairwise disjoint and their union is exactly Units, so count processes
+// each executing one shard compute the full plan with no unit done twice.
+func (p *Plan) Shard(index, count int) ([]Unit, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("experiments: shard count %d must be >= 1", count)
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("experiments: shard index %d outside 0..%d", index, count-1)
+	}
+	var out []Unit
+	for j := index; j < len(p.Units); j += count {
+		out = append(out, p.Units[j])
+	}
+	return out, nil
+}
+
+// Executor computes assigned units into the plan's result store.
+type Executor struct {
+	cfg Config
+}
+
+// Executor returns an executor sharing the plan's materialised pool,
+// store and dataset.
+func (p *Plan) Executor() *Executor {
+	return &Executor{cfg: p.cfg}
+}
+
+// Execute computes the given units on the run's worker pool, serving
+// units already in the store and storing the rest — the work a shard
+// process performs. It renders nothing; rendering reads the merged store
+// through RunSpecs.
+func (e *Executor) Execute(units []Unit) error {
+	eng := e.cfg.eng()
+	st := e.cfg.store()
+	_, err := engine.Collect(eng, len(units), func(i int) (struct{}, error) {
+		return struct{}{}, units[i].exec(st)
+	})
+	return err
+}
+
+// Stats reports the executor's store counters.
+func (e *Executor) Stats() resultstore.Stats {
+	return e.cfg.store().Stats()
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/resultstore"
+)
+
+// planKeys returns the key set of a unit list, asserting no duplicates.
+func planKeys(t *testing.T, units []Unit) map[resultstore.Key]bool {
+	t.Helper()
+	keys := map[resultstore.Key]bool{}
+	for _, u := range units {
+		if keys[u.Key] {
+			t.Fatalf("duplicate planned key %+v", u.Key)
+		}
+		keys[u.Key] = true
+	}
+	return keys
+}
+
+// TestPlanIsDeterministicAndShardsPartition pins the sharding contract
+// without computing anything: two independent plans of the same config
+// agree unit for unit, and the residue-class shards are pairwise
+// disjoint with union exactly the plan.
+func TestPlanIsDeterministicAndShardsPartition(t *testing.T) {
+	ids := SpecIDs()
+	planA, err := PlanSpecs(fastConfig(), ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, err := PlanSpecs(fastConfig(), ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planA.Units) == 0 || len(planA.Units) != len(planB.Units) {
+		t.Fatalf("plan sizes %d vs %d", len(planA.Units), len(planB.Units))
+	}
+	for i := range planA.Units {
+		if planA.Units[i].Key != planB.Units[i].Key {
+			t.Fatalf("plans diverge at unit %d: %+v vs %+v", i, planA.Units[i].Key, planB.Units[i].Key)
+		}
+	}
+	all := planKeys(t, planA.Units)
+
+	const n = 3
+	seen := map[resultstore.Key]int{}
+	total := 0
+	for i := 0; i < n; i++ {
+		shard, err := planA.Shard(i, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(shard)
+		for _, u := range shard {
+			seen[u.Key]++
+		}
+	}
+	if total != len(planA.Units) {
+		t.Fatalf("shards cover %d of %d units", total, len(planA.Units))
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("unit %+v assigned to %d shards", k, c)
+		}
+		if !all[k] {
+			t.Fatalf("shard invented unit %+v", k)
+		}
+	}
+
+	if _, err := planA.Shard(0, 0); err == nil {
+		t.Fatal("want count error")
+	}
+	if _, err := planA.Shard(2, 2); err == nil {
+		t.Fatal("want index error")
+	}
+	if _, err := planA.Shard(-1, 2); err == nil {
+		t.Fatal("want index error")
+	}
+}
+
+// shardInto simulates one shard process: a fresh Config and store on the
+// shared location, plan, execute the assigned slice. It returns the
+// shard's unit keys and the store stats after execution.
+func shardInto(t *testing.T, loc string, index, count int, ids ...string) (map[resultstore.Key]bool, resultstore.Stats, int) {
+	t.Helper()
+	st, err := resultstore.Open(loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.Store = st
+	plan, err := PlanSpecs(cfg, ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := plan.Shard(index, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Executor().Execute(units); err != nil {
+		t.Fatal(err)
+	}
+	return planKeys(t, units), plan.Executor().Stats(), len(plan.Units)
+}
+
+// shardedRunCase runs the acceptance scenario for one backend location:
+// two independent shard processes compute disjoint halves of the plan
+// into the shared store, and a third process renders the merged store
+// byte-identically to a single-process run, recomputing nothing.
+func shardedRunCase(t *testing.T, loc string, ids ...string) {
+	// Single-process reference.
+	var ref bytes.Buffer
+	if err := RunSpecs(fastConfig(), &ref, ids...); err != nil {
+		t.Fatal(err)
+	}
+
+	k0, s0, total0 := shardInto(t, loc, 0, 2, ids...)
+	k1, s1, total1 := shardInto(t, loc, 1, 2, ids...)
+	if total0 != total1 || len(k0)+len(k1) != total0 {
+		t.Fatalf("shard sizes %d + %d != plan %d", len(k0), len(k1), total0)
+	}
+	for k := range k0 {
+		if k1[k] {
+			t.Fatalf("unit %+v assigned to both shards", k)
+		}
+	}
+	// Each shard computed exactly its assignment, reusing nothing.
+	if s0.Puts != int64(len(k0)) || s1.Puts != int64(len(k1)) {
+		t.Fatalf("shard puts %d/%d, want %d/%d", s0.Puts, s1.Puts, len(k0), len(k1))
+	}
+
+	// Merge render: a fresh process reads everything from the store.
+	st, err := resultstore.Open(loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.Store = st
+	var merged bytes.Buffer
+	if err := RunSpecs(cfg, &merged, ids...); err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != ref.String() {
+		t.Fatalf("merged render differs from single-process run:\n--- single\n%s\n--- merged\n%s", ref.String(), merged.String())
+	}
+	stats := st.Stats()
+	if stats.Puts != 0 || stats.Misses != 0 {
+		t.Fatalf("merge render recomputed units: %+v", stats)
+	}
+	if stats.Hits == 0 {
+		t.Fatal("merge render reported no hits")
+	}
+}
+
+// TestShardedRunDirBackend is the acceptance criterion over a shared
+// directory store, on a spec mix covering fold-slice, summary and float
+// unit types.
+func TestShardedRunDirBackend(t *testing.T) {
+	shardedRunCase(t, t.TempDir(), SpecTable3, SpecFigure8)
+}
+
+// TestShardedRunHTTPBackend is the same scenario through the remote
+// store protocol: shards and the merge render all talk to a store served
+// over HTTP, as they would to a dtrankd -cache daemon.
+func TestShardedRunHTTPBackend(t *testing.T) {
+	h, err := resultstore.NewHTTPHandler(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/store/", h)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	shardedRunCase(t, ts.URL, SpecTable3, SpecFigure8)
+	if st := h.Stats(); st.Puts == 0 || st.Gets == 0 || st.Rejected != 0 {
+		t.Fatalf("server stats %+v", st)
+	}
+}
+
+// TestPlanCoversExactlyTheComputedUnits is the completeness half of the
+// sharding guarantee across the full spec set: executing the plan leaves
+// a store from which every spec renders without a single recompute, and
+// the plan is no larger than what a direct run computes.
+func TestPlanCoversExactlyTheComputedUnits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline twice in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full pipeline twice under -race")
+	}
+	ids := SpecIDs()
+
+	// Direct run: how many units does rendering actually compute?
+	direct := resultstore.New()
+	cfgA := fastConfig()
+	cfgA.Workers = 8
+	cfgA.Store = direct
+	var ref bytes.Buffer
+	if err := RunSpecs(cfgA, &ref, ids...); err != nil {
+		t.Fatal(err)
+	}
+	computed := direct.Stats().Puts
+
+	// Plan + execute into a fresh store, then render from it.
+	st := resultstore.New()
+	cfgB := fastConfig()
+	cfgB.Workers = 8
+	cfgB.Store = st
+	plan, err := PlanSpecs(cfgB, ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(plan.Units)) != computed {
+		t.Fatalf("plan has %d units, direct run computed %d", len(plan.Units), computed)
+	}
+	if err := plan.Executor().Execute(plan.Units); err != nil {
+		t.Fatal(err)
+	}
+	mid := st.Stats()
+	if mid.Puts != computed {
+		t.Fatalf("execute computed %d units, want %d", mid.Puts, computed)
+	}
+	var out bytes.Buffer
+	if err := RunSpecs(cfgB, &out, ids...); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != ref.String() {
+		t.Fatal("render from executed plan differs from direct run")
+	}
+	// Stats are cumulative: the render phase is the delta past execute,
+	// and it must be hits only.
+	after := st.Stats()
+	if after.Puts != mid.Puts || after.Misses != mid.Misses {
+		t.Fatalf("render after execute recomputed units: %+v -> %+v", mid, after)
+	}
+	if after.Hits == mid.Hits {
+		t.Fatal("render reported no hits")
+	}
+}

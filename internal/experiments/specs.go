@@ -26,14 +26,19 @@ const (
 	SpecAblationSelection  = "ablate-selection"
 )
 
-// Spec is one declarative experiment: an id, a human title, and a run
-// function that computes through the result store and renders to w. Specs
-// carry no method or split knowledge of their own — every cell they
-// render is a store unit keyed (snapshot, spec, method, split, seed).
+// Spec is one declarative experiment: an id, a human title, a run
+// function that computes through the result store and renders to w, and
+// a plan function that enumerates the spec's units without computing
+// them (the PlanSpecs side of the plan/execute pipeline). Both sides
+// consume the same per-spec unit enumerator, so the planned and the
+// rendered unit sets cannot drift. Specs carry no method or split
+// knowledge of their own — every cell they render is a store unit keyed
+// (snapshot, spec, method, split, seed, budget).
 type Spec struct {
 	ID    string
 	Title string
 	run   func(cfg Config, w io.Writer) error
+	plan  func(cfg *Config) ([]Unit, error)
 }
 
 // specs lists every runnable spec in the paper's presentation order,
@@ -51,7 +56,7 @@ var specs = []Spec{
 		}
 		_, err = fmt.Fprintf(w, "%s\n", t2.Render())
 		return err
-	}},
+	}, func(cfg *Config) ([]Unit, error) { return planOf(cfg.familyCVUnits()) }},
 	{SpecFigure6, "Figure 6: rank correlation per benchmark", func(cfg Config, w io.Writer) error {
 		fr, err := RunFamilyCV(cfg)
 		if err != nil {
@@ -63,7 +68,7 @@ var specs = []Spec{
 		}
 		_, err = fmt.Fprintf(w, "%s\n", f6.Render())
 		return err
-	}},
+	}, func(cfg *Config) ([]Unit, error) { return planOf(cfg.familyCVUnits()) }},
 	{SpecFigure7, "Figure 7: top-1 error per benchmark", func(cfg Config, w io.Writer) error {
 		fr, err := RunFamilyCV(cfg)
 		if err != nil {
@@ -75,7 +80,7 @@ var specs = []Spec{
 		}
 		_, err = fmt.Fprintf(w, "%s\n", f7.Render())
 		return err
-	}},
+	}, func(cfg *Config) ([]Unit, error) { return planOf(cfg.familyCVUnits()) }},
 	{SpecTable3, "Table 3: predicting future machines", func(cfg Config, w io.Writer) error {
 		t3, err := RunTable3(cfg)
 		if err != nil {
@@ -83,7 +88,7 @@ var specs = []Spec{
 		}
 		_, err = fmt.Fprintf(w, "%s\n", t3.Render())
 		return err
-	}},
+	}, func(cfg *Config) ([]Unit, error) { return planOf(cfg.table3Units()) }},
 	{SpecTable4, "Table 4: limited predictive sets", func(cfg Config, w io.Writer) error {
 		t4, err := RunTable4(cfg)
 		if err != nil {
@@ -91,7 +96,7 @@ var specs = []Spec{
 		}
 		_, err = fmt.Fprintf(w, "%s\n", t4.Render())
 		return err
-	}},
+	}, func(cfg *Config) ([]Unit, error) { return planOf(cfg.table4Units()) }},
 	{SpecFigure8, "Figure 8: k-medoids vs random machine selection", func(cfg Config, w io.Writer) error {
 		f8, err := RunFigure8(cfg)
 		if err != nil {
@@ -99,7 +104,7 @@ var specs = []Spec{
 		}
 		_, err = fmt.Fprintf(w, "%s\n", f8.Render())
 		return err
-	}},
+	}, func(cfg *Config) ([]Unit, error) { return planOf(cfg.figure8Units()) }},
 	{SpecAblationChars, "Ablation: simulated characterisation failure", func(cfg Config, w io.Writer) error {
 		a, err := RunAblationHonestChars(cfg)
 		if err != nil {
@@ -107,7 +112,7 @@ var specs = []Spec{
 		}
 		_, err = fmt.Fprintf(w, "%s\n", a.Render())
 		return err
-	}},
+	}, func(cfg *Config) ([]Unit, error) { return planOf(cfg.ablationCharsUnits()) }},
 	{SpecAblationDecay, "Ablation: MLP^T learning-rate decay", func(cfg Config, w io.Writer) error {
 		a, err := RunAblationMLPTDecay(cfg)
 		if err != nil {
@@ -115,7 +120,7 @@ var specs = []Spec{
 		}
 		_, err = fmt.Fprintf(w, "%s\n", a.Render())
 		return err
-	}},
+	}, func(cfg *Config) ([]Unit, error) { return planOf(cfg.ablationDecayUnits()) }},
 	{SpecAblationPredictors, "Ablation: transposition model flexibility", func(cfg Config, w io.Writer) error {
 		a, err := RunAblationPredictors(cfg)
 		if err != nil {
@@ -123,7 +128,7 @@ var specs = []Spec{
 		}
 		_, err = fmt.Fprintf(w, "%s\n", a.Render())
 		return err
-	}},
+	}, func(cfg *Config) ([]Unit, error) { return planOf(cfg.ablationPredictorsUnits()) }},
 	{SpecAblationSelection, "Ablation: predictive-machine selection", func(cfg Config, w io.Writer) error {
 		a, err := RunAblationSelection(cfg)
 		if err != nil {
@@ -131,7 +136,7 @@ var specs = []Spec{
 		}
 		_, err = fmt.Fprintf(w, "%s\n", a.Render())
 		return err
-	}},
+	}, func(cfg *Config) ([]Unit, error) { return planOf(cfg.ablationSelectionUnits()) }},
 }
 
 // paperSpecIDs is the RunAll set: every table and figure of the paper's
@@ -166,11 +171,13 @@ func findSpec(id string) (Spec, error) {
 }
 
 // RunSpecs executes the named specs in the given order, sharing one
-// worker pool and one result store across all of them: Figures 6 and 7
-// reuse the family-CV cells Table 2 computed, whether within this run
-// (in memory) or from a previous run (cfg.Store opened on a directory).
-// Output is byte-identical for every worker count and for cold versus
-// warm stores.
+// worker pool, one result store and one synthesised dataset across all
+// of them: Figures 6 and 7 reuse the family-CV cells Table 2 computed,
+// whether within this run (in memory) or from a previous run (cfg.Store
+// opened on a directory or remote URL), and the dataset is generated
+// exactly once per invocation instead of once per spec. Output is
+// byte-identical for every worker count, for cold versus warm stores,
+// and for single-process versus sharded execution.
 func RunSpecs(cfg Config, w io.Writer, ids ...string) error {
 	resolved := make([]Spec, 0, len(ids))
 	for _, id := range ids {
@@ -180,10 +187,13 @@ func RunSpecs(cfg Config, w io.Writer, ids ...string) error {
 		}
 		resolved = append(resolved, s)
 	}
-	// Materialise the pool and store once on this copy; the specs' own
-	// Config copies then share both.
+	// Materialise the pool, store and dataset once on this copy; the
+	// specs' own Config copies then share all three.
 	cfg.eng()
 	cfg.store()
+	if _, _, err := cfg.dataset(); err != nil {
+		return err
+	}
 	for _, s := range resolved {
 		if err := s.run(cfg, w); err != nil {
 			return err

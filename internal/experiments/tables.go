@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/method"
-	"repro/internal/synth"
 	"repro/internal/transpose"
 )
 
@@ -39,37 +38,52 @@ type Table3 struct {
 	Summary map[string]map[string]Summary
 }
 
-// RunTable3 executes the §6.3 experiment. Every (method, split) cell is
-// one result-store unit; cells and their folds fan out on the configured
-// worker pool and are assembled in the paper's order afterwards.
-func RunTable3(cfg Config) (*Table3, error) {
-	data, err := synth.Generate(cfg.synthOptions())
+// table3Units enumerates Table 3's units: one per (method, split) cell,
+// method-major, split-minor.
+func (c *Config) table3Units() ([]unitSpec[Summary], error) {
+	data, fp, err := c.dataset()
 	if err != nil {
 		return nil, err
 	}
 	order := data.Matrix.Benchmarks
-	eng := cfg.eng()
-	st := cfg.store()
-	fp := datasetFingerprint(data)
-	methods := cfg.Methods()
-	cells, err := engine.Collect(eng, len(methods)*len(Table3Splits), func(i int) (Summary, error) {
-		m, split := methods[i/len(Table3Splits)], Table3Splits[i%len(Table3Splits)]
-		key := cfg.unitKey(fp, SpecTable3, m.Name, split)
-		return storeUnit(st, key, func() (Summary, error) {
-			keep, err := splitKeep(split)
-			if err != nil {
-				return Summary{}, err
-			}
-			rs, err := transpose.YearCV(eng, data.Matrix, data.Characteristics, TargetYear, keep, split, m.New)
-			if err != nil {
-				return Summary{}, fmt.Errorf("experiments: Table 3 %s/%s: %w", m.Name, split, err)
-			}
-			return summarize(rs, order)
-		})
-	})
+	eng := c.eng()
+	methods := c.Methods()
+	units := make([]unitSpec[Summary], 0, len(methods)*len(Table3Splits))
+	for _, m := range methods {
+		for _, split := range Table3Splits {
+			m, split := m, split
+			units = append(units, unitSpec[Summary]{
+				key: c.unitKey(fp, SpecTable3, m.Name, split),
+				compute: func() (Summary, error) {
+					keep, err := splitKeep(split)
+					if err != nil {
+						return Summary{}, err
+					}
+					rs, err := transpose.YearCV(eng, data.Matrix, data.Characteristics, TargetYear, keep, split, m.New)
+					if err != nil {
+						return Summary{}, fmt.Errorf("experiments: Table 3 %s/%s: %w", m.Name, split, err)
+					}
+					return summarize(rs, order)
+				},
+			})
+		}
+	}
+	return units, nil
+}
+
+// RunTable3 executes the §6.3 experiment. Every (method, split) cell is
+// one result-store unit; cells and their folds fan out on the configured
+// worker pool and are assembled in the paper's order afterwards.
+func RunTable3(cfg Config) (*Table3, error) {
+	units, err := cfg.table3Units()
 	if err != nil {
 		return nil, err
 	}
+	cells, err := collectUnits(&cfg, units)
+	if err != nil {
+		return nil, err
+	}
+	methods := cfg.Methods()
 	out := &Table3{Methods: MethodNames, Splits: Table3Splits, Summary: map[string]map[string]Summary{}}
 	for i, s := range cells {
 		name := methods[i/len(Table3Splits)].Name
@@ -120,55 +134,88 @@ type Table4 struct {
 	Draws   int
 }
 
-// RunTable4 executes the §6.4 experiment for the two data-transposition
-// methods (the paper's Table 4 reports MLPᵀ and NNᵀ).
+// table4Methods lists the §6.4 methods (the paper's Table 4 reports MLPᵀ
+// and NNᵀ).
+var table4Methods = []string{method.MLPT, method.NNT}
+
+// table4Draws caps the subset-draw average: the paper does not specify
+// averaging; a single unlucky 3-machine draw is meaningless, so a handful
+// are averaged.
+func (c Config) table4Draws() int {
+	if d := c.draws(); d <= 10 {
+		return d
+	}
+	return 10
+}
+
+// table4Units enumerates Table 4's units: one per (method, size, draw),
+// method-major, then size, then draw. Each draw owns a PRNG seeded from
+// (Seed, size, draw), so draws fan out without sharing a sequential
+// random stream.
+func (c *Config) table4Units() ([]unitSpec[[]transpose.FoldResult], error) {
+	data, fp, err := c.dataset()
+	if err != nil {
+		return nil, err
+	}
+	draws := c.table4Draws()
+	keep2008 := func(y int) bool { return y == 2008 }
+	eng := c.eng()
+	seed := c.Seed
+	var units []unitSpec[[]transpose.FoldResult]
+	for _, name := range table4Methods {
+		m, err := c.method(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range Table4Sizes {
+			for d := 0; d < draws; d++ {
+				m, size, d := m, size, d
+				label := fmt.Sprintf("2008/%d#%d", size, d)
+				units = append(units, unitSpec[[]transpose.FoldResult]{
+					key: c.unitKey(fp, SpecTable4, m.Name, label),
+					compute: func() ([]transpose.FoldResult, error) {
+						rng := rand.New(rand.NewSource(engine.Seed(seed, int64(size), int64(d))))
+						rs, err := transpose.SubsetCV(eng, data.Matrix, data.Characteristics, TargetYear, keep2008,
+							transpose.RandomSubset(size, rng), label, m.New)
+						if err != nil {
+							return nil, fmt.Errorf("experiments: Table 4 %s size %d: %w", m.Name, size, err)
+						}
+						return rs, nil
+					},
+				})
+			}
+		}
+	}
+	return units, nil
+}
+
+// RunTable4 executes the §6.4 experiment: every (method, size, draw) is
+// one result-store unit, all fanned out together on the worker pool and
+// reduced per (method, size) in draw order afterwards.
 func RunTable4(cfg Config) (*Table4, error) {
-	data, err := synth.Generate(cfg.synthOptions())
+	units, err := cfg.table4Units()
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := cfg.dataset()
+	if err != nil {
+		return nil, err
+	}
+	vals, err := collectUnits(&cfg, units)
 	if err != nil {
 		return nil, err
 	}
 	order := data.Matrix.Benchmarks
-	draws := cfg.draws()
-	// Table 4 subset draws: the paper does not specify averaging; a single
-	// unlucky 3-machine draw is meaningless, so we average a handful.
-	if draws > 10 {
-		draws = 10
-	}
-	methods := []string{method.MLPT, method.NNT}
-	out := &Table4{Methods: methods, Sizes: Table4Sizes, Summary: map[string]map[int]Summary{}, Draws: draws}
-	keep2008 := func(y int) bool { return y == 2008 }
-	eng := cfg.eng()
-	st := cfg.store()
-	fp := datasetFingerprint(data)
-	for _, name := range methods {
-		m, err := cfg.method(name)
-		if err != nil {
-			return nil, err
-		}
+	draws := cfg.table4Draws()
+	out := &Table4{Methods: table4Methods, Sizes: Table4Sizes, Summary: map[string]map[int]Summary{}, Draws: draws}
+	i := 0
+	for _, name := range table4Methods {
 		out.Summary[name] = map[int]Summary{}
 		for _, size := range Table4Sizes {
-			// Each draw owns a PRNG seeded from (Seed, size, draw), so
-			// draws fan out without sharing a sequential random stream,
-			// and each is one result-store unit.
-			perDraw, err := engine.Collect(eng, draws, func(d int) ([]transpose.FoldResult, error) {
-				label := fmt.Sprintf("2008/%d#%d", size, d)
-				key := cfg.unitKey(fp, SpecTable4, m.Name, label)
-				return storeUnit(st, key, func() ([]transpose.FoldResult, error) {
-					rng := rand.New(rand.NewSource(engine.Seed(cfg.Seed, int64(size), int64(d))))
-					rs, err := transpose.SubsetCV(eng, data.Matrix, data.Characteristics, TargetYear, keep2008,
-						transpose.RandomSubset(size, rng), label, m.New)
-					if err != nil {
-						return nil, fmt.Errorf("experiments: Table 4 %s size %d: %w", name, size, err)
-					}
-					return rs, nil
-				})
-			})
-			if err != nil {
-				return nil, err
-			}
 			var all []transpose.FoldResult
-			for _, rs := range perDraw {
-				all = append(all, rs...)
+			for d := 0; d < draws; d++ {
+				all = append(all, vals[i]...)
+				i++
 			}
 			s, err := summarize(all, order)
 			if err != nil {

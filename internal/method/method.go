@@ -26,6 +26,7 @@ const (
 	MLPT  = "MLP^T"
 	SPLT  = "SPL^T"
 	GAKNN = "GA-kNN"
+	KNNM  = "kNN^M"
 )
 
 // Options tunes predictor construction beyond the seed. The zero value is
@@ -88,7 +89,10 @@ func (d Descriptor) NewWith(base int64, o Options) transpose.Predictor {
 
 // registry lists the methods in presentation order: the paper's column
 // order (NNᵀ, MLPᵀ, GA-kNN) with the SPLᵀ extension after the
-// transposition pair it belongs to.
+// transposition pair it belongs to and the kNNᴹ machine-space baseline
+// last. Only Compared methods appear in the paper's tables; the
+// extensions are still served, serialized and comparable everywhere
+// else.
 var registry = []Descriptor{
 	{
 		Name:        NNT,
@@ -141,6 +145,15 @@ var registry = []Descriptor{
 			// (nil means the process-wide default).
 			p.GA.Pool = o.Pool
 			return p
+		},
+	},
+	{
+		Name:        KNNM,
+		Aliases:     []string{"knnm", "knn"},
+		CodecKind:   "knnm",
+		FreshScores: true,
+		make: func(int64, Options) transpose.Predictor {
+			return transpose.NewKNNM()
 		},
 	},
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func TestNamesAndOrder(t *testing.T) {
-	want := []string{NNT, MLPT, SPLT, GAKNN}
+	want := []string{NNT, MLPT, SPLT, GAKNN, KNNM}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
@@ -23,6 +23,7 @@ func TestAliasesResolve(t *testing.T) {
 	for alias, want := range map[string]string{
 		"nnt": NNT, "NN^T": NNT, "MLPT": MLPT, "mlp^t": MLPT,
 		"spl^t": SPLT, "SPLT": SPLT, "GaKnn": GAKNN, "ga-knn": GAKNN,
+		"knnm": KNNM, "kNN^M": KNNM, "KNN": KNNM,
 	} {
 		got, err := Canonical(alias)
 		if err != nil || got != want {
@@ -50,7 +51,7 @@ func TestUnknownNameListsEveryMethod(t *testing.T) {
 // convention: MLPᵀ draws seed+1, GA-kNN seed+2, and the deterministic
 // methods ignore the seed entirely.
 func TestSeedOffsetConvention(t *testing.T) {
-	offsets := map[string]int64{NNT: 0, MLPT: 1, SPLT: 0, GAKNN: 2}
+	offsets := map[string]int64{NNT: 0, MLPT: 1, SPLT: 0, GAKNN: 2, KNNM: 0}
 	for _, d := range All() {
 		if d.SeedOffset != offsets[d.Name] {
 			t.Fatalf("%s: seed offset %d, want %d", d.Name, d.SeedOffset, offsets[d.Name])
@@ -148,7 +149,7 @@ func TestListMatchesRegistry(t *testing.T) {
 }
 
 func TestCapabilityFlags(t *testing.T) {
-	fresh := map[string]bool{NNT: true, SPLT: true}
+	fresh := map[string]bool{NNT: true, SPLT: true, KNNM: true}
 	chars := map[string]bool{GAKNN: true}
 	for _, d := range All() {
 		if d.FreshScores != fresh[d.Name] {

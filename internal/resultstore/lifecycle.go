@@ -1,0 +1,174 @@
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// EntryInfo describes one persisted entry of a directory store, as
+// reported by ScanDir. Damaged entries carry a non-nil Err and a
+// zero-valued Key.
+type EntryInfo struct {
+	// Stem is the entry's file stem (file name minus the .dtr extension).
+	Stem string
+	// Key is the unit key embedded in the entry (zero when Err != nil).
+	Key Key
+	// Size is the entry file size in bytes.
+	Size int64
+	// ModTime is the entry file's modification time (its write time:
+	// entries are written once and never updated in place).
+	ModTime time.Time
+	// Err reports why the entry failed verification, nil for healthy
+	// entries.
+	Err error
+}
+
+// ScanDir reads and verifies every store entry under dir, in stem order.
+// Verification covers the full frame — magic, version, checksum — plus
+// the stem/key binding, so a clean scan guarantees every entry would be
+// served. Files that are not store entries (other extensions, e.g. a
+// dtrankd model registry sharing the directory) are ignored.
+func ScanDir(dir string) ([]EntryInfo, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	var out []EntryInfo
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, entryExt) {
+			continue
+		}
+		info := EntryInfo{Stem: strings.TrimSuffix(name, entryExt)}
+		fi, err := de.Info()
+		if err != nil {
+			info.Err = err
+			out = append(out, info)
+			continue
+		}
+		info.Size, info.ModTime = fi.Size(), fi.ModTime()
+		blob, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			info.Err = err
+			out = append(out, info)
+			continue
+		}
+		key, _, err := ReadEntryKey(blob)
+		if err != nil {
+			info.Err = err
+		} else if key.Stem() != info.Stem {
+			info.Err = fmt.Errorf("resultstore: entry key hashes to stem %s, not %s", key.Stem(), info.Stem)
+		} else {
+			info.Key = key
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stem < out[j].Stem })
+	return out, nil
+}
+
+// PruneOptions selects what Prune removes. At least one of KeepSnapshots
+// or MaxAge must be set; damaged entries are removed under any options
+// (they can only ever cost a recompute).
+type PruneOptions struct {
+	// KeepSnapshots keeps the N most recently written snapshot
+	// fingerprints and removes every entry of older ones. 0 means no
+	// snapshot-count bound.
+	KeepSnapshots int
+	// MaxAge removes every entry of snapshots whose newest entry is older
+	// than this. 0 means no age bound.
+	MaxAge time.Duration
+	// DryRun reports what would be removed without deleting anything.
+	DryRun bool
+}
+
+// PruneResult summarises one Prune run.
+type PruneResult struct {
+	// KeptEntries and RemovedEntries count healthy entries.
+	KeptEntries, RemovedEntries int
+	// RemovedDamaged counts damaged entries removed.
+	RemovedDamaged int
+	// KeptSnapshots and RemovedSnapshots count snapshot fingerprints.
+	KeptSnapshots, RemovedSnapshots int
+	// FreedBytes sums the sizes of removed files.
+	FreedBytes int64
+}
+
+// Prune removes store entries under dir by snapshot-fingerprint age: a
+// snapshot's age is the write time of its newest entry, so an actively
+// reused snapshot never ages out mid-run. Entries are removed whole
+// snapshots at a time — a snapshot with any entry removed would force a
+// full recompute anyway. now is the reference time for MaxAge.
+func Prune(dir string, now time.Time, opts PruneOptions) (PruneResult, error) {
+	if opts.KeepSnapshots <= 0 && opts.MaxAge <= 0 {
+		return PruneResult{}, fmt.Errorf("resultstore: prune needs a snapshot-count or age bound")
+	}
+	entries, err := ScanDir(dir)
+	if err != nil {
+		return PruneResult{}, err
+	}
+	var res PruneResult
+	remove := func(e EntryInfo) error {
+		res.FreedBytes += e.Size
+		if opts.DryRun {
+			return nil
+		}
+		if err := os.Remove(filepath.Join(dir, e.Stem+entryExt)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("resultstore: %w", err)
+		}
+		return nil
+	}
+
+	bySnapshot := map[string][]EntryInfo{}
+	newest := map[string]time.Time{}
+	for _, e := range entries {
+		if e.Err != nil {
+			res.RemovedDamaged++
+			if err := remove(e); err != nil {
+				return res, err
+			}
+			continue
+		}
+		snap := e.Key.Snapshot
+		bySnapshot[snap] = append(bySnapshot[snap], e)
+		if e.ModTime.After(newest[snap]) {
+			newest[snap] = e.ModTime
+		}
+	}
+
+	snaps := make([]string, 0, len(bySnapshot))
+	for s := range bySnapshot {
+		snaps = append(snaps, s)
+	}
+	// Newest first; ties broken by fingerprint for determinism.
+	sort.Slice(snaps, func(i, j int) bool {
+		a, b := newest[snaps[i]], newest[snaps[j]]
+		if !a.Equal(b) {
+			return a.After(b)
+		}
+		return snaps[i] < snaps[j]
+	})
+	for rank, snap := range snaps {
+		drop := opts.KeepSnapshots > 0 && rank >= opts.KeepSnapshots
+		if opts.MaxAge > 0 && now.Sub(newest[snap]) > opts.MaxAge {
+			drop = true
+		}
+		if !drop {
+			res.KeptSnapshots++
+			res.KeptEntries += len(bySnapshot[snap])
+			continue
+		}
+		res.RemovedSnapshots++
+		for _, e := range bySnapshot[snap] {
+			res.RemovedEntries++
+			if err := remove(e); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// seedDir writes one entry per key into a fresh dir store and returns the
+// directory.
+func seedDir(t *testing.T, keys ...Key) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if err := s.Put(k, payload{Name: k.Spec, Values: []float64{1}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func snapKey(snapshot, spec string) Key {
+	return Key{Snapshot: snapshot, Spec: spec, Method: "NN^T", Split: "s", Seed: 1}
+}
+
+func TestScanDirReportsEntriesAndDamage(t *testing.T) {
+	dir := seedDir(t, snapKey("snap-a", "table2"), snapKey("snap-a", "table3"), snapKey("snap-b", "table2"))
+	// A foreign .dtr file and a non-store file share the directory.
+	if err := os.WriteFile(filepath.Join(dir, "deadbeefdeadbeefdeadbeef.dtr"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	healthy, damaged := 0, 0
+	for _, e := range entries {
+		if e.Err != nil {
+			damaged++
+			continue
+		}
+		healthy++
+		if e.Key.Stem() != e.Stem || e.Size <= 0 || e.ModTime.IsZero() {
+			t.Fatalf("entry %+v", e)
+		}
+	}
+	if healthy != 3 || damaged != 1 {
+		t.Fatalf("healthy=%d damaged=%d", healthy, damaged)
+	}
+	// A planted stale entry (valid frame, wrong stem) is reported damaged.
+	src := snapKey("snap-a", "table2")
+	blob, err := os.ReadFile(filepath.Join(dir, src.Stem()+entryExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "0123456789abcdef01234567.dtr"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged = 0
+	for _, e := range entries {
+		if e.Err != nil {
+			damaged++
+		}
+	}
+	if damaged != 2 {
+		t.Fatalf("stale entry not flagged: damaged=%d", damaged)
+	}
+}
+
+func TestPruneKeepLatestSnapshots(t *testing.T) {
+	dir := seedDir(t,
+		snapKey("snap-old", "table2"), snapKey("snap-old", "table3"),
+		snapKey("snap-mid", "table2"),
+		snapKey("snap-new", "table2"),
+	)
+	// Age the snapshots apart via mtimes: old < mid < new.
+	now := time.Now()
+	age := func(snapshot string, d time.Duration) {
+		for _, spec := range []string{"table2", "table3"} {
+			k := snapKey(snapshot, spec)
+			p := filepath.Join(dir, k.Stem()+entryExt)
+			if _, err := os.Stat(p); err != nil {
+				continue
+			}
+			if err := os.Chtimes(p, now.Add(-d), now.Add(-d)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	age("snap-old", 72*time.Hour)
+	age("snap-mid", 48*time.Hour)
+	age("snap-new", time.Hour)
+
+	// Dry run deletes nothing.
+	res, err := Prune(dir, now, PruneOptions{KeepSnapshots: 1, DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedSnapshots != 2 || res.RemovedEntries != 3 || res.KeptEntries != 1 {
+		t.Fatalf("dry-run result %+v", res)
+	}
+	if entries, _ := ScanDir(dir); len(entries) != 4 {
+		t.Fatalf("dry run deleted entries: %d left", len(entries))
+	}
+
+	res, err = Prune(dir, now, PruneOptions{KeepSnapshots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedSnapshots != 1 || res.RemovedEntries != 2 || res.KeptSnapshots != 2 || res.FreedBytes <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	entries, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Key.Snapshot == "snap-old" {
+			t.Fatal("snap-old survived prune")
+		}
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d entries left", len(entries))
+	}
+}
+
+func TestPruneByAgeAndDamage(t *testing.T) {
+	dir := seedDir(t, snapKey("snap-a", "table2"), snapKey("snap-b", "table2"))
+	now := time.Now()
+	old := snapKey("snap-a", "table2")
+	p := filepath.Join(dir, old.Stem()+entryExt)
+	if err := os.Chtimes(p, now.Add(-48*time.Hour), now.Add(-48*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "deadbeefdeadbeefdeadbeef.dtr"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Prune(dir, now, PruneOptions{MaxAge: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedSnapshots != 1 || res.RemovedEntries != 1 || res.RemovedDamaged != 1 || res.KeptEntries != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	entries, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Key.Snapshot != "snap-b" {
+		t.Fatalf("entries %+v", entries)
+	}
+}
+
+func TestPruneRequiresACriterion(t *testing.T) {
+	if _, err := Prune(t.TempDir(), time.Now(), PruneOptions{}); err == nil {
+		t.Fatal("want criterion error")
+	}
+}

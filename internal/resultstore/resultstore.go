@@ -1,22 +1,36 @@
 // Package resultstore is the content-addressed store for experiment unit
 // results. Every cell of a table, point of a figure and variant of an
 // ablation is computed as one unit addressed by the tuple
-// (snapshot fingerprint, spec id, method, split, seed); its result is
-// persisted as a small CRC-checked file, so re-running the evaluation
+// (snapshot fingerprint, spec id, method, split, seed, budget); its result
+// is persisted as a small CRC-checked entry, so re-running the evaluation
 // recomputes only units whose inputs changed and a warm run serves every
 // previously computed cell from the store.
 //
-// The store is two-level: an in-memory byte cache (always on, shared by
-// the specs of one run — Figures 6 and 7 reuse the family-CV units Table 2
-// computed) and an optional on-disk directory for persistence across
-// processes. Damaged entries — truncated files, checksum mismatches,
-// entries whose recorded key does not match the requested one (a stale or
-// foreign file under a colliding name) — are treated as misses and
-// recomputed, never served.
+// The store sits behind the Store interface with three backends:
 //
-// The directory holds one file per unit plus nothing else, so it can
+//   - New returns the in-memory store (no persistence): the cache that
+//     lets one run's specs share units — Figures 6 and 7 reuse the
+//     family-CV units Table 2 computed.
+//   - Open on a directory persists entries as one file per unit, so runs
+//     are resumable across processes and the directory is the merge
+//     point of sharded runs.
+//   - Open on an http:// or https:// URL talks to a remote store served
+//     by NewHTTPHandler (mounted by dtrankd under /v1/store/), so shards
+//     on different machines merge through one daemon.
+//
+// Every backend carries the same in-memory byte cache in front, and every
+// persisted entry travels in the same framed wire format (EncodeEntry).
+// Damaged entries — truncated blobs, checksum mismatches, entries whose
+// recorded key does not match the requested one (a stale or foreign blob
+// under a colliding name) — are treated as misses and recomputed, never
+// served; the HTTP server additionally rejects them at PUT time.
+//
+// A store directory holds one file per unit plus nothing else, so it can
 // share a directory with a dtrankd model registry (index.json + *.dtm):
-// the two subsystems use disjoint file names.
+// the two subsystems use disjoint file names. A directory served by
+// dtrankd's /v1/store/ endpoints is interchangeable with the same
+// directory opened locally — shards may write over HTTP and the final
+// render may read the directory directly, or vice versa.
 package resultstore
 
 import (
@@ -31,6 +45,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -58,15 +73,36 @@ type Key struct {
 	Budget string `json:"budget,omitempty"`
 }
 
-// fileStem derives the entry file name of a key: a content hash, so names
-// are filesystem-safe regardless of family and split spellings.
-func (k Key) fileStem() string {
+// Stem derives the entry name of a key: a content hash, so names are
+// filesystem- and URL-safe regardless of family and split spellings. It
+// is the file stem of directory entries and the path element of HTTP
+// store requests.
+func (k Key) Stem() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%q/%q/%q/%q/%d/%q", k.Snapshot, k.Spec, k.Method, k.Split, k.Seed, k.Budget)
-	return hex.EncodeToString(h.Sum(nil))[:24]
+	return hex.EncodeToString(h.Sum(nil))[:stemLen]
 }
 
-// The entry wire format:
+// stemLen is the length of an entry stem in hex characters.
+const stemLen = 24
+
+// validStem reports whether s has the exact shape Stem produces — the
+// HTTP server uses it to reject path-traversal and foreign names before
+// touching the filesystem.
+func validStem(s string) bool {
+	if len(s) != stemLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// The entry wire format, shared by the directory and HTTP backends:
 //
 //	magic   [8]byte  "DTRKRSLT"
 //	version uint16   entryVersion (little endian)
@@ -77,147 +113,22 @@ func (k Key) fileStem() string {
 //	crc     uint32   IEEE CRC-32 of key + payload
 //
 // The embedded key makes serving a wrong entry impossible even under file
-// renames or hash collisions: Get rejects any entry whose recorded key is
-// not exactly the requested one.
+// renames or hash collisions: readers reject any entry whose recorded key
+// is not exactly the requested one, and the HTTP server rejects any PUT
+// whose recorded key does not hash to the requested stem.
 const (
 	entryMagic   = "DTRKRSLT"
 	entryVersion = 1
 )
 
-// Stats is a point-in-time counter snapshot.
-type Stats struct {
-	// Hits counts Gets served from memory or disk.
-	Hits int64 `json:"hits"`
-	// Misses counts Gets that found no usable entry.
-	Misses int64 `json:"misses"`
-	// Puts counts stored results (one per computed unit).
-	Puts int64 `json:"puts"`
-	// Corrupt counts on-disk entries rejected as damaged or stale.
-	Corrupt int64 `json:"corrupt"`
-}
+// entryExt is the file extension of persisted entries.
+const entryExt = ".dtr"
 
-// Store is a concurrency-safe unit-result store. The zero value is not
-// usable; construct with New or Open.
-type Store struct {
-	dir string
-
-	mu  sync.Mutex
-	mem map[Key][]byte
-
-	hits    atomic.Int64
-	misses  atomic.Int64
-	puts    atomic.Int64
-	corrupt atomic.Int64
-}
-
-// New returns an in-memory store (no persistence): the cache that lets
-// one run's specs share units.
-func New() *Store {
-	return &Store{mem: map[Key][]byte{}}
-}
-
-// Open returns a store persisted under dir, creating the directory when
-// absent.
-func Open(dir string) (*Store, error) {
-	if dir == "" {
-		return New(), nil
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("resultstore: %w", err)
-	}
-	s := New()
-	s.dir = dir
-	return s, nil
-}
-
-// Dir returns the store's directory ("" for in-memory stores).
-func (s *Store) Dir() string { return s.dir }
-
-// Stats returns a counter snapshot.
-func (s *Store) Stats() Stats {
-	return Stats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Puts:    s.puts.Load(),
-		Corrupt: s.corrupt.Load(),
-	}
-}
-
-// Get looks key up and, when found, gob-decodes the stored result into v
-// (which must be a pointer to the type that was Put). Damaged or stale
-// disk entries count as misses and are never decoded into v.
-func (s *Store) Get(key Key, v any) (bool, error) {
-	s.mu.Lock()
-	blob, ok := s.mem[key]
-	s.mu.Unlock()
-	fromDisk := false
-	if !ok && s.dir != "" {
-		disk, err := s.readEntry(key)
-		if err != nil {
-			// A damaged entry costs a recompute, never fails the run.
-			s.corrupt.Add(1)
-		} else if disk != nil {
-			blob, ok, fromDisk = disk, true, true
-		}
-	}
-	if !ok {
-		s.misses.Add(1)
-		return false, nil
-	}
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(v); err != nil {
-		if fromDisk {
-			// The framing verified but the payload schema did not (e.g. a
-			// result type changed without an entryVersion bump): treat it
-			// like any other damaged entry and recompute.
-			s.corrupt.Add(1)
-			s.misses.Add(1)
-			return false, nil
-		}
-		return false, fmt.Errorf("resultstore: decoding %s/%s/%s result: %w", key.Spec, key.Method, key.Split, err)
-	}
-	if fromDisk {
-		s.mu.Lock()
-		s.mem[key] = blob
-		s.mu.Unlock()
-	}
-	s.hits.Add(1)
-	return true, nil
-}
-
-// Put stores v under key (gob-encoded), persisting it when the store has
-// a directory. When out is non-nil the canonical stored bytes are decoded
-// back into it, so the caller continues with exactly the value a later
-// warm run will read — cold and warm runs render identical output by
-// construction.
-func (s *Store) Put(key Key, v, out any) error {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
-		return fmt.Errorf("resultstore: encoding %s/%s/%s result: %w", key.Spec, key.Method, key.Split, err)
-	}
-	blob := payload.Bytes()
-	s.mu.Lock()
-	s.mem[key] = blob
-	s.mu.Unlock()
-	s.puts.Add(1)
-	if s.dir != "" {
-		if err := s.writeEntry(key, blob); err != nil {
-			return err
-		}
-	}
-	if out != nil {
-		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(out); err != nil {
-			return fmt.Errorf("resultstore: round-tripping %s/%s/%s result: %w", key.Spec, key.Method, key.Split, err)
-		}
-	}
-	return nil
-}
-
-// writeEntry persists one encoded result atomically (temp file + rename),
-// so a crashed run never leaves a half-written entry under a valid name.
-func (s *Store) writeEntry(key Key, payload []byte) error {
+// EncodeEntry frames a gob payload as one wire entry for key.
+func EncodeEntry(key Key, payload []byte) ([]byte, error) {
 	keyJSON, err := json.Marshal(key)
 	if err != nil {
-		return fmt.Errorf("resultstore: encoding key: %w", err)
+		return nil, fmt.Errorf("resultstore: encoding key: %w", err)
 	}
 	crc := crc32.NewIEEE()
 	crc.Write(keyJSON)
@@ -231,88 +142,77 @@ func (s *Store) writeEntry(key Key, payload []byte) error {
 	binary.Write(&buf, binary.LittleEndian, uint64(len(payload)))
 	buf.Write(payload)
 	binary.Write(&buf, binary.LittleEndian, crc.Sum32())
-
-	f, err := os.CreateTemp(s.dir, "result-*.tmp")
-	if err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
-	_, err = f.Write(buf.Bytes())
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(f.Name(), filepath.Join(s.dir, key.fileStem()+".dtr"))
-	}
-	if err != nil {
-		os.Remove(f.Name())
-		return fmt.Errorf("resultstore: writing entry: %w", err)
-	}
-	return nil
+	return buf.Bytes(), nil
 }
 
-// readEntry loads and verifies one on-disk entry. It returns (nil, nil)
-// when the entry does not exist, and an error for any damaged, foreign,
-// version-skewed or key-mismatched file — all of which the caller treats
-// as a recomputable miss.
-func (s *Store) readEntry(key Key) ([]byte, error) {
-	blob, err := os.ReadFile(filepath.Join(s.dir, key.fileStem()+".dtr"))
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, err
-	}
+// ReadEntryKey verifies an entry's framing (magic, version, lengths,
+// checksum) and returns the embedded key and gob payload. It does not
+// check the key against any expectation — use DecodeEntry when serving a
+// specific requested key.
+func ReadEntryKey(blob []byte) (Key, []byte, error) {
 	r := bytes.NewReader(blob)
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("resultstore: truncated entry header: %w", err)
+		return Key{}, nil, fmt.Errorf("resultstore: truncated entry header: %w", err)
 	}
 	if string(magic[:]) != entryMagic {
-		return nil, fmt.Errorf("resultstore: not a result entry (magic %q)", magic[:])
+		return Key{}, nil, fmt.Errorf("resultstore: not a result entry (magic %q)", magic[:])
 	}
 	var version uint16
 	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("resultstore: reading entry version: %w", err)
+		return Key{}, nil, fmt.Errorf("resultstore: reading entry version: %w", err)
 	}
 	if version != entryVersion {
-		return nil, fmt.Errorf("resultstore: entry format version %d, this build reads %d", version, entryVersion)
+		return Key{}, nil, fmt.Errorf("resultstore: entry format version %d, this build reads %d", version, entryVersion)
 	}
 	var keyLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &keyLen); err != nil {
-		return nil, fmt.Errorf("resultstore: reading key length: %w", err)
+		return Key{}, nil, fmt.Errorf("resultstore: reading key length: %w", err)
 	}
 	const maxEntry = 1 << 30
 	if int64(keyLen) > maxEntry {
-		return nil, fmt.Errorf("resultstore: key of %d bytes exceeds the %d limit", keyLen, maxEntry)
+		return Key{}, nil, fmt.Errorf("resultstore: key of %d bytes exceeds the %d limit", keyLen, maxEntry)
 	}
 	keyJSON := make([]byte, keyLen)
 	if _, err := io.ReadFull(r, keyJSON); err != nil {
-		return nil, fmt.Errorf("resultstore: truncated key: %w", err)
+		return Key{}, nil, fmt.Errorf("resultstore: truncated key: %w", err)
 	}
 	var payLen uint64
 	if err := binary.Read(r, binary.LittleEndian, &payLen); err != nil {
-		return nil, fmt.Errorf("resultstore: reading payload length: %w", err)
+		return Key{}, nil, fmt.Errorf("resultstore: reading payload length: %w", err)
 	}
 	if payLen > maxEntry {
-		return nil, fmt.Errorf("resultstore: payload of %d bytes exceeds the %d limit", payLen, maxEntry)
+		return Key{}, nil, fmt.Errorf("resultstore: payload of %d bytes exceeds the %d limit", payLen, maxEntry)
 	}
 	payload := make([]byte, payLen)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("resultstore: truncated payload: %w", err)
+		return Key{}, nil, fmt.Errorf("resultstore: truncated payload: %w", err)
 	}
 	var wantCRC uint32
 	if err := binary.Read(r, binary.LittleEndian, &wantCRC); err != nil {
-		return nil, fmt.Errorf("resultstore: reading checksum: %w", err)
+		return Key{}, nil, fmt.Errorf("resultstore: reading checksum: %w", err)
 	}
 	crc := crc32.NewIEEE()
 	crc.Write(keyJSON)
 	crc.Write(payload)
 	if got := crc.Sum32(); got != wantCRC {
-		return nil, fmt.Errorf("resultstore: entry checksum mismatch (%08x != %08x): corrupted entry", got, wantCRC)
+		return Key{}, nil, fmt.Errorf("resultstore: entry checksum mismatch (%08x != %08x): corrupted entry", got, wantCRC)
 	}
 	var stored Key
 	if err := json.Unmarshal(keyJSON, &stored); err != nil {
-		return nil, fmt.Errorf("resultstore: decoding entry key: %w", err)
+		return Key{}, nil, fmt.Errorf("resultstore: decoding entry key: %w", err)
+	}
+	return stored, payload, nil
+}
+
+// DecodeEntry verifies one wire entry against the requested key and
+// returns its gob payload. Any damaged, foreign, version-skewed or
+// key-mismatched blob is an error — callers treat it as a recomputable
+// miss.
+func DecodeEntry(key Key, blob []byte) ([]byte, error) {
+	stored, payload, err := ReadEntryKey(blob)
+	if err != nil {
+		return nil, err
 	}
 	if stored != key {
 		// A stale or foreign entry under this name (e.g. an old snapshot
@@ -320,4 +220,232 @@ func (s *Store) readEntry(key Key) ([]byte, error) {
 		return nil, fmt.Errorf("resultstore: entry key %+v does not match requested %+v", stored, key)
 	}
 	return payload, nil
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits counts Gets served from memory or the backend.
+	Hits int64 `json:"hits"`
+	// Misses counts Gets that found no usable entry.
+	Misses int64 `json:"misses"`
+	// Puts counts stored results (one per computed unit).
+	Puts int64 `json:"puts"`
+	// Corrupt counts backend entries rejected as damaged or stale, plus
+	// backend reads that failed outright (I/O or transport errors) —
+	// either way the unit is recomputed, never served wrong.
+	Corrupt int64 `json:"corrupt"`
+}
+
+// Store is a concurrency-safe unit-result store: the merge point of the
+// experiment pipeline. Get and Put move gob-encoded values; Stats reports
+// traffic counters; Location names the backing ("" for memory-only, a
+// directory path, or a remote URL).
+type Store interface {
+	// Get looks key up and, when found, gob-decodes the stored result
+	// into v (a pointer to the type that was Put). Damaged or stale
+	// backend entries count as misses and are never decoded into v.
+	Get(key Key, v any) (bool, error)
+	// Put stores v under key (gob-encoded), persisting it when the store
+	// has a backend. When out is non-nil the canonical stored bytes are
+	// decoded back into it, so the caller continues with exactly the
+	// value a later warm run will read.
+	Put(key Key, v, out any) error
+	// Stats returns a counter snapshot.
+	Stats() Stats
+	// Location identifies the backend: "" for in-memory stores, the
+	// directory path for directory stores, the base URL for remote
+	// stores.
+	Location() string
+}
+
+// backend persists framed entries under stems. load returns (nil, nil)
+// for an absent entry; any error is treated by the cache as a corrupt
+// (recomputable) miss, so a flaky backend degrades to recomputation
+// rather than failing the run. store errors do fail the run — a shard
+// that cannot publish results must not pretend it did.
+type backend interface {
+	load(key Key) ([]byte, error)
+	store(key Key, entry []byte) error
+	location() string
+}
+
+// cache is the one concrete Store: an in-memory byte cache in front of an
+// optional backend.
+type cache struct {
+	backend backend
+
+	mu  sync.Mutex
+	mem map[Key][]byte
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	puts    atomic.Int64
+	corrupt atomic.Int64
+}
+
+// New returns an in-memory store (no persistence): the cache that lets
+// one run's specs share units.
+func New() Store {
+	return &cache{mem: map[Key][]byte{}}
+}
+
+// Open returns a store for loc:
+//
+//   - "" — an in-memory store (New);
+//   - an http:// or https:// URL — a remote store served by a daemon
+//     mounting NewHTTPHandler (a bare host URL addresses the daemon's
+//     /v1/store/ prefix; a URL with a path is used as given);
+//   - anything else — a directory store, creating the directory when
+//     absent.
+func Open(loc string) (Store, error) {
+	switch {
+	case loc == "":
+		return New(), nil
+	case strings.HasPrefix(loc, "http://") || strings.HasPrefix(loc, "https://"):
+		b, err := newHTTPBackend(loc)
+		if err != nil {
+			return nil, err
+		}
+		return &cache{mem: map[Key][]byte{}, backend: b}, nil
+	default:
+		if err := os.MkdirAll(loc, 0o755); err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+		return &cache{mem: map[Key][]byte{}, backend: dirBackend{dir: loc}}, nil
+	}
+}
+
+// Location implements Store.
+func (s *cache) Location() string {
+	if s.backend == nil {
+		return ""
+	}
+	return s.backend.location()
+}
+
+// Stats implements Store.
+func (s *cache) Stats() Stats {
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Puts:    s.puts.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+}
+
+// Get implements Store.
+func (s *cache) Get(key Key, v any) (bool, error) {
+	s.mu.Lock()
+	blob, ok := s.mem[key]
+	s.mu.Unlock()
+	fromBackend := false
+	if !ok && s.backend != nil {
+		entry, err := s.backend.load(key)
+		if err != nil {
+			// A damaged entry or failed read costs a recompute, never
+			// fails the run.
+			s.corrupt.Add(1)
+		} else if entry != nil {
+			payload, err := DecodeEntry(key, entry)
+			if err != nil {
+				s.corrupt.Add(1)
+			} else {
+				blob, ok, fromBackend = payload, true, true
+			}
+		}
+	}
+	if !ok {
+		s.misses.Add(1)
+		return false, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(v); err != nil {
+		if fromBackend {
+			// The framing verified but the payload schema did not (e.g. a
+			// result type changed without an entryVersion bump): treat it
+			// like any other damaged entry and recompute.
+			s.corrupt.Add(1)
+			s.misses.Add(1)
+			return false, nil
+		}
+		return false, fmt.Errorf("resultstore: decoding %s/%s/%s result: %w", key.Spec, key.Method, key.Split, err)
+	}
+	if fromBackend {
+		s.mu.Lock()
+		s.mem[key] = blob
+		s.mu.Unlock()
+	}
+	s.hits.Add(1)
+	return true, nil
+}
+
+// Put implements Store.
+func (s *cache) Put(key Key, v, out any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("resultstore: encoding %s/%s/%s result: %w", key.Spec, key.Method, key.Split, err)
+	}
+	blob := payload.Bytes()
+	s.mu.Lock()
+	s.mem[key] = blob
+	s.mu.Unlock()
+	s.puts.Add(1)
+	if s.backend != nil {
+		entry, err := EncodeEntry(key, blob)
+		if err != nil {
+			return err
+		}
+		if err := s.backend.store(key, entry); err != nil {
+			return err
+		}
+	}
+	if out != nil {
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(out); err != nil {
+			return fmt.Errorf("resultstore: round-tripping %s/%s/%s result: %w", key.Spec, key.Method, key.Split, err)
+		}
+	}
+	return nil
+}
+
+// dirBackend persists entries as one <stem>.dtr file per unit.
+type dirBackend struct {
+	dir string
+}
+
+func (b dirBackend) location() string { return b.dir }
+
+func (b dirBackend) load(key Key) ([]byte, error) {
+	blob, err := os.ReadFile(filepath.Join(b.dir, key.Stem()+entryExt))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return blob, nil
+}
+
+func (b dirBackend) store(key Key, entry []byte) error {
+	return writeEntryFile(b.dir, key.Stem(), entry)
+}
+
+// writeEntryFile persists one framed entry atomically (temp file +
+// rename), so a crashed run never leaves a half-written entry under a
+// valid name. It is shared by the directory backend and the HTTP server.
+func writeEntryFile(dir, stem string, entry []byte) error {
+	f, err := os.CreateTemp(dir, "result-*.tmp")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	_, err = f.Write(entry)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), filepath.Join(dir, stem+entryExt))
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("resultstore: writing entry: %w", err)
+	}
+	return nil
 }

@@ -104,9 +104,9 @@ func TestKeySeparation(t *testing.T) {
 }
 
 // entryPath returns the on-disk file of a key, asserting it exists.
-func entryPath(t *testing.T, s *Store, key Key) string {
+func entryPath(t *testing.T, s Store, key Key) string {
 	t.Helper()
-	path := filepath.Join(s.Dir(), key.fileStem()+".dtr")
+	path := filepath.Join(s.Location(), key.Stem()+".dtr")
 	if _, err := os.Stat(path); err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestStaleKeyedEntryIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, fresh.fileStem()+".dtr"), blob, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, fresh.Stem()+".dtr"), blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -251,8 +251,8 @@ func TestOpenEmptyDirIsMemoryStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Dir() != "" {
-		t.Fatalf("Dir() = %q", s.Dir())
+	if s.Location() != "" {
+		t.Fatalf("Location() = %q", s.Location())
 	}
 	if err := s.Put(testKey("x"), 1.0, nil); err != nil {
 		t.Fatal(err)

@@ -350,7 +350,7 @@ func TestServerInfoEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("methods: %d", code)
 	}
-	if methods, ok := body["methods"].([]any); !ok || len(methods) != 4 {
+	if methods, ok := body["methods"].([]any); !ok || len(methods) != len(method.List()) {
 		t.Fatalf("methods body: %v", body)
 	}
 

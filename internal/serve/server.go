@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/method"
+	"repro/internal/resultstore"
 	"repro/internal/transpose"
 )
 
@@ -25,6 +26,12 @@ type Options struct {
 	Seed int64
 	// MaxModels bounds the model registry (0 means DefaultMaxModels).
 	MaxModels int
+	// StoreDir, when set, serves the experiment result store under this
+	// directory on /v1/store/ (dtrankd's -cache flag): sharded `dtrank
+	// run -shard -cache http://...` processes merge their units through
+	// the daemon, and the directory stays interchangeable with a local
+	// `-cache dir` store.
+	StoreDir string
 }
 
 // snapshot is an immutable (matrix, characteristics) pair plus its hash.
@@ -69,6 +76,7 @@ type Server struct {
 	opts  Options
 	reg   *Registry
 	snap  atomic.Pointer[snapshot]
+	store *resultstore.HTTPHandler
 	start time.Time
 
 	baseCtx context.Context
@@ -101,6 +109,14 @@ func NewServer(m *dataset.Matrix, chars map[string][]float64, opts Options) (*Se
 		baseCtx: ctx,
 		cancel:  cancel,
 		calls:   map[callKey]*rankCall{},
+	}
+	if opts.StoreDir != "" {
+		h, err := resultstore.NewHTTPHandler(opts.StoreDir)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("serve: result store: %w", err)
+		}
+		s.store = h
 	}
 	s.snap.Store(&snapshot{matrix: m, chars: chars, hash: m.Hash()})
 	return s, nil
@@ -381,6 +397,11 @@ func (s *Server) rankLeader(ctx context.Context, snap *snapshot, key Key, canon 
 //	POST /v1/snapshot  hot-swap the performance database (CSV body)
 //	GET  /healthz      liveness plus snapshot hash and model count
 //	GET  /debug/vars   service counters
+//
+// With Options.StoreDir set, the experiment result store is additionally
+// served under /v1/store/ (GET/PUT one CRC-checked entry per unit, GET
+// the collection for a listing) — the merge point of `dtrank run -shard
+// -cache http://host:port` processes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rank", s.handleRank)
@@ -389,6 +410,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	if s.store != nil {
+		mux.Handle("/v1/store/", s.store)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -521,12 +545,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	vars := map[string]any{
 		"requests":       s.requests.Load(),
 		"rank_ok":        s.rankOK.Load(),
 		"rank_errors":    s.rankErrors.Load(),
 		"coalesced":      s.coalesced.Load(),
 		"snapshot_swaps": s.swaps.Load(),
 		"registry":       s.reg.Stats(),
-	})
+	}
+	if s.store != nil {
+		vars["store"] = s.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, vars)
 }

@@ -42,7 +42,8 @@ const (
 var ErrNotBinaryModel = fmt.Errorf("transpose: model does not support serialization")
 
 // BinaryModel is a trained Model that can be persisted and restored. The
-// four built-in artifacts (NNTModel, SPLTModel, MLPTModel, gaknn.Model)
+// built-in artifacts (NNTModel, SPLTModel, MLPTModel, KNNMModel,
+// gaknn.Model)
 // all implement it.
 type BinaryModel interface {
 	Model

@@ -27,7 +27,7 @@ func codecFitters(t *testing.T) []Fitter {
 	mlpt := NewMLPT(5)
 	mlpt.Config.Epochs = 40
 	mlpt.Ensemble = 2
-	return []Fitter{NNT{}, NewSPLT(), mlpt}
+	return []Fitter{NNT{}, NewSPLT(), mlpt, NewKNNM()}
 }
 
 func roundTrip(t *testing.T, m Model) Model {

@@ -15,10 +15,12 @@
 //	ranked, _ := repro.RankMachines(predictive, targets, appScores, repro.NewMLPT(7))
 //	fmt.Println("buy:", ranked[0].Machine.ID)
 //
-// Three predictors are provided: the paper's two data-transposition models
-// (NewNNT, NewMLPT) and the prior-art workload-similarity baseline
-// (NewGAKNN). The experiments subcommands reproduce every table and figure
-// of the paper's evaluation; see the EXPERIMENTS.md file.
+// The paper's predictors are provided — the two data-transposition
+// models (NewNNT, NewMLPT) and the prior-art workload-similarity
+// baseline (NewGAKNN) — plus two extensions: spline transposition
+// (NewSPLT) and a plain machine-space kNN baseline (NewKNNM). The
+// experiments subcommands reproduce every table and figure of the
+// paper's evaluation; see the EXPERIMENTS.md file.
 //
 // Beyond the one-shot library calls, NewRankServer turns the reproduction
 // into a service: trained models are cached in a Registry (fit once, serve
@@ -82,7 +84,7 @@ type (
 	// CPIBreakdown itemises the analytic performance model's components.
 	CPIBreakdown = perfmodel.Breakdown
 	// BinaryModel is a trained Model that can be persisted with
-	// EncodeModel and restored with DecodeModel. All four built-in model
+	// EncodeModel and restored with DecodeModel. All built-in model
 	// artifacts implement it.
 	BinaryModel = transpose.BinaryModel
 	// RankServer is the ranking service: a model registry over a dataset
@@ -104,13 +106,22 @@ type (
 	// name, aliases, seed offset, serialization kind and capability
 	// flags, straight from the method registry.
 	MethodInfo = method.Info
-	// ResultStore is the content-addressed experiment result store:
-	// every table cell, figure point and ablation variant is keyed by
-	// (snapshot fingerprint, spec id, method, split, seed), CRC-checked
-	// on disk, and reruns recompute only missing or invalidated units.
+	// ResultStore is the content-addressed experiment result store
+	// interface: every table cell, figure point and ablation variant is
+	// keyed by (snapshot fingerprint, spec id, method, split, seed),
+	// CRC-checked at rest, and reruns recompute only missing or
+	// invalidated units. Backends: in-memory, directory, remote HTTP
+	// (OpenResultStore).
 	ResultStore = resultstore.Store
 	// ResultKey addresses one experiment unit in a ResultStore.
 	ResultKey = resultstore.Key
+	// ExperimentPlan is the deterministic unit list of a spec set — the
+	// fan-out side of the plan/execute pipeline (PlanExperimentSpecs,
+	// Plan.Shard, Plan.Executor).
+	ExperimentPlan = experiments.Plan
+	// ExperimentUnit is one planned experiment unit (a table cell, figure
+	// point or ablation variant) addressed by its ResultKey.
+	ExperimentUnit = experiments.Unit
 )
 
 // DefaultDatasetOptions returns the synthesis options used for all
@@ -173,6 +184,13 @@ func NewGAKNN(seed int64) Predictor { return gaknn.New(seed) }
 // regression splines, an extension beyond the paper's two models after the
 // spline-based empirical models of Lee & Brooks its related work discusses.
 func NewSPLT() Predictor { return transpose.NewSPLT() }
+
+// NewKNNM returns the kNNᴹ baseline — plain k-nearest-neighbour
+// prediction in machine space (log₂ benchmark-profile distance, no
+// regression, no learned weights), the k-neighbour generalisation of
+// NNᵀ's pick-the-best-machine step, registered to calibrate how much
+// the transposition models add.
+func NewKNNM() Predictor { return transpose.NewKNNM() }
 
 // NewFold prepares a leave-one-out prediction task: the named benchmark is
 // removed from both matrices and plays the application of interest. The
@@ -313,11 +331,23 @@ func RunExperimentSpecs(cfg ExperimentConfig, w io.Writer, ids ...string) error 
 	return experiments.RunSpecs(cfg, w, ids...)
 }
 
-// OpenResultStore opens a directory-backed experiment result store
-// (creating the directory when absent); dir == "" returns an in-memory
-// store. The directory layout is one CRC-checked file per unit, so it
-// can share a directory with a dtrankd -registry model store.
-func OpenResultStore(dir string) (*ResultStore, error) { return resultstore.Open(dir) }
+// OpenResultStore opens an experiment result store on loc: "" returns an
+// in-memory store, an http:// or https:// URL a remote store served by a
+// dtrankd -cache daemon, anything else a directory store (creating the
+// directory when absent). The directory layout is one CRC-checked file
+// per unit, so it can share a directory with a dtrankd -registry model
+// store.
+func OpenResultStore(loc string) (ResultStore, error) { return resultstore.Open(loc) }
+
+// PlanExperimentSpecs enumerates every unit the named experiment specs
+// read, without computing anything — the fan-out side of distributed
+// runs: n processes each execute one Plan.Shard(i, n) slice into a
+// shared store (Plan.Executor), and any process renders the merged
+// report with RunExperimentSpecs, byte-identical to a single-process
+// run.
+func PlanExperimentSpecs(cfg ExperimentConfig, ids ...string) (*ExperimentPlan, error) {
+	return experiments.PlanSpecs(cfg, ids...)
+}
 
 // Methods lists the registered prediction methods — names, aliases, the
 // seed-offset convention and capability flags — from the single registry

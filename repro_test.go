@@ -303,10 +303,10 @@ func TestServingFacade(t *testing.T) {
 
 func TestMethodsFacade(t *testing.T) {
 	ms := repro.Methods()
-	if len(ms) != 4 {
+	if len(ms) != 5 {
 		t.Fatalf("%d methods", len(ms))
 	}
-	offsets := map[string]int64{"NN^T": 0, "MLP^T": 1, "SPL^T": 0, "GA-kNN": 2}
+	offsets := map[string]int64{"NN^T": 0, "MLP^T": 1, "SPL^T": 0, "GA-kNN": 2, "kNN^M": 0}
 	for _, m := range ms {
 		want, ok := offsets[m.Name]
 		if !ok {
