@@ -4,7 +4,7 @@
 GO ?= go
 DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test bench bench-json examples serve serve-smoke cache-smoke shard-smoke lint staticcheck ci
+.PHONY: build test bench bench-json examples serve serve-smoke cache-smoke shard-smoke worksteal-smoke lint staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,13 @@ cache-smoke:
 shard-smoke:
 	./scripts/shard-smoke.sh
 
+# End-to-end work-stealing check: dtrankd -coordinate plus two -worker
+# processes, one SIGKILLed mid-lease; the survivor drains the plan, the
+# coordinator reports >= 1 recovered unit and 0 lost, and the merged
+# render is byte-identical to a single-process run.
+worksteal-smoke:
+	./scripts/worksteal-smoke.sh
+
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -70,4 +77,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
 	fi
 
-ci: lint staticcheck build test bench examples serve-smoke cache-smoke shard-smoke
+ci: lint staticcheck build test bench examples serve-smoke cache-smoke shard-smoke worksteal-smoke

@@ -14,14 +14,15 @@ import (
 //
 //	dtrank cache ls     -cache dir            list entries (key, size, age)
 //	dtrank cache verify -cache dir            verify every entry's checksum
-//	dtrank cache prune  -cache dir [-keep N] [-max-age d] [-dry-run]
+//	dtrank cache prune  -cache dir [-keep N] [-max-age d] [-max-bytes B] [-dry-run]
 //
 // It operates on a store directory — the same directory `dtrank run
 // -cache dir` writes and a dtrankd -cache daemon serves. Prune removes
 // whole snapshot fingerprints at a time (a partially pruned snapshot
 // would force a full recompute anyway), keeping the N most recently
-// written ones and/or dropping those older than -max-age; damaged
-// entries are always removed.
+// written ones, dropping those older than -max-age, and/or evicting
+// oldest-first until the store fits in -max-bytes; damaged entries are
+// always removed.
 func runCache(args []string) error {
 	if len(args) < 1 {
 		return errors.New("usage: dtrank cache <ls|verify|prune> -cache dir [flags]")
@@ -136,6 +137,7 @@ func runCachePrune(args []string) error {
 	dir := cacheFlags(fs)
 	keep := fs.Int("keep", 0, "keep only the N most recently written snapshot fingerprints (0 = no count bound)")
 	maxAge := fs.Duration("max-age", 0, "remove snapshots whose newest entry is older than this (0 = no age bound)")
+	maxBytes := fs.Int64("max-bytes", 0, "evict whole snapshots oldest-first until the store's healthy entries fit in this many bytes; the newest snapshot is always kept (0 = no byte bound)")
 	dryRun := fs.Bool("dry-run", false, "report what would be removed without deleting")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -143,12 +145,13 @@ func runCachePrune(args []string) error {
 	if *dir == "" {
 		return errors.New("cache prune requires -cache dir")
 	}
-	if *keep <= 0 && *maxAge <= 0 {
-		return errors.New("cache prune requires -keep and/or -max-age")
+	if *keep <= 0 && *maxAge <= 0 && *maxBytes <= 0 {
+		return errors.New("cache prune requires -keep, -max-age and/or -max-bytes")
 	}
 	res, err := resultstore.Prune(*dir, time.Now(), resultstore.PruneOptions{
 		KeepSnapshots: *keep,
 		MaxAge:        *maxAge,
+		MaxBytes:      *maxBytes,
 		DryRun:        *dryRun,
 	})
 	if err != nil {

@@ -16,11 +16,13 @@
 //	dtrank fig8   [-seed N] [-fast] [-draws D] [-maxk K]
 //	dtrank ablate [-seed N] [-fast]               ablation studies
 //	dtrank all    [-seed N] [-fast] [-draws D]    everything, in paper order
-//	dtrank run    [-spec id,..|all] [-cache dir|url] [-shard i/n]
+//	dtrank run    [-spec id,..|all] [-cache dir|url] [-shard i/n] [-worker url]
 //	                                              declarative spec pipeline,
 //	                                              incremental via the result store;
-//	                                              -shard computes one slice of the
-//	                                              units into the shared store
+//	                                              -shard computes one fixed slice of
+//	                                              the units into the shared store,
+//	                                              -worker leases batches from a
+//	                                              dtrankd -coordinate daemon instead
 //	dtrank cache  <ls|verify|prune> -cache dir    result-store lifecycle
 //	dtrank methods [-json]                        the method registry
 //
@@ -149,8 +151,11 @@ commands:
   all     reproduce every table and figure
   run     run experiment specs (-spec id,..|all), incremental with -cache;
           -shard i/n computes one disjoint slice of the units into a shared
-          store (a directory or a dtrankd -cache URL) for distributed runs
-  cache   result-store lifecycle: ls, verify, prune (-keep N / -max-age d)
+          store (a directory or a dtrankd -cache URL) for distributed runs;
+          -worker url joins a dtrankd -coordinate daemon as a work-stealing
+          worker, leasing unit batches instead of taking a fixed shard
+  cache   result-store lifecycle: ls, verify, prune (-keep N / -max-age d /
+          -max-bytes B)
   methods list the prediction-method registry (names, aliases, capabilities)
 
 run 'dtrank <command> -h' for command flags`)

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"repro/internal/coord"
 	"repro/internal/experiments"
 	"repro/internal/method"
 	"repro/internal/resultstore"
@@ -63,18 +67,40 @@ func runMethods(args []string) error {
 // processes (same seed/budget flags, one -cache directory or dtrankd
 // URL) together compute exactly the single-process unit set, and a final
 // run without -shard renders the merged report byte-identically.
+//
+// With -worker URL the command joins a `dtrankd -coordinate` run as a
+// work-stealing worker instead of taking a fixed shard: it leases unit
+// batches from the daemon's /v1/work/ control plane, executes them into
+// the shared store, heartbeats while computing, and completes them —
+// looping until the coordinator reports the plan done. Workers need no
+// i/n pre-assignment, batch sizes adapt to observed unit cost, and a
+// worker that dies forfeits its lease so survivors pick up its units.
+// -cache defaults to the worker URL (the daemon serves both /v1/work/
+// and /v1/store/); a final run with -cache alone renders the merged
+// report byte-identically.
 func runRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	spec := fs.String("spec", "all", "comma-separated spec ids, or 'all' (valid: "+strings.Join(experiments.SpecIDs(), ", ")+")")
 	cache := fs.String("cache", "", "result store: a directory, or the http(s):// URL of a dtrankd -cache daemon (persists unit results across runs and processes; default: in-memory only)")
 	shard := fs.String("shard", "", "execute only shard i/n of the planned units (e.g. 0/2) into -cache, rendering nothing; run without -shard to render the merged store")
+	worker := fs.String("worker", "", "join a 'dtrankd -coordinate' run as a work-stealing worker: lease, execute and complete unit batches from this daemon URL, rendering nothing (-cache defaults to the same URL)")
+	workerName := fs.String("worker-name", "", "worker name in lease ids and coordinator logs (default: host-pid)")
+	maxBatch := fs.Int("max-batch", 0, "cap the units requested per lease on top of the coordinator's adaptive sizing (0 = no cap)")
 	build := experimentFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *worker != "" && *shard != "" {
+		return errors.New("-worker and -shard are mutually exclusive: work stealing replaces fixed sharding")
+	}
 	ids := experiments.SpecIDs()
 	if *spec != "all" {
 		ids = strings.Split(*spec, ",")
+	}
+	if *worker != "" && *cache == "" {
+		// The coordinating daemon serves the store too; merging anywhere
+		// else would hide completed units from the final render.
+		*cache = *worker
 	}
 	st, err := resultstore.Open(*cache)
 	if err != nil {
@@ -85,6 +111,10 @@ func runRun(args []string) error {
 	where := "in-memory"
 	if st.Location() != "" {
 		where = st.Location()
+	}
+
+	if *worker != "" {
+		return runWorker(*worker, *workerName, *maxBatch, cfg, ids, st, where)
 	}
 
 	if *shard != "" {
@@ -121,6 +151,53 @@ func runRun(args []string) error {
 	fmt.Fprintf(os.Stderr, "dtrank run: result store %s: %d hits, %d misses, %d computed, %d corrupt\n",
 		where, stats.Hits, stats.Misses, stats.Puts, stats.Corrupt)
 	return nil
+}
+
+// runWorker is the -worker mode: plan the same unit set the coordinator
+// planned, then loop lease → execute → complete against its /v1/work/
+// control plane until the plan is done. The plan fingerprint travels in
+// every grant, so a worker started with mismatched flags aborts before
+// executing a single wrong unit.
+func runWorker(workerURL, name string, maxBatch int, cfg experiments.Config, ids []string, st resultstore.Store, where string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	client, err := coord.NewClient(workerURL)
+	if err != nil {
+		return err
+	}
+	plan, err := experiments.PlanSpecs(cfg, ids...)
+	if err != nil {
+		return err
+	}
+	exec := plan.Executor()
+	w := &coord.Worker{
+		Client: client,
+		Name:   name,
+		Plan:   plan.Fingerprint(),
+		Exec: func(ctx context.Context, keys []resultstore.Key) error {
+			units, err := plan.UnitsByKey(keys)
+			if err != nil {
+				return err
+			}
+			return exec.Execute(units)
+		},
+		MaxBatch: maxBatch,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dtrank run: "+format+"\n", args...)
+		},
+	}
+	ws, err := w.Run(ctx)
+	stats := st.Stats()
+	fmt.Fprintf(os.Stderr, "dtrank run: worker %s: %d units in %d leases (%d duplicates, %d leases lost) into %s: %d hits, %d computed, %d corrupt\n",
+		name, ws.Units, ws.Leases, ws.Duplicates, ws.LeaseLost, where, stats.Hits, stats.Puts, stats.Corrupt)
+	return err
 }
 
 // parseShard parses a -shard value of the form i/n with 0 <= i < n. The

@@ -7,6 +7,7 @@
 //
 //	dtrankd [-addr :8117] [-seed N] [-data file.csv] [-workers N]
 //	        [-max-models N] [-registry dir] [-save] [-cache dir]
+//	        [-coordinate all|id,..] [-lease-ttl 30s] [-fast] [-draws D] [-maxk K]
 //
 // Rankings are byte-identical to `dtrank rank -json` for the same seed,
 // family, application and method — the daemon is a cache in front of the
@@ -22,6 +23,13 @@
 // daemon, and a final `dtrank run -cache http://host:8117` renders the
 // merged report. The directory is interchangeable with a local
 // `dtrank run -cache dir` store.
+//
+// With -coordinate the daemon additionally runs the lease-based
+// work-stealing control plane under /v1/work/: it plans the named specs
+// once and hands unit batches to `dtrank run -worker http://host:8117`
+// processes on demand, so workers need no pre-assigned shard and a
+// killed worker's units return to the queue after -lease-ttl. The
+// planning flags (-seed, -fast, -draws, -maxk) must match the workers'.
 //
 // With -registry the daemon warm-starts from models saved in dir; with
 // -save it writes the registry back on shutdown, so restarts skip the
@@ -39,11 +47,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/coord"
 	"repro/internal/dataset"
+	"repro/internal/experiments"
 	"repro/internal/serve"
 )
 
@@ -69,11 +80,19 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	registryDir := fs.String("registry", "", "warm-start the model registry from this directory")
 	save := fs.Bool("save", false, "save the registry back to -registry on shutdown")
 	cacheDir := fs.String("cache", "", "serve the experiment result store under /v1/store/ from this directory (the merge point of 'dtrank run -shard -cache http://this-daemon')")
+	coordinate := fs.String("coordinate", "", "coordinate a work-stealing run of these comma-separated spec ids (or 'all') under /v1/work/; requires -cache, workers join with 'dtrank run -worker http://this-daemon'")
+	leaseTTL := fs.Duration("lease-ttl", coord.DefaultLeaseTTL, "work lease time-to-live; a worker silent for this long forfeits its units back to the queue")
+	fast := fs.Bool("fast", false, "plan the coordinated specs with reduced model budgets (must match the workers' -fast)")
+	draws := fs.Int("draws", 0, "random draws for coordinated Table 4 / Figure 8 units (0 = default; must match the workers' -draws)")
+	maxk := fs.Int("maxk", 0, "largest predictive-set size for coordinated Figure 8 units (0 = default; must match the workers' -maxk)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *save && *registryDir == "" {
 		return errors.New("-save requires -registry")
+	}
+	if *coordinate != "" && *cacheDir == "" {
+		return errors.New("-coordinate requires -cache: workers merge their units through the daemon's store")
 	}
 	if *workers > 0 {
 		repro.SetWorkers(*workers)
@@ -99,7 +118,31 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		matrix, chars = data.Matrix, data.Characteristics
 	}
 
-	srv, err := serve.NewServer(matrix, chars, serve.Options{Seed: *seed, MaxModels: *maxModels, StoreDir: *cacheDir})
+	var co *coord.Coordinator
+	if *coordinate != "" {
+		ids := experiments.SpecIDs()
+		if *coordinate != "all" {
+			ids = strings.Split(*coordinate, ",")
+		}
+		cfg := experiments.DefaultConfig(*seed)
+		cfg.Fast = *fast
+		if *draws > 0 {
+			cfg.RandomDraws = *draws
+		}
+		if *maxk > 0 {
+			cfg.MaxK = *maxk
+		}
+		plan, err := experiments.PlanSpecs(cfg, ids...)
+		if err != nil {
+			return fmt.Errorf("planning -coordinate specs: %w", err)
+		}
+		co, err = coord.New(plan.Fingerprint(), plan.Keys(), coord.Options{LeaseTTL: *leaseTTL})
+		if err != nil {
+			return err
+		}
+	}
+
+	srv, err := serve.NewServer(matrix, chars, serve.Options{Seed: *seed, MaxModels: *maxModels, StoreDir: *cacheDir, Coordinator: co})
 	if err != nil {
 		return err
 	}
@@ -108,6 +151,11 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		srv.SnapshotHash()[:12], matrix.NumBenchmarks(), matrix.NumMachines())
 	if *cacheDir != "" {
 		log.Printf("dtrankd: serving result store %s on /v1/store/", *cacheDir)
+	}
+	if co != nil {
+		st := co.Stats()
+		log.Printf("dtrankd: coordinating %d units of -coordinate %s on /v1/work/ (plan %.12s, lease TTL %s)",
+			st.Total, *coordinate, st.Plan, *leaseTTL)
 	}
 
 	if *registryDir != "" {

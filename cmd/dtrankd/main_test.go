@@ -12,6 +12,10 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/coord"
+	"repro/internal/experiments"
+	"repro/internal/resultstore"
 )
 
 // startDaemon runs the daemon on an ephemeral port and returns its base
@@ -129,5 +133,91 @@ func TestDaemonFlagValidation(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-data", "/no/such/file.csv"}, nil); err == nil {
 		t.Fatal("want missing-data-file error")
+	}
+	if err := run(context.Background(), []string{"-coordinate", "table3"}, nil); err == nil ||
+		!strings.Contains(err.Error(), "-cache") {
+		t.Fatalf("want -coordinate/-cache error, got %v", err)
+	}
+	if err := run(context.Background(), []string{"-coordinate", "nope", "-cache", t.TempDir()}, nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown spec") {
+		t.Fatalf("want unknown-spec error, got %v", err)
+	}
+}
+
+// TestDaemonCoordinatesWorkers drives the full control plane end to end:
+// the daemon plans a spec set with -coordinate, a worker joins over HTTP,
+// leases, executes into the daemon's /v1/store/ and completes, and the
+// status endpoint reports the plan drained.
+func TestDaemonCoordinatesWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full spec execution in -short mode")
+	}
+	dir := t.TempDir()
+	base, shutdown := startDaemon(t, "-seed", "1", "-fast", "-cache", dir, "-coordinate", "table3")
+	defer shutdown()
+
+	// The worker plans with the same flags the daemon did and merges its
+	// units through the daemon's store.
+	st, err := resultstore.Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiments.DefaultConfig(1)
+	cfg.Fast = true
+	cfg.Store = st
+	plan, err := experiments.PlanSpecs(cfg, "table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := coord.NewClient(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := plan.Executor()
+	w := &coord.Worker{
+		Client: cl,
+		Name:   "test-worker",
+		Plan:   plan.Fingerprint(),
+		Exec: func(ctx context.Context, keys []resultstore.Key) error {
+			units, err := plan.UnitsByKey(keys)
+			if err != nil {
+				return err
+			}
+			return exec.Execute(units)
+		},
+	}
+	stats, err := w.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Units != len(plan.Units) {
+		t.Fatalf("worker completed %d of %d units", stats.Units, len(plan.Units))
+	}
+
+	status, err := cl.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Done != len(plan.Units) || status.Pending != 0 || status.Plan != plan.Fingerprint() {
+		t.Fatalf("status %+v", status)
+	}
+
+	// The coordinator's counters surface in /debug/vars under "work".
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Work struct {
+			Done  int `json:"done"`
+			Total int `json:"total"`
+		} `json:"work"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if vars.Work.Done != len(plan.Units) || vars.Work.Total != len(plan.Units) {
+		t.Fatalf("/debug/vars work counters %+v", vars.Work)
 	}
 }

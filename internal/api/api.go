@@ -1,0 +1,95 @@
+// Package api defines the wire-level conventions shared by every /v1
+// endpoint of the dtrankd control plane: one JSON error envelope with
+// machine-readable codes, written by the ranking endpoints
+// (internal/serve), the result-store endpoints (internal/resultstore)
+// and the work-stealing endpoints (internal/coord) alike. The contract —
+// endpoints, schemas, codes, compatibility rules — is written down in
+// API.md at the repository root and pinned by golden tests.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Error codes. Every /v1 error response carries exactly one of these in
+// error.code; additions are allowed within /v1, renames and removals are
+// not (see API.md, "Compatibility").
+const (
+	// CodeBadRequest: the request is malformed or references something
+	// that does not exist in the served snapshot (HTTP 400).
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: the addressed resource does not exist (HTTP 404) —
+	// an absent store entry, an unknown or expired lease.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the path exists but not with this HTTP
+	// method (HTTP 405).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeTooLarge: the request body exceeds the endpoint's limit
+	// (HTTP 413).
+	CodeTooLarge = "too_large"
+	// CodeUnavailable: the server is shutting down or the request was
+	// cancelled before an answer was computed (HTTP 503).
+	CodeUnavailable = "unavailable"
+	// CodeInternal: an unexpected server-side failure (HTTP 500).
+	CodeInternal = "internal"
+)
+
+// Error is the body of error.{code,message} in the envelope.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorBody is the unified /v1 error envelope: {"error":{"code":...,
+// "message":...}}. Every non-2xx JSON response of every /v1 endpoint has
+// exactly this shape.
+type ErrorBody struct {
+	Error Error `json:"error"`
+}
+
+// CodeForStatus maps an HTTP status to the envelope code used when the
+// caller has no more specific one.
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return CodeTooLarge
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}
+
+// WriteError writes the unified envelope with the given HTTP status and
+// envelope code. An empty code falls back to CodeForStatus(status).
+func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	if code == "" {
+		code = CodeForStatus(status)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: Error{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// DecodeError parses an error-envelope body read from a response,
+// returning a descriptive error whether or not the body is an envelope —
+// transports talking to older or foreign servers still get the status
+// line.
+func DecodeError(status string, body []byte) error {
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error.Code != "" {
+		return fmt.Errorf("%s: %s (%s)", status, eb.Error.Message, eb.Error.Code)
+	}
+	if len(body) > 0 {
+		return fmt.Errorf("%s: %s", status, body)
+	}
+	return fmt.Errorf("%s", status)
+}

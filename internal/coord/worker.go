@@ -1,0 +1,165 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/resultstore"
+)
+
+// Worker is the lease → execute → complete loop of one worker process:
+// `dtrank run -worker URL` wires Exec to the experiment plan's Executor
+// and runs it until the coordinator reports the plan done. Between lease
+// and complete the worker heartbeats at a third of the lease TTL, so a
+// healthy worker never loses a lease however slow its batch is; a worker
+// that dies simply stops heartbeating and its units return to the queue.
+type Worker struct {
+	// Client talks to the coordinator (required).
+	Client *Client
+	// Name identifies this worker in lease ids and coordinator logs
+	// (required).
+	Name string
+	// Exec computes the leased units into the shared result store
+	// (required). Its results must land under exactly the given keys —
+	// the plan's Executor does.
+	Exec func(ctx context.Context, units []resultstore.Key) error
+	// Plan, when non-empty, is the expected plan fingerprint: a grant
+	// carrying a different one aborts the worker instead of executing a
+	// mismatched unit set (the worker was started with different
+	// seed/budget flags than the coordinator).
+	Plan string
+	// MaxBatch caps the units requested per lease on top of the
+	// coordinator's adaptive sizing; 0 means no worker-side cap.
+	MaxBatch int
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// WorkerStats summarises one Run.
+type WorkerStats struct {
+	// Leases counts grants that carried units.
+	Leases int
+	// Units counts units executed and completed by this worker.
+	Units int
+	// Duplicates counts completed units another worker had already
+	// finished (this worker held a recovered lease).
+	Duplicates int
+	// LeaseLost counts heartbeats that found the lease expired.
+	LeaseLost int
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run leases, executes and completes unit batches until the coordinator
+// reports the plan done, the context is cancelled, or an unrecoverable
+// error occurs (transport retries are the Client's job). On an Exec
+// error the worker stops without completing the batch: the lease expires
+// and another worker recovers the units.
+func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
+	var stats WorkerStats
+	if w.Client == nil || w.Name == "" || w.Exec == nil {
+		return stats, fmt.Errorf("coord: worker needs Client, Name and Exec")
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		grant, err := w.Client.Lease(ctx, w.Name, w.MaxBatch)
+		if err != nil {
+			return stats, err
+		}
+		if w.Plan != "" && grant.Plan != w.Plan {
+			return stats, fmt.Errorf("coord: coordinator plan %.12s does not match worker plan %.12s (different -spec/-seed/-fast/-draws/-maxk flags?)", grant.Plan, w.Plan)
+		}
+		if grant.Done {
+			w.logf("worker %s: plan complete (%d units by this worker)", w.Name, stats.Units)
+			return stats, nil
+		}
+		if len(grant.Units) == 0 {
+			// Everything pending is leased elsewhere; poll for strays.
+			wait := grant.RetryAfter
+			if wait <= 0 {
+				wait = 500 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+		stats.Leases++
+		w.logf("worker %s: leased %d units (%s, %d remaining)", w.Name, len(grant.Units), grant.ID, grant.Remaining)
+
+		lost, err := w.executeWithHeartbeat(ctx, grant)
+		if lost {
+			stats.LeaseLost++
+		}
+		if err != nil {
+			// Do not complete a failed batch: the lease expires and the
+			// units return to the queue for another worker.
+			return stats, fmt.Errorf("coord: worker %s executing lease %s: %w", w.Name, grant.ID, err)
+		}
+		res, err := w.Client.Complete(ctx, grant.ID, grant.Units)
+		if err != nil {
+			return stats, err
+		}
+		stats.Units += res.Completed
+		stats.Duplicates += res.Duplicates
+		if res.Done {
+			w.logf("worker %s: plan complete (%d units by this worker)", w.Name, stats.Units)
+			return stats, nil
+		}
+	}
+}
+
+// executeWithHeartbeat runs Exec while extending the lease at TTL/3. It
+// returns whether the lease was lost mid-flight (the worker completes
+// regardless — idempotently) and Exec's error.
+func (w *Worker) executeWithHeartbeat(ctx context.Context, grant Grant) (lost bool, err error) {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	interval := grant.TTL / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if _, err := w.Client.Heartbeat(hbCtx, grant.ID); err != nil {
+					if IsLeaseLost(err) {
+						mu.Lock()
+						lost = true
+						mu.Unlock()
+						w.logf("worker %s: lease %s expired mid-batch; finishing anyway (completion is idempotent)", w.Name, grant.ID)
+						return
+					}
+					// Transient trouble the Client's retries did not
+					// absorb: keep ticking, the next beat may succeed
+					// before the lease expires.
+					w.logf("worker %s: heartbeat %s: %v", w.Name, grant.ID, err)
+				}
+			}
+		}
+	}()
+	err = w.Exec(ctx, grant.Units)
+	stopHB()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return lost, err
+}

@@ -1,0 +1,197 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resultstore"
+)
+
+// execRecorder is a Worker.Exec that records every executed key.
+type execRecorder struct {
+	mu    sync.Mutex
+	seen  map[resultstore.Key]int
+	delay time.Duration
+}
+
+func newExecRecorder(delay time.Duration) *execRecorder {
+	return &execRecorder{seen: map[resultstore.Key]int{}, delay: delay}
+}
+
+func (e *execRecorder) Exec(ctx context.Context, units []resultstore.Key) error {
+	if e.delay > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(e.delay):
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, k := range units {
+		e.seen[k]++
+	}
+	return nil
+}
+
+func TestWorkerDrainsPlan(t *testing.T) {
+	keys := testKeys(7)
+	c, err := New("fp", keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := newTestServer(t, c)
+	rec := newExecRecorder(0)
+	w := &Worker{Client: cl, Name: "w0", Exec: rec.Exec, Plan: "fp", Logf: t.Logf}
+	stats, err := w.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Units != len(keys) || stats.Duplicates != 0 {
+		t.Fatalf("worker stats %+v", stats)
+	}
+	for _, k := range keys {
+		if rec.seen[k] != 1 {
+			t.Fatalf("unit %+v executed %d times", k, rec.seen[k])
+		}
+	}
+	if st := c.Stats(); st.Done != len(keys) {
+		t.Fatalf("coordinator %+v", st)
+	}
+}
+
+func TestTwoWorkersPartitionThePlan(t *testing.T) {
+	keys := testKeys(12)
+	// A short TTL keeps the end-of-plan empty-grant poll (TTL/4) brief;
+	// the 1 ms execs still finish far inside it.
+	c, err := New("fp", keys, Options{LeaseTTL: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := newTestServer(t, c)
+	rec := newExecRecorder(time.Millisecond)
+	var wg sync.WaitGroup
+	var total int
+	var mu sync.Mutex
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &Worker{Client: cl, Name: fmt.Sprintf("w%d", i), Exec: rec.Exec, Plan: "fp"}
+			stats, err := w.Run(context.Background())
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			total += stats.Units
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if total != len(keys) {
+		t.Fatalf("workers completed %d units, want %d (no unit computed twice with live leases)", total, len(keys))
+	}
+	for _, k := range keys {
+		if rec.seen[k] != 1 {
+			t.Fatalf("unit %+v executed %d times", k, rec.seen[k])
+		}
+	}
+}
+
+// TestDeadWorkerUnitsAreRecovered is the work-stealing acceptance test:
+// a worker leases a batch and dies silently; after the TTL a live worker
+// inherits the units and the plan still completes, with the recovery
+// visible in the coordinator's counters.
+func TestDeadWorkerUnitsAreRecovered(t *testing.T) {
+	keys := testKeys(5)
+	c, err := New("fp", keys, Options{LeaseTTL: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := newTestServer(t, c)
+
+	// The doomed worker takes a lease and never heartbeats or completes.
+	dead := c.Lease("dead", 2)
+	if len(dead.Units) == 0 {
+		t.Fatalf("dead worker got no units: %+v", dead)
+	}
+
+	rec := newExecRecorder(0)
+	w := &Worker{Client: cl, Name: "survivor", Exec: rec.Exec, Plan: "fp", Logf: t.Logf}
+	stats, err := w.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Units != len(keys) {
+		t.Fatalf("survivor completed %d units, want all %d", stats.Units, len(keys))
+	}
+	for _, k := range dead.Units {
+		if rec.seen[k] != 1 {
+			t.Fatalf("abandoned unit %+v executed %d times by the survivor", k, rec.seen[k])
+		}
+	}
+	st := c.Stats()
+	if st.Recovered == 0 || st.Expired == 0 {
+		t.Fatalf("no recovery recorded: %+v", st)
+	}
+	if st.Done != len(keys) {
+		t.Fatalf("plan not complete: %+v", st)
+	}
+}
+
+func TestWorkerRejectsPlanMismatch(t *testing.T) {
+	c, err := New("coordinator-plan", testKeys(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := newTestServer(t, c)
+	w := &Worker{
+		Client: cl, Name: "w", Plan: "worker-plan",
+		Exec: func(ctx context.Context, units []resultstore.Key) error {
+			t.Error("executed units despite plan mismatch")
+			return nil
+		},
+	}
+	_, err = w.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "does not match") || !strings.Contains(err.Error(), "-spec") {
+		t.Fatalf("plan mismatch error: %v", err)
+	}
+	if st := c.Stats(); st.Done != 0 {
+		t.Fatalf("units completed despite mismatch: %+v", st)
+	}
+}
+
+func TestWorkerStopsWithoutCompletingOnExecError(t *testing.T) {
+	c, err := New("fp", testKeys(3), Options{LeaseTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := newTestServer(t, c)
+	boom := errors.New("exec failed")
+	w := &Worker{
+		Client: cl, Name: "w", Plan: "fp",
+		Exec: func(ctx context.Context, units []resultstore.Key) error { return boom },
+	}
+	_, err = w.Run(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("want exec error, got %v", err)
+	}
+	// The failed batch was not completed: its units stay leased until the
+	// TTL returns them to the queue for another worker.
+	if st := c.Stats(); st.Done != 0 || st.Leased == 0 {
+		t.Fatalf("failed batch completed anyway: %+v", st)
+	}
+}
+
+func TestWorkerRequiresClientNameExec(t *testing.T) {
+	w := &Worker{}
+	if _, err := w.Run(context.Background()); err == nil {
+		t.Fatal("want configuration error")
+	}
+}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 
 	"repro/internal/engine"
 	"repro/internal/resultstore"
@@ -83,6 +86,49 @@ func PlanSpecs(cfg Config, ids ...string) (*Plan, error) {
 		}
 	}
 	return &Plan{Units: units, cfg: cfg}, nil
+}
+
+// Fingerprint hashes the plan's ordered unit list. Two processes planning
+// the same spec set with the same configuration (seed, budget, draws,
+// maxK, dataset) produce the identical fingerprint — which is what the
+// work-stealing coordinator and its workers compare so a worker started
+// with mismatched flags fails loudly instead of executing a different
+// unit set.
+func (p *Plan) Fingerprint() string {
+	h := sha256.New()
+	for _, u := range p.Units {
+		io.WriteString(h, u.Key.Stem())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Keys lists the plan's unit keys in plan order — the unit list a
+// work-stealing coordinator queues.
+func (p *Plan) Keys() []resultstore.Key {
+	out := make([]resultstore.Key, len(p.Units))
+	for i, u := range p.Units {
+		out[i] = u.Key
+	}
+	return out
+}
+
+// UnitsByKey resolves leased unit keys back to this plan's executable
+// units, erroring on any key the plan does not contain (the worker and
+// coordinator disagree about the plan).
+func (p *Plan) UnitsByKey(keys []resultstore.Key) ([]Unit, error) {
+	byKey := make(map[resultstore.Key]Unit, len(p.Units))
+	for _, u := range p.Units {
+		byKey[u.Key] = u
+	}
+	out := make([]Unit, len(keys))
+	for i, k := range keys {
+		u, ok := byKey[k]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unit %+v is not in this plan", k)
+		}
+		out[i] = u
+	}
+	return out, nil
 }
 
 // Shard returns the residue-class slice of the plan assigned to shard

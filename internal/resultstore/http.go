@@ -14,6 +14,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/api"
 )
 
 // The HTTP store protocol. Entries travel in the same framed wire format
@@ -97,8 +99,8 @@ func (b *httpBackend) store(key Key, entry []byte) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("resultstore: remote put: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+		return fmt.Errorf("resultstore: remote put: %w", api.DecodeError(resp.Status, bytes.TrimSpace(msg)))
 	}
 	return nil
 }
@@ -168,10 +170,10 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			h.serveList(w)
 		case r.Method == http.MethodGet:
 			h.getMisses.Add(1)
-			http.Error(w, "no such entry", http.StatusNotFound)
+			api.WriteError(w, http.StatusNotFound, "", "no such entry")
 		default:
 			h.rejected.Add(1)
-			http.Error(w, fmt.Sprintf("invalid entry stem %q", stem), http.StatusBadRequest)
+			api.WriteError(w, http.StatusBadRequest, "", "invalid entry stem %q", stem)
 		}
 		return
 	}
@@ -182,7 +184,7 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.servePut(w, r, stem)
 	default:
 		w.Header().Set("Allow", "GET, PUT")
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		api.WriteError(w, http.StatusMethodNotAllowed, "", "use GET or PUT for store entries")
 	}
 }
 
@@ -190,7 +192,7 @@ func (h *HTTPHandler) serveGet(w http.ResponseWriter, stem string) {
 	blob, err := os.ReadFile(filepath.Join(h.dir, stem+entryExt))
 	if err != nil {
 		h.getMisses.Add(1)
-		http.Error(w, "no such entry", http.StatusNotFound)
+		api.WriteError(w, http.StatusNotFound, "", "no such entry")
 		return
 	}
 	// Never serve a blob that does not verify or that sits under a stem
@@ -198,7 +200,7 @@ func (h *HTTPHandler) serveGet(w http.ResponseWriter, stem string) {
 	// anyway, a 404 lets it recompute without a corrupt-counter bump.
 	if key, _, err := ReadEntryKey(blob); err != nil || key.Stem() != stem {
 		h.rejected.Add(1)
-		http.Error(w, "entry failed verification", http.StatusNotFound)
+		api.WriteError(w, http.StatusNotFound, "", "entry failed verification")
 		return
 	}
 	h.gets.Add(1)
@@ -210,12 +212,12 @@ func (h *HTTPHandler) servePut(w http.ResponseWriter, r *http.Request, stem stri
 	blob, err := io.ReadAll(io.LimitReader(r.Body, maxHTTPEntry+1))
 	if err != nil {
 		h.rejected.Add(1)
-		http.Error(w, fmt.Sprintf("reading entry: %v", err), http.StatusBadRequest)
+		api.WriteError(w, http.StatusBadRequest, "", "reading entry: %v", err)
 		return
 	}
 	if len(blob) > maxHTTPEntry {
 		h.rejected.Add(1)
-		http.Error(w, "entry too large", http.StatusRequestEntityTooLarge)
+		api.WriteError(w, http.StatusRequestEntityTooLarge, "", "entry exceeds the %d-byte limit", maxHTTPEntry)
 		return
 	}
 	key, _, err := ReadEntryKey(blob)
@@ -223,18 +225,18 @@ func (h *HTTPHandler) servePut(w http.ResponseWriter, r *http.Request, stem stri
 		// Corrupt in flight or corrupt at the sender: refuse, so damage
 		// never enters the shared store.
 		h.rejected.Add(1)
-		http.Error(w, fmt.Sprintf("entry failed verification: %v", err), http.StatusBadRequest)
+		api.WriteError(w, http.StatusBadRequest, "", "entry failed verification: %v", err)
 		return
 	}
 	if key.Stem() != stem {
 		// A stale or misdirected upload: the embedded key belongs to a
 		// different unit than the addressed one.
 		h.rejected.Add(1)
-		http.Error(w, fmt.Sprintf("entry key hashes to stem %s, not %s", key.Stem(), stem), http.StatusBadRequest)
+		api.WriteError(w, http.StatusBadRequest, "", "entry key hashes to stem %s, not %s", key.Stem(), stem)
 		return
 	}
 	if err := writeEntryFile(h.dir, stem, blob); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		api.WriteError(w, http.StatusInternalServerError, "", "%v", err)
 		return
 	}
 	h.puts.Add(1)
@@ -251,7 +253,7 @@ type listEntry struct {
 func (h *HTTPHandler) serveList(w http.ResponseWriter) {
 	infos, err := ScanDir(h.dir)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		api.WriteError(w, http.StatusInternalServerError, "", "%v", err)
 		return
 	}
 	entries := make([]listEntry, 0, len(infos))

@@ -71,9 +71,9 @@ func ScanDir(dir string) ([]EntryInfo, error) {
 	return out, nil
 }
 
-// PruneOptions selects what Prune removes. At least one of KeepSnapshots
-// or MaxAge must be set; damaged entries are removed under any options
-// (they can only ever cost a recompute).
+// PruneOptions selects what Prune removes. At least one of KeepSnapshots,
+// MaxAge or MaxBytes must be set; damaged entries are removed under any
+// options (they can only ever cost a recompute).
 type PruneOptions struct {
 	// KeepSnapshots keeps the N most recently written snapshot
 	// fingerprints and removes every entry of older ones. 0 means no
@@ -82,6 +82,13 @@ type PruneOptions struct {
 	// MaxAge removes every entry of snapshots whose newest entry is older
 	// than this. 0 means no age bound.
 	MaxAge time.Duration
+	// MaxBytes bounds the store's total healthy-entry size: snapshots
+	// are kept newest-first (LRU by the write time of their newest
+	// entry) while the running total stays within the bound, and every
+	// older snapshot is evicted whole. The newest snapshot is always
+	// kept even when it alone exceeds the bound — evicting it would only
+	// force the active run to recompute itself. 0 means no byte bound.
+	MaxBytes int64
 	// DryRun reports what would be removed without deleting anything.
 	DryRun bool
 }
@@ -104,8 +111,8 @@ type PruneResult struct {
 // snapshots at a time — a snapshot with any entry removed would force a
 // full recompute anyway. now is the reference time for MaxAge.
 func Prune(dir string, now time.Time, opts PruneOptions) (PruneResult, error) {
-	if opts.KeepSnapshots <= 0 && opts.MaxAge <= 0 {
-		return PruneResult{}, fmt.Errorf("resultstore: prune needs a snapshot-count or age bound")
+	if opts.KeepSnapshots <= 0 && opts.MaxAge <= 0 && opts.MaxBytes <= 0 {
+		return PruneResult{}, fmt.Errorf("resultstore: prune needs a snapshot-count, age or byte bound")
 	}
 	entries, err := ScanDir(dir)
 	if err != nil {
@@ -152,12 +159,30 @@ func Prune(dir string, now time.Time, opts PruneOptions) (PruneResult, error) {
 		}
 		return snaps[i] < snaps[j]
 	})
+	var kept int64
 	for rank, snap := range snaps {
 		drop := opts.KeepSnapshots > 0 && rank >= opts.KeepSnapshots
 		if opts.MaxAge > 0 && now.Sub(newest[snap]) > opts.MaxAge {
 			drop = true
 		}
+		if opts.MaxBytes > 0 && rank > 0 {
+			// LRU by snapshot: accumulate newest-first and evict every
+			// snapshot that would push the total past the bound. rank 0 —
+			// the newest, typically the active run — is exempt, so a bound
+			// smaller than one snapshot never makes the store thrash by
+			// evicting what the current run just wrote.
+			var size int64
+			for _, e := range bySnapshot[snap] {
+				size += e.Size
+			}
+			if kept+size > opts.MaxBytes {
+				drop = true
+			}
+		}
 		if !drop {
+			for _, e := range bySnapshot[snap] {
+				kept += e.Size
+			}
 			res.KeptSnapshots++
 			res.KeptEntries += len(bySnapshot[snap])
 			continue

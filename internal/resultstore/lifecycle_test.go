@@ -171,3 +171,96 @@ func TestPruneRequiresACriterion(t *testing.T) {
 		t.Fatal("want criterion error")
 	}
 }
+
+// entrySizes sums the healthy-entry bytes per snapshot.
+func entrySizes(t *testing.T, dir string) map[string]int64 {
+	t.Helper()
+	entries, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int64{}
+	for _, e := range entries {
+		if e.Err == nil {
+			out[e.Key.Snapshot] += e.Size
+		}
+	}
+	return out
+}
+
+func TestPruneMaxBytesEvictsOldestSnapshots(t *testing.T) {
+	dir := seedDir(t,
+		snapKey("snap-old", "table2"), snapKey("snap-old", "table3"),
+		snapKey("snap-mid", "table2"),
+		snapKey("snap-new", "table2"),
+	)
+	now := time.Now()
+	age := func(snapshot string, d time.Duration) {
+		for _, spec := range []string{"table2", "table3"} {
+			p := filepath.Join(dir, snapKey(snapshot, spec).Stem()+entryExt)
+			if _, err := os.Stat(p); err != nil {
+				continue
+			}
+			if err := os.Chtimes(p, now.Add(-d), now.Add(-d)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	age("snap-old", 72*time.Hour)
+	age("snap-mid", 48*time.Hour)
+	age("snap-new", time.Hour)
+	sizes := entrySizes(t, dir)
+
+	// A bound covering new+mid but not old evicts exactly snap-old.
+	res, err := Prune(dir, now, PruneOptions{MaxBytes: sizes["snap-new"] + sizes["snap-mid"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedSnapshots != 1 || res.RemovedEntries != 2 || res.KeptSnapshots != 2 {
+		t.Fatalf("result %+v", res)
+	}
+	if left := entrySizes(t, dir); left["snap-old"] != 0 || left["snap-new"] == 0 || left["snap-mid"] == 0 {
+		t.Fatalf("entries left %+v", left)
+	}
+}
+
+// TestPruneMaxBytesKeepsNewestSnapshot: a bound smaller than even the
+// newest snapshot still keeps it — evicting the active run's own entries
+// would only force it to recompute itself on the next pass.
+func TestPruneMaxBytesKeepsNewestSnapshot(t *testing.T) {
+	dir := seedDir(t, snapKey("snap-a", "table2"), snapKey("snap-b", "table2"))
+	now := time.Now()
+	p := filepath.Join(dir, snapKey("snap-a", "table2").Stem()+entryExt)
+	if err := os.Chtimes(p, now.Add(-time.Hour), now.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Prune(dir, now, PruneOptions{MaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KeptSnapshots != 1 || res.RemovedSnapshots != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	left := entrySizes(t, dir)
+	if left["snap-b"] == 0 || left["snap-a"] != 0 {
+		t.Fatalf("entries left %+v (want only the newest snapshot, snap-b)", left)
+	}
+}
+
+// TestPruneMaxBytesComposesWithKeep: the tightest criterion wins — a
+// snapshot inside the byte budget still goes when -keep excludes it.
+func TestPruneMaxBytesComposesWithKeep(t *testing.T) {
+	dir := seedDir(t, snapKey("snap-a", "table2"), snapKey("snap-b", "table2"))
+	now := time.Now()
+	p := filepath.Join(dir, snapKey("snap-a", "table2").Stem()+entryExt)
+	if err := os.Chtimes(p, now.Add(-time.Hour), now.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Prune(dir, now, PruneOptions{KeepSnapshots: 1, MaxBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KeptSnapshots != 1 || res.RemovedSnapshots != 1 {
+		t.Fatalf("result %+v", res)
+	}
+}

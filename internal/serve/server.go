@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
+	"repro/internal/coord"
 	"repro/internal/dataset"
 	"repro/internal/method"
 	"repro/internal/resultstore"
@@ -32,6 +34,12 @@ type Options struct {
 	// the daemon, and the directory stays interchangeable with a local
 	// `-cache dir` store.
 	StoreDir string
+	// Coordinator, when set, serves the lease-based work-stealing
+	// protocol under /v1/work/ (dtrankd's -coordinate flag): `dtrank run
+	// -worker http://...` processes lease unit batches, heartbeat and
+	// complete them into the shared store, and expired leases return to
+	// the queue.
+	Coordinator *coord.Coordinator
 }
 
 // snapshot is an immutable (matrix, characteristics) pair plus its hash.
@@ -77,6 +85,7 @@ type Server struct {
 	reg   *Registry
 	snap  atomic.Pointer[snapshot]
 	store *resultstore.HTTPHandler
+	work  *coord.HTTPHandler
 	start time.Time
 
 	baseCtx context.Context
@@ -117,6 +126,9 @@ func NewServer(m *dataset.Matrix, chars map[string][]float64, opts Options) (*Se
 			return nil, fmt.Errorf("serve: result store: %w", err)
 		}
 		s.store = h
+	}
+	if opts.Coordinator != nil {
+		s.work = coord.NewHTTPHandler(opts.Coordinator)
 	}
 	s.snap.Store(&snapshot{matrix: m, chars: chars, hash: m.Hash()})
 	return s, nil
@@ -401,7 +413,13 @@ func (s *Server) rankLeader(ctx context.Context, snap *snapshot, key Key, canon 
 // With Options.StoreDir set, the experiment result store is additionally
 // served under /v1/store/ (GET/PUT one CRC-checked entry per unit, GET
 // the collection for a listing) — the merge point of `dtrank run -shard
-// -cache http://host:port` processes.
+// -cache http://host:port` processes. With Options.Coordinator set, the
+// work-stealing protocol is served under /v1/work/ (POST lease /
+// heartbeat / complete, GET status) — the control plane of `dtrank run
+// -worker http://host:port` processes.
+//
+// Every error response of every /v1 endpoint uses the unified envelope
+// {"error":{"code":...,"message":...}} documented in API.md.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rank", s.handleRank)
@@ -412,6 +430,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
 	if s.store != nil {
 		mux.Handle("/v1/store/", s.store)
+	}
+	if s.work != nil {
+		mux.Handle("/v1/work/", s.work)
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
@@ -425,6 +446,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeError writes err in the unified /v1 error envelope, deriving the
+// HTTP status from the error's type (httpError carries one; cancellation
+// maps to 503; anything else is a 500).
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	var he *httpError
@@ -433,7 +457,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	api.WriteError(w, code, "", "%v", err)
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
@@ -555,6 +579,9 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.store != nil {
 		vars["store"] = s.store.Stats()
+	}
+	if s.work != nil {
+		vars["work"] = s.work.Stats()
 	}
 	writeJSON(w, http.StatusOK, vars)
 }

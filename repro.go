@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/coord"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -122,6 +123,23 @@ type (
 	// ExperimentUnit is one planned experiment unit (a table cell, figure
 	// point or ablation variant) addressed by its ResultKey.
 	ExperimentUnit = experiments.Unit
+	// WorkCoordinator is the lease-based work-stealing coordinator dtrankd
+	// serves under /v1/work/ with -coordinate: a pending queue of planned
+	// unit keys, leases with TTL expiry and heartbeat extension, and
+	// adaptive batch sizing from observed unit cost. NewWorkCoordinator
+	// builds one from an ExperimentPlan.
+	WorkCoordinator = coord.Coordinator
+	// WorkCoordinatorOptions configures a WorkCoordinator (lease TTL,
+	// batch cap, clock injection for tests).
+	WorkCoordinatorOptions = coord.Options
+	// WorkClient is the HTTP client side of the /v1/work/ protocol, with
+	// bounded retry and backoff on transport errors and 5xx responses.
+	WorkClient = coord.Client
+	// WorkWorker is the lease → execute → complete loop of one worker
+	// process — what `dtrank run -worker URL` runs, reusable in-library.
+	WorkWorker = coord.Worker
+	// WorkerStats summarises one WorkWorker.Run.
+	WorkerStats = coord.WorkerStats
 )
 
 // DefaultDatasetOptions returns the synthesis options used for all
@@ -331,13 +349,34 @@ func RunExperimentSpecs(cfg ExperimentConfig, w io.Writer, ids ...string) error 
 	return experiments.RunSpecs(cfg, w, ids...)
 }
 
-// OpenResultStore opens an experiment result store on loc: "" returns an
-// in-memory store, an http:// or https:// URL a remote store served by a
-// dtrankd -cache daemon, anything else a directory store (creating the
-// directory when absent). The directory layout is one CRC-checked file
-// per unit, so it can share a directory with a dtrankd -registry model
-// store.
+// OpenResultStore opens an experiment result store on loc. The argument
+// is dir-or-URL, dispatched on its form:
+//
+//   - ""                      an in-memory store (process-local, unbounded)
+//   - "http://…", "https://…" a remote store served by a dtrankd -cache
+//     daemon; a URL without a path addresses the daemon's default mount,
+//     /v1/store
+//   - anything else           a directory store (created when absent)
+//
+// The directory layout is one CRC-checked file per unit, so it can share
+// a directory with a dtrankd -registry model store, and a daemon's
+// -cache directory is interchangeable with local directory access.
 func OpenResultStore(loc string) (ResultStore, error) { return resultstore.Open(loc) }
+
+// NewWorkCoordinator builds the work-stealing coordinator over a plan's
+// unit list: the control plane dtrankd -coordinate serves under
+// /v1/work/. The plan fingerprint is echoed in every grant so workers
+// started with mismatched experiment flags abort instead of computing a
+// different unit set.
+func NewWorkCoordinator(plan *ExperimentPlan, opts WorkCoordinatorOptions) (*WorkCoordinator, error) {
+	return coord.New(plan.Fingerprint(), plan.Keys(), opts)
+}
+
+// NewWorkClient opens the client side of the /v1/work/ protocol on a
+// coordinator URL (a URL without a path addresses the default mount,
+// /v1/work). Calls retry transient transport errors and 5xx responses
+// with exponential backoff.
+func NewWorkClient(loc string) (*WorkClient, error) { return coord.NewClient(loc) }
 
 // PlanExperimentSpecs enumerates every unit the named experiment specs
 // read, without computing anything — the fan-out side of distributed

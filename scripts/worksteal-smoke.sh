@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# worksteal-smoke: end-to-end check of the lease-based work-stealing
+# control plane, including worker failure.
+#
+#   1. build dtrank and dtrankd
+#   2. reference: single-process `dtrank run -spec all` (in-memory store)
+#   3. start `dtrankd -coordinate all -cache` with a short lease TTL
+#   4. start two `dtrank run -worker` processes; SIGKILL worker A while
+#      the run is in flight, so its outstanding lease expires
+#   5. worker B drains the remaining plan (including A's abandoned units)
+#   6. assert: /v1/work/status reports done == total and lost nothing,
+#      with >= 1 recovered unit from the killed worker's lease, and the
+#      merged render from the daemon's store is byte-identical to the
+#      reference without recomputing a single unit
+#
+# Mirrored by `make worksteal-smoke` and the CI worksteal-smoke job.
+set -euo pipefail
+
+dir=$(mktemp -d)
+pid=""
+wpids=()
+cleanup() {
+    for w in "${wpids[@]:-}"; do
+        [ -n "$w" ] && kill "$w" 2>/dev/null || true
+    done
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+echo "worksteal-smoke: building binaries"
+go build -o "$dir/dtrank" ./cmd/dtrank
+go build -o "$dir/dtrankd" ./cmd/dtrankd
+
+FLAGS=(-spec all -fast -draws 2 -maxk 3)
+# The daemon plans with the same knobs the workers run with.
+PLANFLAGS=(-fast -draws 2 -maxk 3)
+
+echo "worksteal-smoke: single-process reference run"
+"$dir/dtrank" run "${FLAGS[@]}" >"$dir/single.txt" 2>/dev/null
+
+port=$(( 20000 + RANDOM % 20000 ))
+base="http://127.0.0.1:$port"
+echo "worksteal-smoke: starting dtrankd -coordinate on $base (lease TTL 2s)"
+"$dir/dtrankd" -addr "127.0.0.1:$port" -cache "$dir/cache" \
+    -coordinate all -lease-ttl 2s "${PLANFLAGS[@]}" \
+    >"$dir/dtrankd.log" 2>&1 &
+pid=$!
+for i in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "worksteal-smoke: dtrankd died:" >&2
+        cat "$dir/dtrankd.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+total=$(curl -fsS "$base/v1/work/status" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+echo "worksteal-smoke: coordinator queues $total units"
+if [ -z "$total" ] || [ "$total" -lt 2 ]; then
+    echo "worksteal-smoke: implausible unit count '$total'" >&2
+    exit 1
+fi
+
+echo "worksteal-smoke: starting workers A and B"
+"$dir/dtrank" run "${FLAGS[@]}" -worker "$base" -worker-name worker-a \
+    >"$dir/worker-a.out" 2>"$dir/worker-a.err" &
+wa=$!
+wpids+=("$wa")
+"$dir/dtrank" run "${FLAGS[@]}" -worker "$base" -worker-name worker-b \
+    >"$dir/worker-b.out" 2>"$dir/worker-b.err" &
+wb=$!
+wpids+=("$wb")
+
+# Kill worker A once it holds a lease: wait for the first grant to
+# worker-a to appear in its log, then SIGKILL mid-batch. The plan's
+# slowest units run tens of milliseconds, so a lease is essentially
+# always in flight the moment the log line lands.
+for i in $(seq 1 100); do
+    if grep -q 'worker worker-a: leased' "$dir/worker-a.err" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if ! grep -q 'worker worker-a: leased' "$dir/worker-a.err" 2>/dev/null; then
+    echo "worksteal-smoke: worker A never leased a batch" >&2
+    cat "$dir/worker-a.err" >&2
+    exit 1
+fi
+kill -9 "$wa" 2>/dev/null || true
+wait "$wa" 2>/dev/null || true
+echo "worksteal-smoke: killed worker A mid-lease"
+
+if ! wait "$wb"; then
+    echo "worksteal-smoke: worker B failed:" >&2
+    cat "$dir/worker-b.err" >&2
+    exit 1
+fi
+wpids=()
+echo "worksteal-smoke: $(grep 'worker worker-b:' "$dir/worker-b.err" | tail -1)"
+
+status=$(curl -fsS "$base/v1/work/status")
+echo "worksteal-smoke: final status: $status"
+done_count=$(echo "$status" | sed -n 's/.*"done":\([0-9]*\).*/\1/p')
+recovered=$(echo "$status" | sed -n 's/.*"units_recovered":\([0-9]*\).*/\1/p')
+if [ "$done_count" != "$total" ]; then
+    echo "worksteal-smoke: lost units: done=$done_count of total=$total" >&2
+    exit 1
+fi
+if [ -z "$recovered" ] || [ "$recovered" -lt 1 ]; then
+    echo "worksteal-smoke: killed worker's lease was never recovered" >&2
+    exit 1
+fi
+echo "worksteal-smoke: all $total units done, $recovered recovered from the killed worker"
+
+echo "worksteal-smoke: merge render from the daemon's store"
+"$dir/dtrank" run "${FLAGS[@]}" -cache "$base" \
+    >"$dir/merged.txt" 2>"$dir/merged.err"
+if ! cmp -s "$dir/single.txt" "$dir/merged.txt"; then
+    echo "worksteal-smoke: merged output differs from single-process run" >&2
+    diff "$dir/single.txt" "$dir/merged.txt" >&2 || true
+    exit 1
+fi
+summary=$(grep 'result store' "$dir/merged.err")
+echo "worksteal-smoke: $summary"
+computed=$(echo "$summary" | sed -n 's/.*, \([0-9][0-9]*\) computed.*/\1/p')
+if [ -z "$computed" ] || [ "$computed" -ne 0 ]; then
+    echo "worksteal-smoke: merge render recomputed $computed units" >&2
+    exit 1
+fi
+echo "worksteal-smoke: merged stdout byte-identical to single-process run"
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "worksteal-smoke: OK"
