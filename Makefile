@@ -4,7 +4,7 @@
 GO ?= go
 DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test bench bench-json examples serve serve-smoke cache-smoke shard-smoke worksteal-smoke lint staticcheck ci
+.PHONY: build test bench bench-json examples serve serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke lint staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,14 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
 
 # Record a performance snapshot: run the benchmark suite with -benchmem
-# and write the machine-readable BENCH_<date>.json for committing.
-# Dedicated perf runs should bump -benchtime (e.g. BENCHTIME=5x).
+# plus a short serving loadtest (the smoke script prints benchmark-shaped
+# lines on stdout), and write the machine-readable BENCH_<date>.json for
+# committing. Dedicated perf runs should bump -benchtime (e.g.
+# BENCHTIME=5x).
 BENCHTIME ?= 1x
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./... \
+	( $(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./... \
+		&& ./scripts/loadtest-smoke.sh ) \
 		| $(GO) run ./cmd/benchstatjson -o BENCH_$(DATE).json
 	@echo wrote BENCH_$(DATE).json
 
@@ -61,6 +64,12 @@ shard-smoke:
 worksteal-smoke:
 	./scripts/worksteal-smoke.sh
 
+# End-to-end serving-SLO check: dtrankd up, a short `dtrank loadtest`
+# against it, gated on p99 under a generous floor and on the response
+# cache actually serving hits. Fails the build on an SLO regression.
+loadtest-smoke:
+	./scripts/loadtest-smoke.sh
+
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -77,4 +86,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
 	fi
 
-ci: lint staticcheck build test bench examples serve-smoke cache-smoke shard-smoke worksteal-smoke
+ci: lint staticcheck build test bench examples serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke

@@ -39,6 +39,10 @@ type Result struct {
 	// BytesPerOp and AllocsPerOp are present when -benchmem was set.
 	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any further "<value> <unit>" pairs on the line, as
+	// emitted by b.ReportMetric or by `dtrank loadtest` (e.g. "qps",
+	// "p99-ns"), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the JSON document: run context plus all results.
@@ -131,15 +135,24 @@ func parseBenchLine(line string) (Result, bool) {
 	}
 	res := Result{Name: fields[0], Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
+		f, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "B/op":
+			v := int64(f)
 			res.BytesPerOp = &v
 		case "allocs/op":
+			v := int64(f)
 			res.AllocsPerOp = &v
+		default:
+			// Custom metrics (b.ReportMetric, loadtest percentiles/QPS)
+			// ride along as "<value> <unit>" pairs.
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = f
 		}
 	}
 	return res, true

@@ -54,6 +54,35 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseCustomMetrics covers the "<value> <unit>" pairs beyond
+// -benchmem: b.ReportMetric output and `dtrank loadtest` entries.
+func TestParseCustomMetrics(t *testing.T) {
+	const out = `pkg: repro/internal/serve
+BenchmarkLoadtest/overall 	    1842	  271342 ns/op	  243712 p50-ns	  512000 p95-ns	  770048 p99-ns	 612.4 qps
+PASS
+`
+	snap, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 1 {
+		t.Fatalf("%d results, want 1", len(snap.Results))
+	}
+	r := snap.Results[0]
+	if r.Iterations != 1842 || r.NsPerOp != 271342 {
+		t.Fatalf("timing = %+v", r)
+	}
+	want := map[string]float64{"p50-ns": 243712, "p95-ns": 512000, "p99-ns": 770048, "qps": 612.4}
+	if len(r.Metrics) != len(want) {
+		t.Fatalf("metrics = %+v, want %+v", r.Metrics, want)
+	}
+	for k, v := range want {
+		if r.Metrics[k] != v {
+			t.Fatalf("metric %s = %v, want %v", k, r.Metrics[k], v)
+		}
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
 		t.Fatal("want error for input without benchmarks")

@@ -1,0 +1,369 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// latHist is an HDR-style log-bucketed latency histogram: 64 sub-buckets
+// per power of two, so recorded values are off by at most ~1.6% while the
+// whole nanoseconds-to-minutes range fits in a few KB of counters. Values
+// below 64ns land in exact unit buckets.
+type latHist struct {
+	counts []int64
+	total  int64
+	sum    int64
+}
+
+// histSub is the per-octave resolution (relative error 1/histSub).
+const histSub = 64
+
+func newLatHist() *latHist {
+	// Octaves 6..62 of 64 buckets each, after the 64 unit buckets.
+	return &latHist{counts: make([]int64, (63-6+1)*histSub)}
+}
+
+// bucket maps a nanosecond latency to its slot.
+func (h *latHist) bucket(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	exp := bits.Len64(uint64(ns)) - 1
+	if exp < 6 {
+		return int(ns)
+	}
+	sub := int((uint64(ns) >> uint(exp-6)) & (histSub - 1))
+	i := (exp-6+1)*histSub + sub
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// upperBound returns the largest latency a slot can hold — quantiles
+// report it so they never understate.
+func (h *latHist) upperBound(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	block := i/histSub - 1 // octave above the unit range
+	sub := i % histSub
+	return (int64(histSub+sub+1) << uint(block)) - 1
+}
+
+// record adds one latency observation.
+func (h *latHist) record(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.counts[h.bucket(ns)]++
+	h.total++
+	h.sum += ns
+}
+
+// merge folds other into h (workers record privately, then merge).
+func (h *latHist) merge(other *latHist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// quantile returns the latency at fraction q (0 < q <= 1) of the
+// recorded distribution, as a bucket upper bound.
+func (h *latHist) quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return h.upperBound(i)
+		}
+	}
+	return h.upperBound(len(h.counts) - 1)
+}
+
+// mean returns the exact average latency in nanoseconds.
+func (h *latHist) mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// loadQuery is one request shape of the loadtest mix.
+type loadQuery struct {
+	method string
+	body   []byte
+}
+
+// loadtestResult aggregates one run: per-method and overall histograms
+// plus achieved throughput.
+type loadtestResult struct {
+	overall   *latHist
+	perMethod map[string]*latHist
+	methods   []string // mix order, for stable output
+	elapsed   time.Duration
+	errors    int64
+	firstErr  string
+}
+
+// qps returns the achieved request rate.
+func (r *loadtestResult) qps() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.overall.total) / r.elapsed.Seconds()
+}
+
+// runLoadtestWorkers drives the closed-loop load: workers cycle through
+// the query mix against base until the deadline, each recording into
+// private histograms that merge afterwards. qps > 0 paces the aggregate
+// request rate (each request n is released at start + n/qps); qps == 0
+// runs flat out.
+func runLoadtestWorkers(client *http.Client, base string, queries []loadQuery, workers int, duration time.Duration, qps float64) *loadtestResult {
+	res := &loadtestResult{overall: newLatHist(), perMethod: map[string]*latHist{}}
+	for _, q := range queries {
+		if res.perMethod[q.method] == nil {
+			res.perMethod[q.method] = newLatHist()
+			res.methods = append(res.methods, q.method)
+		}
+	}
+
+	type obs struct {
+		overall   *latHist
+		perMethod map[string]*latHist
+		errors    int64
+		firstErr  string
+	}
+	start := time.Now()
+	deadline := start.Add(duration)
+	var ticket int64
+	var ticketMu sync.Mutex
+	nextSlot := func() time.Time {
+		ticketMu.Lock()
+		n := ticket
+		ticket++
+		ticketMu.Unlock()
+		return start.Add(time.Duration(float64(n) / qps * float64(time.Second)))
+	}
+
+	results := make([]obs, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := obs{overall: newLatHist(), perMethod: map[string]*latHist{}}
+			for _, q := range queries {
+				if o.perMethod[q.method] == nil {
+					o.perMethod[q.method] = newLatHist()
+				}
+			}
+			for i := w; ; i++ {
+				if qps > 0 {
+					slot := nextSlot()
+					if sleep := time.Until(slot); sleep > 0 {
+						time.Sleep(sleep)
+					}
+				}
+				if !time.Now().Before(deadline) {
+					break
+				}
+				q := queries[i%len(queries)]
+				t0 := time.Now()
+				err := postRank(client, base, q.body)
+				lat := time.Since(t0)
+				if err != nil {
+					o.errors++
+					if o.firstErr == "" {
+						o.firstErr = err.Error()
+					}
+					continue
+				}
+				o.overall.record(lat)
+				o.perMethod[q.method].record(lat)
+			}
+			results[w] = o
+		}(w)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	for _, o := range results {
+		res.overall.merge(o.overall)
+		for m, h := range o.perMethod {
+			res.perMethod[m].merge(h)
+		}
+		res.errors += o.errors
+		if res.firstErr == "" {
+			res.firstErr = o.firstErr
+		}
+	}
+	return res
+}
+
+// postRank issues one /v1/rank request and drains the response.
+func postRank(client *http.Client, base string, body []byte) error {
+	resp, err := client.Post(base+"/v1/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// benchLine renders one benchmark-shaped result line, parseable by
+// cmd/benchstatjson exactly like `go test -bench` output: iterations,
+// mean ns/op, then percentile and throughput metric pairs.
+func benchLine(name string, h *latHist, qps float64) string {
+	return fmt.Sprintf("BenchmarkLoadtest/%s \t%8d\t%12.0f ns/op\t%12d p50-ns\t%12d p95-ns\t%12d p99-ns\t%10.1f qps",
+		name, h.total, h.mean(), h.quantile(0.50), h.quantile(0.95), h.quantile(0.99), qps)
+}
+
+// runLoadtest is the `dtrank loadtest` subcommand: an SLO-gated load
+// generator for a live dtrankd. Closed-loop workers drive a configurable
+// method/application mix, latency is captured in log-bucketed histograms,
+// and the results print as benchmark-shaped lines on stdout so
+// `... | benchstatjson` folds them into a BENCH_<date>.json snapshot
+// next to the go test -bench entries. With -slo-p99 the command exits
+// non-zero when the overall p99 exceeds the floor, and with
+// -min-cache-hits it asserts the daemon's response cache actually
+// carried load — the CI smoke gate.
+func runLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8117", "base URL of the dtrankd under test")
+	duration := fs.Duration("duration", 3*time.Second, "measured run length")
+	workers := fs.Int("workers", 8, "closed-loop worker count")
+	qps := fs.Float64("qps", 0, "aggregate request rate to pace to (0 = flat out)")
+	family := fs.String("family", "Intel Xeon", "target processor family of every query")
+	apps := fs.String("apps", "gcc,mcf,libquantum", "comma-separated applications of interest, cycled through the mix")
+	methods := fs.String("methods", "NN^T,MLP^T", "comma-separated method mix, cycled per request (repeat a name to weight it)")
+	top := fs.Int("top", 10, "ranking length requested")
+	warmup := fs.Bool("warmup", true, "issue one unmeasured request per query shape first (pays cold fits outside the histogram)")
+	sloP99 := fs.Duration("slo-p99", 0, "fail when overall p99 exceeds this (0 = no gate)")
+	minCacheHits := fs.Int64("min-cache-hits", 0, "fail unless the daemon reports at least this many rankcache_hits after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(*url, "/")
+
+	var queries []loadQuery
+	for _, m := range strings.Split(*methods, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		canon, err := serve.CanonicalMethod(m)
+		if err != nil {
+			return err
+		}
+		for _, app := range strings.Split(*apps, ",") {
+			app = strings.TrimSpace(app)
+			if app == "" {
+				continue
+			}
+			body, err := json.Marshal(serve.RankRequest{Family: *family, App: app, Method: canon, Top: *top})
+			if err != nil {
+				return err
+			}
+			queries = append(queries, loadQuery{method: canon, body: body})
+		}
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("empty query mix (check -methods and -apps)")
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if *warmup {
+		for _, q := range queries {
+			if err := postRank(client, base, q.body); err != nil {
+				return fmt.Errorf("warmup %s: %w", q.method, err)
+			}
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "loadtest: %d workers × %s against %s, %d query shapes\n",
+		*workers, *duration, base, len(queries))
+	res := runLoadtestWorkers(client, base, queries, *workers, *duration, *qps)
+	if res.overall.total == 0 {
+		if res.firstErr != "" {
+			return fmt.Errorf("no successful requests (first error: %s)", res.firstErr)
+		}
+		return fmt.Errorf("no requests completed within -duration")
+	}
+
+	// Benchmark-shaped results on stdout; everything else on stderr.
+	fmt.Println(benchLine("overall", res.overall, res.qps()))
+	for _, m := range res.methods {
+		h := res.perMethod[m]
+		if h.total == 0 {
+			continue
+		}
+		fmt.Println(benchLine("method="+m, h, float64(h.total)/res.elapsed.Seconds()))
+	}
+	fmt.Fprintf(os.Stderr, "loadtest: %d requests in %s (%.1f qps), p50 %s p95 %s p99 %s, %d errors\n",
+		res.overall.total, res.elapsed.Round(time.Millisecond), res.qps(),
+		time.Duration(res.overall.quantile(0.50)), time.Duration(res.overall.quantile(0.95)),
+		time.Duration(res.overall.quantile(0.99)), res.errors)
+
+	if res.errors > 0 {
+		return fmt.Errorf("%d of %d requests failed (first error: %s)",
+			res.errors, res.errors+res.overall.total, res.firstErr)
+	}
+	if *sloP99 > 0 {
+		if p99 := time.Duration(res.overall.quantile(0.99)); p99 > *sloP99 {
+			return fmt.Errorf("SLO violated: p99 %s exceeds -slo-p99 %s", p99, *sloP99)
+		}
+		fmt.Fprintf(os.Stderr, "loadtest: SLO ok: p99 %s within %s\n",
+			time.Duration(res.overall.quantile(0.99)), *sloP99)
+	}
+	if *minCacheHits > 0 {
+		hits, err := fetchCacheHits(client, base)
+		if err != nil {
+			return fmt.Errorf("reading /debug/vars: %w", err)
+		}
+		if hits < *minCacheHits {
+			return fmt.Errorf("rankcache_hits = %d, want at least %d", hits, *minCacheHits)
+		}
+		fmt.Fprintf(os.Stderr, "loadtest: cache ok: %d rankcache_hits\n", hits)
+	}
+	return nil
+}
+
+// fetchCacheHits reads the daemon's rankcache_hits counter.
+func fetchCacheHits(client *http.Client, base string) (int64, error) {
+	resp, err := client.Get(base + "/debug/vars")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		RankcacheHits int64 `json:"rankcache_hits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return 0, err
+	}
+	return vars.RankcacheHits, nil
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// TestLatHistQuantiles checks the log-bucketed histogram against a known
+// distribution: quantiles must never understate (bucket upper bounds)
+// and stay within the ~1.6% bucket resolution plus one bucket.
+func TestLatHistQuantiles(t *testing.T) {
+	h := newLatHist()
+	// 1..1000 µs, uniform: p50 ≈ 500µs, p99 ≈ 990µs.
+	for i := 1; i <= 1000; i++ {
+		h.record(time.Duration(i) * time.Microsecond)
+	}
+	if h.total != 1000 {
+		t.Fatalf("total = %d", h.total)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64 // ns
+	}{
+		{0.50, 500e3},
+		{0.95, 950e3},
+		{0.99, 990e3},
+	} {
+		got := float64(h.quantile(tc.q))
+		if got < tc.want {
+			t.Fatalf("q%.2f = %.0f understates %.0f", tc.q, got, tc.want)
+		}
+		if got > tc.want*1.05 {
+			t.Fatalf("q%.2f = %.0f overstates %.0f by more than 5%%", tc.q, got, tc.want)
+		}
+	}
+	if m := h.mean(); m < 499e3 || m > 502e3 {
+		t.Fatalf("mean = %.0f, want ~500500", m)
+	}
+}
+
+// TestLatHistBucketsMonotonic walks latencies across several octaves and
+// asserts bucket indices and upper bounds never decrease, and that every
+// value is <= its bucket's upper bound.
+func TestLatHistBucketsMonotonic(t *testing.T) {
+	h := newLatHist()
+	prevIdx, prevUB := -1, int64(-1)
+	for ns := int64(1); ns < int64(10*time.Second); ns = ns*17/16 + 1 {
+		idx := h.bucket(ns)
+		if idx < prevIdx {
+			t.Fatalf("bucket(%d) = %d < previous %d", ns, idx, prevIdx)
+		}
+		ub := h.upperBound(idx)
+		if ub < ns {
+			t.Fatalf("upperBound(bucket(%d)) = %d understates the value", ns, ub)
+		}
+		if idx > prevIdx && ub <= prevUB {
+			t.Fatalf("upper bounds not increasing at bucket %d", idx)
+		}
+		prevIdx, prevUB = idx, ub
+	}
+}
+
+// TestLatHistMerge asserts merged worker histograms equal one combined
+// histogram.
+func TestLatHistMerge(t *testing.T) {
+	a, b, all := newLatHist(), newLatHist(), newLatHist()
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		if i%2 == 0 {
+			a.record(d)
+		} else {
+			b.record(d)
+		}
+		all.record(d)
+	}
+	a.merge(b)
+	if a.total != all.total || a.sum != all.sum {
+		t.Fatalf("merge totals %d/%d, want %d/%d", a.total, a.sum, all.total, all.sum)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.quantile(q) != all.quantile(q) {
+			t.Fatalf("q%.2f differs after merge", q)
+		}
+	}
+}
+
+// TestBenchLineParseable pins the stdout format contract with
+// cmd/benchstatjson: the line must look like a `go test -bench` result —
+// name, iterations, "ns/op", then metric pairs.
+func TestBenchLineParseable(t *testing.T) {
+	h := newLatHist()
+	h.record(250 * time.Microsecond)
+	h.record(750 * time.Microsecond)
+	line := benchLine("overall", h, 123.4)
+	fields := strings.Fields(line)
+	if fields[0] != "BenchmarkLoadtest/overall" {
+		t.Fatalf("name = %q", fields[0])
+	}
+	if fields[1] != "2" || fields[3] != "ns/op" {
+		t.Fatalf("line = %q", line)
+	}
+	want := []string{"p50-ns", "p95-ns", "p99-ns", "qps"}
+	var units []string
+	for i := 5; i < len(fields); i += 2 {
+		units = append(units, fields[i])
+	}
+	if strings.Join(units, ",") != strings.Join(want, ",") {
+		t.Fatalf("metric units %v, want %v", units, want)
+	}
+}
+
+// TestRunLoadtestAgainstLiveServer drives the full subcommand against an
+// in-process serving handler: mixed methods, warmup, an SLO gate and the
+// cache-hits assertion all pass, and failures of each gate are reported.
+func TestRunLoadtestAgainstLiveServer(t *testing.T) {
+	data, err := synth.Generate(synth.DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.NewServer(data.Matrix, data.Characteristics, serve.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	err = runLoadtest([]string{
+		"-url", ts.URL,
+		"-duration", "300ms",
+		"-workers", "4",
+		"-apps", "gcc,mcf",
+		"-methods", "NN^T,MLP^T",
+		"-slo-p99", "10s",
+		"-min-cache-hits", "1",
+	})
+	if err != nil {
+		t.Fatalf("loadtest failed: %v", err)
+	}
+
+	// An impossible SLO floor must gate.
+	err = runLoadtest([]string{
+		"-url", ts.URL, "-duration", "100ms", "-workers", "2",
+		"-apps", "gcc", "-methods", "NN^T", "-slo-p99", "1ns",
+	})
+	if err == nil || !strings.Contains(err.Error(), "SLO violated") {
+		t.Fatalf("err = %v, want SLO violation", err)
+	}
+
+	// An unreachable daemon fails the warmup with a useful error.
+	err = runLoadtest([]string{"-url", "http://127.0.0.1:1", "-duration", "50ms"})
+	if err == nil || !strings.Contains(err.Error(), "warmup") {
+		t.Fatalf("err = %v, want warmup failure", err)
+	}
+
+	// An unknown method in the mix is rejected before any traffic.
+	err = runLoadtest([]string{"-url", ts.URL, "-methods", "bogus"})
+	if err == nil {
+		t.Fatal("want unknown-method error")
+	}
+}

@@ -24,6 +24,12 @@
 //	                                              -worker leases batches from a
 //	                                              dtrankd -coordinate daemon instead
 //	dtrank cache  <ls|verify|prune> -cache dir    result-store lifecycle
+//	dtrank loadtest [-url http://host:8117] [-duration 3s] [-workers 8]
+//	                [-qps Q] [-methods M,..] [-apps A,..] [-slo-p99 D]
+//	                                              SLO-gated load generator for a
+//	                                              live dtrankd; emits p50/p95/p99
+//	                                              and QPS as benchmark-shaped
+//	                                              lines for benchstatjson
 //	dtrank methods [-json]                        the method registry
 //
 // Every experiment command accepts -workers N to bound the engine worker
@@ -116,6 +122,8 @@ func main() {
 		err = runMethods(args)
 	case "run":
 		err = runRun(args)
+	case "loadtest":
+		err = runLoadtest(args)
 	case "cache":
 		err = runCache(args)
 	case "all":
@@ -156,6 +164,10 @@ commands:
           worker, leasing unit batches instead of taking a fixed shard
   cache   result-store lifecycle: ls, verify, prune (-keep N / -max-age d /
           -max-bytes B)
+  loadtest drive a live dtrankd (-url) with closed-loop workers and a
+          configurable method/app mix; prints p50/p95/p99 and achieved QPS
+          as benchmark-shaped lines for benchstatjson, and gates on
+          -slo-p99 / -min-cache-hits for CI smoke runs
   methods list the prediction-method registry (names, aliases, capabilities)
 
 run 'dtrank <command> -h' for command flags`)

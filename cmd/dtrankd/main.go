@@ -6,12 +6,18 @@
 // Usage:
 //
 //	dtrankd [-addr :8117] [-seed N] [-data file.csv] [-workers N]
-//	        [-max-models N] [-registry dir] [-save] [-cache dir]
+//	        [-max-models N] [-rank-cache N] [-batch-window D] [-batch-max N]
+//	        [-registry dir] [-save] [-cache dir]
 //	        [-coordinate all|id,..] [-lease-ttl 30s] [-fast] [-draws D] [-maxk K]
 //
 // Rankings are byte-identical to `dtrank rank -json` for the same seed,
 // family, application and method — the daemon is a cache in front of the
-// same deterministic fits, not a different code path.
+// same deterministic fits, not a different code path. The serving fast
+// path layers on top without changing a byte: -rank-cache bounds an LRU
+// of rendered response bodies (hits skip fit, predict and encode, and
+// /v1/rank answers If-None-Match revalidation with 304), and
+// -batch-window/-batch-max collect concurrent MLP^T cache misses for the
+// same model into one shared ensemble walk.
 //
 // Endpoints: POST /v1/rank, GET /v1/methods, GET /v1/machines,
 // POST /v1/snapshot (hot-swap the database from a CSV body), GET /healthz,
@@ -77,6 +83,9 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	dataFile := fs.String("data", "", "load the performance database from CSV (as written by 'dtrank gen') instead of synthesising it; GA-kNN is unavailable in this mode")
 	workers := fs.Int("workers", 0, "worker pool bound for fitting (0 = all cores)")
 	maxModels := fs.Int("max-models", serve.DefaultMaxModels, "registry LRU bound")
+	rankCache := fs.Int("rank-cache", serve.DefaultRankCacheSize, "rendered-response cache bound in entries (-1 disables the cache and ETag/304 revalidation)")
+	batchWindow := fs.Duration("batch-window", serve.DefaultBatchWindow, "micro-batching window for concurrent MLP^T cache misses (-1ns disables batching)")
+	batchMax := fs.Int("batch-max", serve.DefaultBatchMax, "flush a forming micro-batch early at this many queries")
 	registryDir := fs.String("registry", "", "warm-start the model registry from this directory")
 	save := fs.Bool("save", false, "save the registry back to -registry on shutdown")
 	cacheDir := fs.String("cache", "", "serve the experiment result store under /v1/store/ from this directory (the merge point of 'dtrank run -shard -cache http://this-daemon')")
@@ -142,7 +151,15 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		}
 	}
 
-	srv, err := serve.NewServer(matrix, chars, serve.Options{Seed: *seed, MaxModels: *maxModels, StoreDir: *cacheDir, Coordinator: co})
+	srv, err := serve.NewServer(matrix, chars, serve.Options{
+		Seed:        *seed,
+		MaxModels:   *maxModels,
+		StoreDir:    *cacheDir,
+		Coordinator: co,
+		RankCache:   *rankCache,
+		BatchWindow: *batchWindow,
+		BatchMax:    *batchMax,
+	})
 	if err != nil {
 		return err
 	}

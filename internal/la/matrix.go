@@ -215,17 +215,42 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("la: Mul %d×%d by %d×%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
 	}
 	out := NewMatrix(m.rows, b.cols)
+	if err := m.MulInto(out, b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulInto computes m·b into dst, reusing dst's storage instead of
+// allocating a result — the scratch-pooling hook of batch-serving call
+// sites that multiply per flush. dst must be m.Rows()×b.Cols() and must
+// not alias m or b; previous contents are overwritten. The kernel and
+// accumulation order are exactly Mul's, so results are bitwise identical.
+func (m *Matrix) MulInto(dst, b *Matrix) error {
+	if m.cols != b.rows {
+		return fmt.Errorf("la: MulInto %d×%d by %d×%d: %w", m.rows, m.cols, b.rows, b.cols, ErrShape)
+	}
+	if dst.rows != m.rows || dst.cols != b.cols {
+		return fmt.Errorf("la: MulInto destination %d×%d for %d×%d product: %w",
+			dst.rows, dst.cols, m.rows, b.cols, ErrShape)
+	}
+	for i := 0; i < dst.rows; i++ {
+		row := dst.row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
 	if m.rows*m.cols*b.cols >= mulParallelFlops && m.rows > mulBlock {
 		bands := (m.rows + mulBlock - 1) / mulBlock
 		// Each band owns its output rows, so the fan-out is race-free.
 		_ = engine.Default().Map(bands, func(bi int) error {
-			m.mulRange(out, b, bi*mulBlock, min((bi+1)*mulBlock, m.rows))
+			m.mulRange(dst, b, bi*mulBlock, min((bi+1)*mulBlock, m.rows))
 			return nil
 		})
 	} else {
-		m.mulRange(out, b, 0, m.rows)
+		m.mulRange(dst, b, 0, m.rows)
 	}
-	return out, nil
+	return nil
 }
 
 // mulRange computes out rows [i0, i1) of m·b, tiling k and j for cache

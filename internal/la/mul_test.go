@@ -31,6 +31,51 @@ func randomMatrix(rows, cols int, rng *rand.Rand) *Matrix {
 	return m
 }
 
+// TestMulIntoReusesDst asserts MulInto overwrites stale destination
+// contents, matches Mul bitwise (including across the parallel
+// threshold), allocates nothing once dst exists, and rejects shape
+// mismatches.
+func TestMulIntoReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][3]int{
+		{3, 4, 5},    // serial path
+		{70, 81, 93}, // parallel path with remainders
+	} {
+		a := randomMatrix(dims[0], dims[1], rng)
+		b := randomMatrix(dims[1], dims[2], rng)
+		dst := randomMatrix(dims[0], dims[2], rng) // stale garbage to overwrite
+		if err := a.MulInto(dst, b); err != nil {
+			t.Fatal(err)
+		}
+		want, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.data {
+			if dst.data[i] != want.data[i] {
+				t.Fatalf("%v: element %d = %v, want %v (bitwise)", dims, i, dst.data[i], want.data[i])
+			}
+		}
+	}
+	a := randomMatrix(4, 3, rng)
+	b := randomMatrix(3, 5, rng)
+	dst := NewMatrix(4, 5)
+	avg := testing.AllocsPerRun(100, func() {
+		if err := a.MulInto(dst, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("MulInto allocates %.1f objects per call, want 0", avg)
+	}
+	if err := a.MulInto(NewMatrix(3, 5), b); err == nil {
+		t.Fatal("want shape error for wrong destination rows")
+	}
+	if err := b.MulInto(dst, a); err == nil {
+		t.Fatal("want shape error for inner-dimension mismatch")
+	}
+}
+
 // TestMulBlockedMatchesNaive crosses the parallel threshold and odd tile
 // remainders; results must be bitwise identical to the reference kernel,
 // not merely close, because experiment determinism rides on it.

@@ -51,6 +51,28 @@ func TestPredict1BatchMatchesPredict1(t *testing.T) {
 	}
 }
 
+// TestPredict1BatchAllocFree asserts the batch path draws its forward
+// buffers from the scratch pool: after one warming call, a batch
+// allocates nothing — the property the serving micro-batcher relies on.
+func TestPredict1BatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector")
+	}
+	e, queries := trainedEnsemble(t, 3)
+	dst := make([]float64, len(queries))
+	if err := e.Predict1Batch(queries, dst); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := e.Predict1Batch(queries, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Predict1Batch allocates %.1f objects per call at steady state, want 0", avg)
+	}
+}
+
 func TestPredict1BatchErrors(t *testing.T) {
 	e, queries := trainedEnsemble(t, 1)
 	if err := e.Predict1Batch(queries, make([]float64, 1)); err == nil {

@@ -115,19 +115,37 @@ func (e *Ensemble) Predict1With(f *Forward, x []float64) (float64, error) {
 	return s / float64(len(e.Nets)), nil
 }
 
+// forwardScratch pools Forward buffers across Predict1Batch calls: the
+// serving batch path predicts per flush, and at steady state (one
+// topology per model, pool warmed) a flush borrows existing buffers
+// instead of allocating fresh ones — the batched path is alloc-free.
+var forwardScratch = engine.NewScratch(func() *Forward { return &Forward{} })
+
+// ensure resizes f to fit n, keeping the existing buffers when the
+// topology already matches (the steady-state case for pooled scratch).
+func (f *Forward) ensure(n *Network) {
+	if f.compatible(n) {
+		return
+	}
+	f.acts = n.newActivations()
+	f.out = make([]float64, n.NOut)
+}
+
 // Predict1Batch predicts every input vector in one call, writing
-// predictions into dst (len(dst) == len(inputs)). One set of forward
-// buffers serves the whole batch — the batch costs one allocation instead
-// of a few per input. Results are bitwise identical to calling Predict1
+// predictions into dst (len(dst) == len(inputs)). One set of pooled
+// forward buffers serves the whole batch — at steady state the batch
+// allocates nothing. Results are bitwise identical to calling Predict1
 // per input.
 func (e *Ensemble) Predict1Batch(inputs [][]float64, dst []float64) error {
 	if len(dst) != len(inputs) {
 		return fmt.Errorf("mlp: Predict1Batch with %d inputs and %d output slots", len(inputs), len(dst))
 	}
-	f, err := e.NewForward()
-	if err != nil {
-		return err
+	if len(e.Nets) == 0 {
+		return errors.New("mlp: empty ensemble")
 	}
+	f := forwardScratch.Get()
+	defer forwardScratch.Put(f)
+	f.ensure(e.Nets[0])
 	for i, x := range inputs {
 		y, err := e.Predict1With(f, x)
 		if err != nil {

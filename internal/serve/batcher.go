@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBatchWindow is the micro-batching collection window when Options
+// leave it zero: long enough for genuinely concurrent requests to meet,
+// short against even a warm MLP^T ensemble walk.
+const DefaultBatchWindow = 500 * time.Microsecond
+
+// DefaultBatchMax flushes a batch early once this many queries joined.
+const DefaultBatchMax = 16
+
+// batchGroup is one forming micro-batch: the queries for a single model
+// key collected during one window. The creator owns the flush — it waits
+// out the window (or the size cap), runs the shared prediction once, and
+// publishes the result to every member through done.
+type batchGroup struct {
+	full      chan struct{} // closed when members reaches the cap
+	done      chan struct{} // closed after the flush fills predicted/err
+	members   int
+	predicted []float64
+	err       error
+}
+
+// batcher amortises the MLP^T ensemble walk across concurrent cache-miss
+// queries that share a model key. The per-request coalescing layer in
+// Server already folds identical queries into one call, so the members of
+// a group are distinct requests against one model — e.g. the same
+// (snapshot, family, app) with different top clamps. One PredictTargets
+// serves them all; each member renders its own response from the shared
+// prediction vector, so results are bitwise identical to the unbatched
+// path by construction (same model, same walk, same floats).
+type batcher struct {
+	window time.Duration
+	max    int
+
+	mu     sync.Mutex
+	groups map[Key]*batchGroup
+
+	flushes atomic.Int64
+	batched atomic.Int64
+}
+
+// newBatcher returns a batcher with the given window and size cap (zero
+// values mean the defaults).
+func newBatcher(window time.Duration, max int) *batcher {
+	if window <= 0 {
+		window = DefaultBatchWindow
+	}
+	if max <= 0 {
+		max = DefaultBatchMax
+	}
+	return &batcher{window: window, max: max, groups: map[Key]*batchGroup{}}
+}
+
+// predictTargets joins the forming batch for key, or creates one and
+// becomes its flusher. flush must run the shared prediction exactly once
+// and return the full predicted-targets vector; it runs under the
+// server's lifetime, not any one request's, so a disconnecting member
+// never cancels the batch for the others (the result slice is shared and
+// must be treated as read-only by every member). Members whose own ctx
+// ends first leave with its error; the flush still completes.
+func (b *batcher) predictTargets(ctx, base context.Context, key Key, flush func() ([]float64, error)) ([]float64, error) {
+	b.mu.Lock()
+	g, ok := b.groups[key]
+	if ok && g.members < b.max {
+		g.members++
+		if g.members == b.max {
+			close(g.full)
+		}
+		b.mu.Unlock()
+		select {
+		case <-g.done:
+			return g.predicted, g.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-base.Done():
+			return nil, base.Err()
+		}
+	}
+	// Either no group is forming or the incumbent sealed at the cap; start
+	// a fresh one. A sealed group's creator deletes it by identity, so
+	// replacing the map slot here is safe.
+	g = &batchGroup{full: make(chan struct{}), done: make(chan struct{}), members: 1}
+	b.groups[key] = g
+	b.mu.Unlock()
+
+	timer := time.NewTimer(b.window)
+	select {
+	case <-timer.C:
+	case <-g.full:
+		timer.Stop()
+	case <-base.Done():
+		timer.Stop()
+	}
+	b.mu.Lock()
+	if b.groups[key] == g {
+		delete(b.groups, key)
+	}
+	members := g.members
+	b.mu.Unlock()
+
+	if err := base.Err(); err != nil {
+		g.err = err
+	} else {
+		g.predicted, g.err = flush()
+		b.flushes.Add(1)
+		b.batched.Add(int64(members))
+	}
+	close(g.done)
+	return g.predicted, g.err
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatchedMLPTParity drives many concurrent MLP^T queries against one
+// model key — same app, distinct top clamps, so the per-request
+// coalescing layer cannot fold them — with the response cache disabled so
+// every request reaches the batcher, and asserts every response is
+// byte-identical to the unbatched library path. Run under -race this also
+// exercises the shared-prediction publication.
+func TestBatchedMLPTParity(t *testing.T) {
+	m := testWorld(t)
+	srv, err := NewServer(m, nil, Options{
+		Seed:        1,
+		RankCache:   -1, // force every request through fit/predict
+		BatchWindow: 2 * time.Millisecond,
+		BatchMax:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	want := map[int][]byte{}
+	for top := 1; top <= 4; top++ {
+		want[top] = encodeResponse(t, libraryRank(t, m, nil, "Alpha", "benchC", "MLP^T", 1, top))
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, rounds*4)
+	for r := 0; r < rounds; r++ {
+		for top := 1; top <= 4; top++ {
+			wg.Add(1)
+			go func(top int) {
+				defer wg.Done()
+				rec := postRank(t, h, RankRequest{Family: "Alpha", App: "benchC", Method: "MLP^T", Top: top})
+				if rec.Code != http.StatusOK {
+					errs <- rec.Body.String()
+					return
+				}
+				if !bytes.Equal(rec.Body.Bytes(), want[top]) {
+					errs <- "batched response differs from the unbatched library path"
+				}
+			}(top)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	if st := srv.Registry().Stats(); st.Fits != 1 {
+		t.Fatalf("batched queries fitted %d models, want 1", st.Fits)
+	}
+	flushes, batched := srv.batch.flushes.Load(), srv.batch.batched.Load()
+	if flushes == 0 || batched == 0 {
+		t.Fatalf("flushes=%d batched=%d, want both positive", flushes, batched)
+	}
+	if batched < flushes {
+		t.Fatalf("batched=%d < flushes=%d", batched, flushes)
+	}
+	// 32 distinct (shape) requests minus rankCall coalescing folds must all
+	// be accounted for by flushes.
+	coalesced := srv.coalesced.Load()
+	if got := batched + coalesced; got != rounds*4 {
+		t.Fatalf("batched=%d + coalesced=%d = %d, want %d", batched, coalesced, got, rounds*4)
+	}
+}
+
+// TestBatcherSoloFallback asserts a lone MLP^T query flushes as a
+// single-member group after the window — results identical to the
+// unbatched path, one flush, one batched query.
+func TestBatcherSoloFallback(t *testing.T) {
+	m := testWorld(t)
+	srv, err := NewServer(m, nil, Options{Seed: 1, RankCache: -1, BatchWindow: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	rec := postRank(t, h, RankRequest{Family: "Alpha", App: "benchC", Method: "MLP^T", Top: 3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body)
+	}
+	want := encodeResponse(t, libraryRank(t, m, nil, "Alpha", "benchC", "MLP^T", 1, 3))
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatal("solo batched response differs from the library path")
+	}
+	if flushes, batched := srv.batch.flushes.Load(), srv.batch.batched.Load(); flushes != 1 || batched != 1 {
+		t.Fatalf("flushes=%d batched=%d, want 1/1", flushes, batched)
+	}
+}
+
+// TestBatcherDisabled asserts BatchWindow < 0 turns the stage off while
+// keeping MLP^T serving correct.
+func TestBatcherDisabled(t *testing.T) {
+	m := testWorld(t)
+	srv, err := NewServer(m, nil, Options{Seed: 1, BatchWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.batch != nil {
+		t.Fatal("batcher allocated despite BatchWindow < 0")
+	}
+	rec := postRank(t, srv.Handler(), RankRequest{Family: "Alpha", App: "benchC", Method: "MLP^T", Top: 3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body)
+	}
+	want := encodeResponse(t, libraryRank(t, m, nil, "Alpha", "benchC", "MLP^T", 1, 3))
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatal("unbatched response differs from the library path")
+	}
+}

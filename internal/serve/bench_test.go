@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/synth"
@@ -45,7 +46,7 @@ func BenchmarkServeRank(b *testing.B) {
 		// A fresh server per iteration: every request misses the registry
 		// and pays the fit — the fit-per-request baseline.
 		for i := 0; i < b.N; i++ {
-			srv, err := NewServer(data.Matrix, data.Characteristics, Options{Seed: 1})
+			srv, err := NewServer(data.Matrix, data.Characteristics, Options{Seed: 1, RankCache: -1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -56,19 +57,22 @@ func BenchmarkServeRank(b *testing.B) {
 		}
 	})
 
-	newWarm := func(b *testing.B) (*httptest.Server, *Server) {
+	// The warm variants disable the response cache so they keep measuring
+	// what they always did — the registry path: fit once, predict and
+	// encode per request. The cached variants below measure the cache.
+	newWarm := func(b *testing.B, opts Options) (*httptest.Server, *Server) {
 		b.Helper()
-		srv, err := NewServer(data.Matrix, data.Characteristics, Options{Seed: 1})
+		srv, err := NewServer(data.Matrix, data.Characteristics, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
 		ts := httptest.NewServer(srv.Handler())
-		post(b, ts.Client(), ts.URL+"/v1/rank") // prime the registry
+		post(b, ts.Client(), ts.URL+"/v1/rank") // prime the registry (and cache, if enabled)
 		return ts, srv
 	}
 
 	b.Run("warm", func(b *testing.B) {
-		ts, srv := newWarm(b)
+		ts, srv := newWarm(b, Options{Seed: 1, RankCache: -1})
 		defer ts.Close()
 		defer srv.Close()
 		b.ResetTimer()
@@ -78,7 +82,7 @@ func BenchmarkServeRank(b *testing.B) {
 	})
 
 	b.Run("warm-8clients", func(b *testing.B) {
-		ts, srv := newWarm(b)
+		ts, srv := newWarm(b, Options{Seed: 1, RankCache: -1})
 		defer ts.Close()
 		defer srv.Close()
 		b.SetParallelism(8)
@@ -89,5 +93,104 @@ func BenchmarkServeRank(b *testing.B) {
 				post(b, client, ts.URL+"/v1/rank")
 			}
 		})
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		// Response-cache hit over real HTTP: fit, predict and JSON encode
+		// all skipped; the remaining cost is the HTTP round trip plus a
+		// map lookup.
+		ts, srv := newWarm(b, Options{Seed: 1})
+		defer ts.Close()
+		defer srv.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.Client(), ts.URL+"/v1/rank")
+		}
+		b.StopTimer()
+		if srv.cache.hits.Load() < int64(b.N) {
+			b.Fatalf("only %d cache hits in %d requests", srv.cache.hits.Load(), b.N)
+		}
+	})
+
+	b.Run("cached-inproc", func(b *testing.B) {
+		// The same cache hit without the HTTP round trip — the handler
+		// cost a hit actually adds, free of the localhost RTT floor the
+		// /cached variant sits on.
+		srv, err := NewServer(data.Matrix, data.Characteristics, Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		h := srv.Handler()
+		do := func() *httptest.ResponseRecorder {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/rank", bytes.NewReader(body)))
+			return rec
+		}
+		if rec := do(); rec.Code != http.StatusOK {
+			b.Fatalf("HTTP %d", rec.Code)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec := do(); rec.Code != http.StatusOK {
+				b.Fatalf("HTTP %d", rec.Code)
+			}
+		}
+		b.StopTimer()
+		if srv.cache.hits.Load() < int64(b.N) {
+			b.Fatalf("only %d cache hits in %d requests", srv.cache.hits.Load(), b.N)
+		}
+	})
+
+	b.Run("batched-8clients", func(b *testing.B) {
+		// MLP^T misses under concurrency: the response cache is disabled so
+		// every request reaches the batcher, and the 8 clients use 8
+		// distinct top clamps so the coalescing layer cannot fold them —
+		// each window flushes one shared ensemble walk for up to 8 queries.
+		srv, err := NewServer(data.Matrix, data.Characteristics, Options{
+			Seed:      1,
+			RankCache: -1,
+			BatchMax:  8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		var worker atomic.Int64
+		postTop := func(b *testing.B, client *http.Client, top int) {
+			b.Helper()
+			body, err := json.Marshal(RankRequest{Family: "Intel Xeon", App: "gcc", Method: "MLP^T", Top: top})
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := client.Post(ts.URL+"/v1/rank", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var out RankResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || len(out.Ranking) != top {
+				b.Fatalf("HTTP %d, %d entries for top %d", resp.StatusCode, len(out.Ranking), top)
+			}
+		}
+		postTop(b, ts.Client(), 9) // prime the MLP^T fit outside the timer
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			client := ts.Client()
+			top := int(worker.Add(1)-1)%8 + 1
+			for pb.Next() {
+				postTop(b, client, top)
+			}
+		})
+		b.StopTimer()
+		if f := srv.batch.flushes.Load(); f == 0 {
+			b.Fatal("no batch flushes")
+		}
 	})
 }

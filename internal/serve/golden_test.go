@@ -160,6 +160,52 @@ func TestGoldenRankBodyKeys(t *testing.T) {
 	wantKeys(t, resp.Ranking[0], "rank", "machine", "predicted", "measured")
 }
 
+// TestGoldenRankHeaders pins the caching headers of POST /v1/rank: the
+// entity-tag format ("<16 hex of snapshot hash>-<16 hex of query-shape
+// digest>", a quoted strong validator), its stability across requests,
+// and the bodyless 304 answer to a matching If-None-Match.
+func TestGoldenRankHeaders(t *testing.T) {
+	srv, err := NewServer(testWorld(t), nil, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	const body = `{"family":"Alpha","app":"benchB","method":"NN^T"}`
+
+	rec := post(t, h, "/v1/rank", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	etag := rec.Header().Get("ETag")
+	if !etagShape.MatchString(etag) {
+		t.Fatalf("ETag %q does not match the documented \"<16 hex>-<16 hex>\" format", etag)
+	}
+	if got := strings.Trim(etag, `"`)[:16]; got != srv.SnapshotHash()[:16] {
+		t.Fatalf("ETag snapshot prefix %q, want %q", got, srv.SnapshotHash()[:16])
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	if again := post(t, h, "/v1/rank", body); again.Header().Get("ETag") != etag {
+		t.Fatalf("ETag unstable across identical requests: %q then %q", etag, again.Header().Get("ETag"))
+	}
+
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/rank", strings.NewReader(body))
+	req.Header.Set("If-None-Match", etag)
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("If-None-Match: HTTP %d, want 304", rec.Code)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("304 carried a %d-byte body", rec.Body.Len())
+	}
+	if rec.Header().Get("ETag") != etag {
+		t.Fatalf("304 ETag %q, want %q", rec.Header().Get("ETag"), etag)
+	}
+}
+
 // TestGoldenWorkBodyKeys pins the key sets of the /v1/work protocol
 // bodies: lease grants, heartbeat acks, complete results and the status
 // snapshot.

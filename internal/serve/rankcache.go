@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultRankCacheSize is the response cache's entry bound when Options
+// leave it zero.
+const DefaultRankCacheSize = 1024
+
+// shapeKey identifies one cached rendered ranking: the snapshot hash pins
+// the data, the shape digest the canonicalised query. Method, family,
+// application (or fresh scores) and top all fold into the shape, so two
+// requests share an entry exactly when they are semantically the same
+// query against the same data.
+type shapeKey struct {
+	snapshot string
+	shape    string
+}
+
+// queryShape digests the canonicalised query tuple. It is computed from
+// the decoded request, not the request bytes, so JSON field order,
+// whitespace, explicitly-default fields and method aliases all collapse
+// onto one shape. Every field is length- or count-prefixed, making the
+// encoding injective: no two distinct tuples share a digest input.
+func queryShape(canon string, req RankRequest) string {
+	h := sha256.New()
+	var n [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeStr(canon)
+	writeStr(req.Family)
+	writeStr(req.App)
+	binary.LittleEndian.PutUint64(n[:], uint64(len(req.Scores)))
+	h.Write(n[:])
+	for _, v := range req.Scores {
+		binary.LittleEndian.PutUint64(n[:], math.Float64bits(v))
+		h.Write(n[:])
+	}
+	top := req.Top
+	if top < 0 {
+		top = 0 // every non-positive top means "all machines"
+	}
+	binary.LittleEndian.PutUint64(n[:], uint64(top))
+	h.Write(n[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// etagFor derives the strong entity tag of a (snapshot, shape) pair —
+// the contract documented in API.md: 16 hex characters of each, joined
+// with a dash, in quotes.
+func etagFor(snapshot, shape string) string {
+	return `"` + clip16(snapshot) + "-" + clip16(shape) + `"`
+}
+
+func clip16(s string) string {
+	if len(s) > 16 {
+		return s[:16]
+	}
+	return s
+}
+
+// inmMatches reports whether an If-None-Match header value matches etag
+// (a strong tag). Handles the `*` wildcard and comma-separated lists;
+// weak validators (W/ prefix) compare by opaque tag, as revalidation of
+// an immutable body is a weak-comparison use.
+func inmMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" {
+			return true
+		}
+		part = strings.TrimPrefix(part, "W/")
+		if part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// cacheEntry is one rendered response body under its LRU slot.
+type cacheEntry struct {
+	key  shapeKey
+	body []byte
+	elem *list.Element
+}
+
+// rankCache is a bounded LRU of fully rendered RankResponse bodies. A hit
+// skips fit, predict and JSON encoding entirely — the handler writes the
+// stored bytes. Entries are immutable once stored; SwapSnapshot purges
+// the cache wholesale (every key embeds the replaced snapshot's hash, so
+// nothing cached can serve the new data).
+type rankCache struct {
+	max int
+
+	mu    sync.Mutex
+	ll    *list.List // MRU at the front
+	byKey map[shapeKey]*cacheEntry
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	evictions   atomic.Int64
+	notModified atomic.Int64
+}
+
+// newRankCache returns a cache bounded to max rendered bodies (max <= 0
+// means DefaultRankCacheSize).
+func newRankCache(max int) *rankCache {
+	if max <= 0 {
+		max = DefaultRankCacheSize
+	}
+	return &rankCache{max: max, ll: list.New(), byKey: map[shapeKey]*cacheEntry{}}
+}
+
+// get returns the cached body for k, counting a hit or miss. The returned
+// slice is shared and must not be modified.
+func (c *rankCache) get(k shapeKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(e.elem)
+	c.hits.Add(1)
+	return e.body, true
+}
+
+// put stores a rendered body under k, evicting least-recently-used
+// entries beyond the bound. The caller must not modify body afterwards.
+func (c *rankCache) put(k shapeKey, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[k]; ok {
+		// A racing computation already cached this shape; both rendered
+		// the same deterministic bytes, keep the incumbent.
+		c.ll.MoveToFront(e.elem)
+		return
+	}
+	e := &cacheEntry{key: k, body: body}
+	e.elem = c.ll.PushFront(e)
+	c.byKey[k] = e
+	for len(c.byKey) > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.byKey, victim.key)
+		c.evictions.Add(1)
+	}
+}
+
+// purge empties the cache (snapshot hot-swap invalidation).
+func (c *rankCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byKey = map[shapeKey]*cacheEntry{}
+}
+
+// len returns the number of cached bodies.
+func (c *rankCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}

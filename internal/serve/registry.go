@@ -155,6 +155,31 @@ func (r *Registry) evictLocked() {
 	}
 }
 
+// EvictSnapshotsExcept drops every cached model whose key's snapshot hash
+// differs from keep, returning how many were dropped. SwapSnapshot calls
+// this so models fitted against a replaced dataset release their memory
+// immediately instead of aging out by LRU — their keys can never match a
+// query again. An in-flight fit may be evicted like any entry: its waiters
+// hold the entry pointer and still receive the result, it just is not
+// cached.
+func (r *Registry) EvictSnapshotsExcept(keep string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for e := r.ll.Front(); e != nil; {
+		next := e.Next()
+		ent := e.Value.(*entry)
+		if ent.key.Snapshot != keep {
+			r.ll.Remove(e)
+			delete(r.byKey, ent.key)
+			r.evictions.Add(1)
+			n++
+		}
+		e = next
+	}
+	return n
+}
+
 // remove forgets an entry (used for failed fits, which must not be cached).
 func (r *Registry) remove(e *entry) {
 	r.mu.Lock()

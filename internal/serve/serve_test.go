@@ -120,6 +120,9 @@ func TestServerRankParityOnSyntheticDatabase(t *testing.T) {
 }
 
 func TestServerWarmQueriesDoNotRefit(t *testing.T) {
+	// With the response cache enabled (the default), a repeated identical
+	// query never reaches the registry: it is served from the rendered
+	// bytes of the first answer.
 	srv, err := NewServer(testWorld(t), nil, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +138,33 @@ func TestServerWarmQueriesDoNotRefit(t *testing.T) {
 	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
 		t.Fatal("warm query answered differently from cold query")
 	}
-	st := srv.Registry().Stats()
+	if st := srv.Registry().Stats(); st.Fits != 1 {
+		t.Fatalf("two identical queries fitted %d times", st.Fits)
+	}
+	if hits := srv.cache.hits.Load(); hits != 1 {
+		t.Fatalf("second query made %d response-cache hits, want 1", hits)
+	}
+
+	// With the response cache disabled, warm queries still do not refit:
+	// the model registry answers them from the fitted artifact.
+	srv2, err := NewServer(testWorld(t), nil, Options{Seed: 1, RankCache: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	h2 := srv2.Handler()
+	first = postRank(t, h2, req)
+	second = postRank(t, h2, req)
+	if first.Code != http.StatusOK || second.Code != http.StatusOK {
+		t.Fatalf("HTTP %d / %d", first.Code, second.Code)
+	}
+	if first.Header().Get("ETag") != "" {
+		t.Fatal("ETag served with the response cache disabled")
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("warm query answered differently from cold query")
+	}
+	st := srv2.Registry().Stats()
 	if st.Fits != 1 {
 		t.Fatalf("two identical queries fitted %d times", st.Fits)
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -40,6 +41,21 @@ type Options struct {
 	// complete them into the shared store, and expired leases return to
 	// the queue.
 	Coordinator *coord.Coordinator
+	// RankCache bounds the rendered-response cache in entries (dtrankd's
+	// -rank-cache flag): a bounded LRU of fully encoded /v1/rank bodies
+	// keyed by (snapshot hash, query shape), purged wholesale on snapshot
+	// hot-swap. 0 means DefaultRankCacheSize; negative disables the
+	// cache (every request computes).
+	RankCache int
+	// BatchWindow is the micro-batching collection window for MLP^T
+	// cache misses (dtrankd's -batch-window flag): concurrent queries
+	// against one model collected within the window share a single
+	// ensemble walk. 0 means DefaultBatchWindow; negative disables
+	// batching.
+	BatchWindow time.Duration
+	// BatchMax flushes a forming batch early once this many queries
+	// joined (0 means DefaultBatchMax).
+	BatchMax int
 }
 
 // snapshot is an immutable (matrix, characteristics) pair plus its hash.
@@ -84,6 +100,8 @@ type Server struct {
 	opts  Options
 	reg   *Registry
 	snap  atomic.Pointer[snapshot]
+	cache *rankCache // nil when Options.RankCache < 0
+	batch *batcher   // nil when Options.BatchWindow < 0
 	store *resultstore.HTTPHandler
 	work  *coord.HTTPHandler
 	start time.Time
@@ -119,6 +137,12 @@ func NewServer(m *dataset.Matrix, chars map[string][]float64, opts Options) (*Se
 		cancel:  cancel,
 		calls:   map[callKey]*rankCall{},
 	}
+	if opts.RankCache >= 0 {
+		s.cache = newRankCache(opts.RankCache)
+	}
+	if opts.BatchWindow >= 0 {
+		s.batch = newBatcher(opts.BatchWindow, opts.BatchMax)
+	}
 	if opts.StoreDir != "" {
 		h, err := resultstore.NewHTTPHandler(opts.StoreDir)
 		if err != nil {
@@ -147,9 +171,11 @@ func (s *Server) Close() { s.cancel() }
 
 // SwapSnapshot atomically replaces the served dataset. Queries already
 // running finish against the old snapshot; new queries see the new one.
-// Cached models for the old snapshot age out of the registry by LRU (their
-// keys no longer match any query). Characteristics may be nil, in which
-// case GA-kNN queries against the new snapshot are rejected.
+// Models fitted against replaced snapshots are evicted from the registry
+// eagerly (their keys can never match a query again, so keeping them only
+// pins memory) and the rendered-response cache is purged wholesale.
+// Characteristics may be nil, in which case GA-kNN queries against the
+// new snapshot are rejected.
 func (s *Server) SwapSnapshot(m *dataset.Matrix, chars map[string][]float64) (string, error) {
 	if m == nil {
 		return "", errors.New("serve: nil matrix")
@@ -159,6 +185,10 @@ func (s *Server) SwapSnapshot(m *dataset.Matrix, chars map[string][]float64) (st
 	}
 	next := &snapshot{matrix: m, chars: chars, hash: m.Hash()}
 	s.snap.Store(next)
+	s.reg.EvictSnapshotsExcept(next.hash)
+	if s.cache != nil {
+		s.cache.purge()
+	}
 	s.swaps.Add(1)
 	return next.hash, nil
 }
@@ -381,22 +411,45 @@ func (s *Server) rankLeader(ctx context.Context, snap *snapshot, key Key, canon 
 		}
 		return ft.Fit(fold)
 	}
-	predicted := make([]float64, targets.NumMachines())
-	err := s.reg.Query(ctx, key, fit, func(m transpose.Model) error {
-		if m.NumTargets() != len(predicted) {
-			return fmt.Errorf("serve: model predicts %d targets, snapshot family has %d machines", m.NumTargets(), len(predicted))
-		}
-		if len(req.Scores) > 0 {
-			fs, ok := m.(freshScorer)
-			if !ok {
-				return fmt.Errorf("serve: %s model cannot predict from raw scores", canon)
+	query := func(ctx context.Context, predicted []float64) error {
+		return s.reg.Query(ctx, key, fit, func(m transpose.Model) error {
+			if m.NumTargets() != len(predicted) {
+				return fmt.Errorf("serve: model predicts %d targets, snapshot family has %d machines", m.NumTargets(), len(predicted))
 			}
-			return fs.PredictTargetsWith(req.Scores, predicted)
+			if len(req.Scores) > 0 {
+				fs, ok := m.(freshScorer)
+				if !ok {
+					return fmt.Errorf("serve: %s model cannot predict from raw scores", canon)
+				}
+				return fs.PredictTargetsWith(req.Scores, predicted)
+			}
+			return m.PredictTargets(predicted)
+		})
+	}
+	var predicted []float64
+	if s.batch != nil && canon == method.MLPT && len(req.Scores) == 0 {
+		// The expensive ensemble walk amortises: concurrent queries against
+		// this model key (same app, e.g. different top clamps) collected
+		// within the batch window share one PredictTargets. The flush runs
+		// under the server's lifetime so one disconnecting member cannot
+		// cancel the batch for the rest; the shared vector is read-only
+		// from here on (BuildRankResponse copies what it keeps).
+		var err error
+		predicted, err = s.batch.predictTargets(ctx, s.baseCtx, key, func() ([]float64, error) {
+			dst := make([]float64, targets.NumMachines())
+			if err := query(s.baseCtx, dst); err != nil {
+				return nil, err
+			}
+			return dst, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		return m.PredictTargets(predicted)
-	})
-	if err != nil {
-		return nil, err
+	} else {
+		predicted = make([]float64, targets.NumMachines())
+		if err := query(ctx, predicted); err != nil {
+			return nil, err
+		}
 	}
 	return BuildRankResponse(req.Family, req.App, canon, snap.hash, targets.Machines, predicted, appOnTgt, req.Top)
 }
@@ -467,6 +520,23 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("decoding request: %v", err))
 		return
 	}
+	// The cache keys on the decoded, canonicalised query — method aliases,
+	// JSON field order and explicitly-default fields all collapse onto one
+	// shape — under the served snapshot's hash. A hit skips fit, predict
+	// and JSON encoding. Requests whose method does not resolve skip the
+	// lookup and fail in Rank with the full error message.
+	var shape string
+	if s.cache != nil {
+		if canon, err := CanonicalMethod(req.Method); err == nil {
+			shape = queryShape(canon, req)
+			snapHash := s.snap.Load().hash
+			if body, ok := s.cache.get(shapeKey{snapshot: snapHash, shape: shape}); ok {
+				s.rankOK.Add(1)
+				s.writeRanked(w, r, etagFor(snapHash, shape), body)
+				return
+			}
+		}
+	}
 	resp, err := s.Rank(r.Context(), req)
 	if err != nil {
 		s.rankErrors.Add(1)
@@ -474,8 +544,36 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.rankOK.Add(1)
+	var buf bytes.Buffer
+	if err := WriteRankResponse(&buf, resp); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	body := buf.Bytes()
+	etag := ""
+	if shape != "" {
+		// Key and tag under the snapshot the response was computed against
+		// (a hot-swap may have landed since the lookup above).
+		s.cache.put(shapeKey{snapshot: resp.Snapshot, shape: shape}, body)
+		etag = etagFor(resp.Snapshot, shape)
+	}
+	s.writeRanked(w, r, etag, body)
+}
+
+// writeRanked writes a rendered ranking body with its entity tag,
+// answering If-None-Match revalidation with a bodyless 304. With the
+// response cache disabled no tag exists and the body is always written.
+func (s *Server) writeRanked(w http.ResponseWriter, r *http.Request, etag string, body []byte) {
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+		if inmMatches(r.Header.Get("If-None-Match"), etag) {
+			s.cache.notModified.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	WriteRankResponse(w, resp)
+	w.Write(body)
 }
 
 func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
@@ -577,6 +675,25 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		"snapshot_swaps": s.swaps.Load(),
 		"registry":       s.reg.Stats(),
 	}
+	// Fast-path counters keep their keys even when the feature is off, so
+	// dashboards and the loadtest smoke can read them unconditionally.
+	var hits, misses, evictions, notModified, flushes, batched int64
+	var cached int
+	if s.cache != nil {
+		hits, misses = s.cache.hits.Load(), s.cache.misses.Load()
+		evictions, notModified = s.cache.evictions.Load(), s.cache.notModified.Load()
+		cached = s.cache.len()
+	}
+	if s.batch != nil {
+		flushes, batched = s.batch.flushes.Load(), s.batch.batched.Load()
+	}
+	vars["rankcache_entries"] = cached
+	vars["rankcache_hits"] = hits
+	vars["rankcache_misses"] = misses
+	vars["rankcache_evictions"] = evictions
+	vars["rankcache_not_modified"] = notModified
+	vars["batch_flushes"] = flushes
+	vars["batched_queries"] = batched
 	if s.store != nil {
 		vars["store"] = s.store.Stats()
 	}

@@ -72,7 +72,6 @@ type foldScratch struct {
 	one  []float64   // backing for 1-wide training targets (MLPᵀ)
 	tgts [][]float64 // 1-wide training target headers into one
 	y    []float64   // one target machine's benchmark scores
-	x    []float64   // one machine's scores as network input
 }
 
 var foldScratchPool = engine.NewScratch(func() *foldScratch { return &foldScratch{} })
@@ -263,26 +262,19 @@ type MLPTModel struct {
 func (m *MLPTModel) NumTargets() int { return m.tgt.NumMachines() }
 
 // PredictTargets implements Model: batch prediction over all target
-// machines in one call, with one set of forward buffers.
+// machines in one ensemble walk through mlp's pooled forward buffers, so
+// a warm serving path predicts without allocating. Per-target arithmetic
+// and ordering match the per-query path bit for bit.
 func (m *MLPTModel) PredictTargets(dst []float64) error {
 	nt := m.tgt.NumMachines()
 	if len(dst) != nt {
 		return fmt.Errorf("transpose: MLP^T model predicts %d targets, got %d slots", nt, len(dst))
 	}
-	f, err := m.Net.NewForward()
-	if err != nil {
-		return err
-	}
 	s := foldScratchPool.Get()
 	defer foldScratchPool.Put(s)
-	s.x = engine.GrowFloats(s.x, m.tgt.NumBenchmarks())
-	for t := 0; t < nt; t++ {
-		m.tgt.CopyColInto(t, s.x)
-		y, err := m.Net.Predict1With(f, s.x)
-		if err != nil {
-			return fmt.Errorf("transpose: MLP^T target %q: %w", m.tgt.Machines[t].ID, err)
-		}
-		dst[t] = y
+	inputs := s.candidates(m.tgt)
+	if err := m.Net.Predict1Batch(inputs, dst); err != nil {
+		return fmt.Errorf("transpose: MLP^T predict: %w", err)
 	}
 	return nil
 }

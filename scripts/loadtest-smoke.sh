@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# loadtest-smoke: end-to-end check of the serving fast path under load.
+#
+#   1. build dtrank and dtrankd
+#   2. start dtrankd on a synthetic dataset
+#   3. run a short `dtrank loadtest` against it, gated on an SLO floor
+#      (p99 under LOADTEST_P99, default 500ms — generous on purpose: the
+#      gate catches order-of-magnitude serving regressions, not jitter)
+#      and on the response cache actually carrying load (>= 1 hit)
+#
+# The benchmark-shaped result lines go to STDOUT so `make bench-json` can
+# pipe them into benchstatjson next to the `go test -bench` entries; all
+# logging goes to stderr. Mirrored by `make loadtest-smoke` and the CI
+# loadtest-smoke job.
+set -euo pipefail
+
+SEED=3
+DURATION="${LOADTEST_DURATION:-2s}"
+WORKERS="${LOADTEST_WORKERS:-8}"
+P99="${LOADTEST_P99:-500ms}"
+
+dir=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+echo "loadtest-smoke: building binaries" >&2
+go build -o "$dir/dtrank" ./cmd/dtrank
+go build -o "$dir/dtrankd" ./cmd/dtrankd
+
+port=$(( 20000 + RANDOM % 20000 ))
+base="http://127.0.0.1:$port"
+echo "loadtest-smoke: starting dtrankd on $base" >&2
+"$dir/dtrankd" -addr "127.0.0.1:$port" -seed "$SEED" >"$dir/dtrankd.log" 2>&1 &
+pid=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "loadtest-smoke: dtrankd died:" >&2
+        cat "$dir/dtrankd.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "loadtest-smoke: daemon up" >&2
+
+# The loadtest itself gates: non-zero exit on request errors, on p99 over
+# the floor, or on a cold response cache. Bench lines pass through on
+# stdout.
+"$dir/dtrank" loadtest -url "$base" -duration "$DURATION" -workers "$WORKERS" \
+    -methods "NN^T,MLP^T" -apps "gcc,mcf,libquantum" \
+    -slo-p99 "$P99" -min-cache-hits 1
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "loadtest-smoke: OK" >&2
