@@ -4,7 +4,7 @@
 GO ?= go
 DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test bench bench-json examples serve serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke lint staticcheck ci
+.PHONY: build test bench bench-json examples serve serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke metrics-smoke lint staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,13 @@ worksteal-smoke:
 loadtest-smoke:
 	./scripts/loadtest-smoke.sh
 
+# End-to-end observability check: dtrankd up with JSON logs and the debug
+# listener, a short traced loadtest, then assert /metrics parses with a
+# populated /v1/rank histogram, /v1/status reports a positive p99 under
+# the SLO floor, pprof answers, and a known trace ID lands in the logs.
+metrics-smoke:
+	./scripts/metrics-smoke.sh
+
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -86,4 +93,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
 	fi
 
-ci: lint staticcheck build test bench examples serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke
+ci: lint staticcheck build test bench examples serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke metrics-smoke

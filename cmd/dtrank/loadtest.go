@@ -6,106 +6,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/bits"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
-
-// latHist is an HDR-style log-bucketed latency histogram: 64 sub-buckets
-// per power of two, so recorded values are off by at most ~1.6% while the
-// whole nanoseconds-to-minutes range fits in a few KB of counters. Values
-// below 64ns land in exact unit buckets.
-type latHist struct {
-	counts []int64
-	total  int64
-	sum    int64
-}
-
-// histSub is the per-octave resolution (relative error 1/histSub).
-const histSub = 64
-
-func newLatHist() *latHist {
-	// Octaves 6..62 of 64 buckets each, after the 64 unit buckets.
-	return &latHist{counts: make([]int64, (63-6+1)*histSub)}
-}
-
-// bucket maps a nanosecond latency to its slot.
-func (h *latHist) bucket(ns int64) int {
-	if ns < 1 {
-		ns = 1
-	}
-	exp := bits.Len64(uint64(ns)) - 1
-	if exp < 6 {
-		return int(ns)
-	}
-	sub := int((uint64(ns) >> uint(exp-6)) & (histSub - 1))
-	i := (exp-6+1)*histSub + sub
-	if i >= len(h.counts) {
-		i = len(h.counts) - 1
-	}
-	return i
-}
-
-// upperBound returns the largest latency a slot can hold — quantiles
-// report it so they never understate.
-func (h *latHist) upperBound(i int) int64 {
-	if i < histSub {
-		return int64(i)
-	}
-	block := i/histSub - 1 // octave above the unit range
-	sub := i % histSub
-	return (int64(histSub+sub+1) << uint(block)) - 1
-}
-
-// record adds one latency observation.
-func (h *latHist) record(d time.Duration) {
-	ns := d.Nanoseconds()
-	h.counts[h.bucket(ns)]++
-	h.total++
-	h.sum += ns
-}
-
-// merge folds other into h (workers record privately, then merge).
-func (h *latHist) merge(other *latHist) {
-	for i, c := range other.counts {
-		h.counts[i] += c
-	}
-	h.total += other.total
-	h.sum += other.sum
-}
-
-// quantile returns the latency at fraction q (0 < q <= 1) of the
-// recorded distribution, as a bucket upper bound.
-func (h *latHist) quantile(q float64) int64 {
-	if h.total == 0 {
-		return 0
-	}
-	rank := int64(q * float64(h.total))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			return h.upperBound(i)
-		}
-	}
-	return h.upperBound(len(h.counts) - 1)
-}
-
-// mean returns the exact average latency in nanoseconds.
-func (h *latHist) mean() float64 {
-	if h.total == 0 {
-		return 0
-	}
-	return float64(h.sum) / float64(h.total)
-}
 
 // loadQuery is one request shape of the loadtest mix.
 type loadQuery struct {
@@ -113,12 +23,47 @@ type loadQuery struct {
 	body   []byte
 }
 
+// slowReq is one of the slowest observed requests, kept with its trace ID
+// so `-trace` output can be joined against the daemon's logs.
+type slowReq struct {
+	ns     int64
+	trace  string
+	method string
+}
+
+// slowestN is how many slow requests -trace reports.
+const slowestN = 5
+
+// recordSlow inserts r into the bounded slowest list, evicting the
+// fastest entry when full. The list stays sorted slowest-first.
+func recordSlow(list []slowReq, r slowReq) []slowReq {
+	i := sort.Search(len(list), func(i int) bool { return list[i].ns < r.ns })
+	if i >= slowestN {
+		return list
+	}
+	if len(list) < slowestN {
+		list = append(list, slowReq{})
+	}
+	copy(list[i+1:], list[i:])
+	list[i] = r
+	return list
+}
+
+// mergeSlow folds two slowest lists into one bounded list.
+func mergeSlow(a, b []slowReq) []slowReq {
+	for _, r := range b {
+		a = recordSlow(a, r)
+	}
+	return a
+}
+
 // loadtestResult aggregates one run: per-method and overall histograms
 // plus achieved throughput.
 type loadtestResult struct {
-	overall   *latHist
-	perMethod map[string]*latHist
+	overall   *obs.Histogram
+	perMethod map[string]*obs.Histogram
 	methods   []string // mix order, for stable output
+	slowest   []slowReq
 	elapsed   time.Duration
 	errors    int64
 	firstErr  string
@@ -129,26 +74,28 @@ func (r *loadtestResult) qps() float64 {
 	if r.elapsed <= 0 {
 		return 0
 	}
-	return float64(r.overall.total) / r.elapsed.Seconds()
+	return float64(r.overall.Count()) / r.elapsed.Seconds()
 }
 
 // runLoadtestWorkers drives the closed-loop load: workers cycle through
 // the query mix against base until the deadline, each recording into
 // private histograms that merge afterwards. qps > 0 paces the aggregate
 // request rate (each request n is released at start + n/qps); qps == 0
-// runs flat out.
-func runLoadtestWorkers(client *http.Client, base string, queries []loadQuery, workers int, duration time.Duration, qps float64) *loadtestResult {
-	res := &loadtestResult{overall: newLatHist(), perMethod: map[string]*latHist{}}
+// runs flat out. When traceSlow is set, each worker also keeps its
+// slowest requests with their X-Dtrank-Trace response headers.
+func runLoadtestWorkers(client *http.Client, base string, queries []loadQuery, workers int, duration time.Duration, qps float64, traceSlow bool) *loadtestResult {
+	res := &loadtestResult{overall: obs.NewHistogram(), perMethod: map[string]*obs.Histogram{}}
 	for _, q := range queries {
 		if res.perMethod[q.method] == nil {
-			res.perMethod[q.method] = newLatHist()
+			res.perMethod[q.method] = obs.NewHistogram()
 			res.methods = append(res.methods, q.method)
 		}
 	}
 
-	type obs struct {
-		overall   *latHist
-		perMethod map[string]*latHist
+	type workerObs struct {
+		overall   *obs.Histogram
+		perMethod map[string]*obs.Histogram
+		slowest   []slowReq
 		errors    int64
 		firstErr  string
 	}
@@ -164,16 +111,16 @@ func runLoadtestWorkers(client *http.Client, base string, queries []loadQuery, w
 		return start.Add(time.Duration(float64(n) / qps * float64(time.Second)))
 	}
 
-	results := make([]obs, workers)
+	results := make([]workerObs, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			o := obs{overall: newLatHist(), perMethod: map[string]*latHist{}}
+			o := workerObs{overall: obs.NewHistogram(), perMethod: map[string]*obs.Histogram{}}
 			for _, q := range queries {
 				if o.perMethod[q.method] == nil {
-					o.perMethod[q.method] = newLatHist()
+					o.perMethod[q.method] = obs.NewHistogram()
 				}
 			}
 			for i := w; ; i++ {
@@ -188,7 +135,7 @@ func runLoadtestWorkers(client *http.Client, base string, queries []loadQuery, w
 				}
 				q := queries[i%len(queries)]
 				t0 := time.Now()
-				err := postRank(client, base, q.body)
+				trace, err := postRank(client, base, q.body)
 				lat := time.Since(t0)
 				if err != nil {
 					o.errors++
@@ -197,8 +144,11 @@ func runLoadtestWorkers(client *http.Client, base string, queries []loadQuery, w
 					}
 					continue
 				}
-				o.overall.record(lat)
-				o.perMethod[q.method].record(lat)
+				o.overall.Observe(lat)
+				o.perMethod[q.method].Observe(lat)
+				if traceSlow {
+					o.slowest = recordSlow(o.slowest, slowReq{ns: lat.Nanoseconds(), trace: trace, method: q.method})
+				}
 			}
 			results[w] = o
 		}(w)
@@ -206,10 +156,11 @@ func runLoadtestWorkers(client *http.Client, base string, queries []loadQuery, w
 	wg.Wait()
 	res.elapsed = time.Since(start)
 	for _, o := range results {
-		res.overall.merge(o.overall)
+		res.overall.Merge(o.overall)
 		for m, h := range o.perMethod {
-			res.perMethod[m].merge(h)
+			res.perMethod[m].Merge(h)
 		}
+		res.slowest = mergeSlow(res.slowest, o.slowest)
 		res.errors += o.errors
 		if res.firstErr == "" {
 			res.firstErr = o.firstErr
@@ -218,28 +169,30 @@ func runLoadtestWorkers(client *http.Client, base string, queries []loadQuery, w
 	return res
 }
 
-// postRank issues one /v1/rank request and drains the response.
-func postRank(client *http.Client, base string, body []byte) error {
+// postRank issues one /v1/rank request, drains the response and returns
+// the request's X-Dtrank-Trace header.
+func postRank(client *http.Client, base string, body []byte) (string, error) {
 	resp, err := client.Post(base+"/v1/rank", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
+	trace := resp.Header.Get(obs.TraceHeader)
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return err
+		return trace, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("HTTP %d", resp.StatusCode)
+		return trace, fmt.Errorf("HTTP %d", resp.StatusCode)
 	}
-	return nil
+	return trace, nil
 }
 
 // benchLine renders one benchmark-shaped result line, parseable by
 // cmd/benchstatjson exactly like `go test -bench` output: iterations,
 // mean ns/op, then percentile and throughput metric pairs.
-func benchLine(name string, h *latHist, qps float64) string {
+func benchLine(name string, h *obs.Histogram, qps float64) string {
 	return fmt.Sprintf("BenchmarkLoadtest/%s \t%8d\t%12.0f ns/op\t%12d p50-ns\t%12d p95-ns\t%12d p99-ns\t%10.1f qps",
-		name, h.total, h.mean(), h.quantile(0.50), h.quantile(0.95), h.quantile(0.99), qps)
+		name, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), qps)
 }
 
 // runLoadtest is the `dtrank loadtest` subcommand: an SLO-gated load
@@ -264,6 +217,7 @@ func runLoadtest(args []string) error {
 	warmup := fs.Bool("warmup", true, "issue one unmeasured request per query shape first (pays cold fits outside the histogram)")
 	sloP99 := fs.Duration("slo-p99", 0, "fail when overall p99 exceeds this (0 = no gate)")
 	minCacheHits := fs.Int64("min-cache-hits", 0, "fail unless the daemon reports at least this many rankcache_hits after the run")
+	traceSlow := fs.Bool("trace", false, "report the slowest requests' X-Dtrank-Trace IDs on stderr, joinable against the daemon's logs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -298,7 +252,7 @@ func runLoadtest(args []string) error {
 	client := &http.Client{Timeout: 30 * time.Second}
 	if *warmup {
 		for _, q := range queries {
-			if err := postRank(client, base, q.body); err != nil {
+			if _, err := postRank(client, base, q.body); err != nil {
 				return fmt.Errorf("warmup %s: %w", q.method, err)
 			}
 		}
@@ -306,8 +260,8 @@ func runLoadtest(args []string) error {
 
 	fmt.Fprintf(os.Stderr, "loadtest: %d workers × %s against %s, %d query shapes\n",
 		*workers, *duration, base, len(queries))
-	res := runLoadtestWorkers(client, base, queries, *workers, *duration, *qps)
-	if res.overall.total == 0 {
+	res := runLoadtestWorkers(client, base, queries, *workers, *duration, *qps, *traceSlow)
+	if res.overall.Count() == 0 {
 		if res.firstErr != "" {
 			return fmt.Errorf("no successful requests (first error: %s)", res.firstErr)
 		}
@@ -318,26 +272,32 @@ func runLoadtest(args []string) error {
 	fmt.Println(benchLine("overall", res.overall, res.qps()))
 	for _, m := range res.methods {
 		h := res.perMethod[m]
-		if h.total == 0 {
+		if h.Count() == 0 {
 			continue
 		}
-		fmt.Println(benchLine("method="+m, h, float64(h.total)/res.elapsed.Seconds()))
+		fmt.Println(benchLine("method="+m, h, float64(h.Count())/res.elapsed.Seconds()))
 	}
 	fmt.Fprintf(os.Stderr, "loadtest: %d requests in %s (%.1f qps), p50 %s p95 %s p99 %s, %d errors\n",
-		res.overall.total, res.elapsed.Round(time.Millisecond), res.qps(),
-		time.Duration(res.overall.quantile(0.50)), time.Duration(res.overall.quantile(0.95)),
-		time.Duration(res.overall.quantile(0.99)), res.errors)
+		res.overall.Count(), res.elapsed.Round(time.Millisecond), res.qps(),
+		time.Duration(res.overall.Quantile(0.50)), time.Duration(res.overall.Quantile(0.95)),
+		time.Duration(res.overall.Quantile(0.99)), res.errors)
+	if *traceSlow {
+		for _, s := range res.slowest {
+			fmt.Fprintf(os.Stderr, "loadtest: slow %s trace=%s method=%s\n",
+				time.Duration(s.ns).Round(time.Microsecond), s.trace, s.method)
+		}
+	}
 
 	if res.errors > 0 {
 		return fmt.Errorf("%d of %d requests failed (first error: %s)",
-			res.errors, res.errors+res.overall.total, res.firstErr)
+			res.errors, res.errors+res.overall.Count(), res.firstErr)
 	}
 	if *sloP99 > 0 {
-		if p99 := time.Duration(res.overall.quantile(0.99)); p99 > *sloP99 {
+		if p99 := time.Duration(res.overall.Quantile(0.99)); p99 > *sloP99 {
 			return fmt.Errorf("SLO violated: p99 %s exceeds -slo-p99 %s", p99, *sloP99)
 		}
 		fmt.Fprintf(os.Stderr, "loadtest: SLO ok: p99 %s within %s\n",
-			time.Duration(res.overall.quantile(0.99)), *sloP99)
+			time.Duration(res.overall.Quantile(0.99)), *sloP99)
 	}
 	if *minCacheHits > 0 {
 		hits, err := fetchCacheHits(client, base)

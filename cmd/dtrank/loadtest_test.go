@@ -6,96 +6,22 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/synth"
 )
 
-// TestLatHistQuantiles checks the log-bucketed histogram against a known
-// distribution: quantiles must never understate (bucket upper bounds)
-// and stay within the ~1.6% bucket resolution plus one bucket.
-func TestLatHistQuantiles(t *testing.T) {
-	h := newLatHist()
-	// 1..1000 µs, uniform: p50 ≈ 500µs, p99 ≈ 990µs.
-	for i := 1; i <= 1000; i++ {
-		h.record(time.Duration(i) * time.Microsecond)
-	}
-	if h.total != 1000 {
-		t.Fatalf("total = %d", h.total)
-	}
-	for _, tc := range []struct {
-		q    float64
-		want float64 // ns
-	}{
-		{0.50, 500e3},
-		{0.95, 950e3},
-		{0.99, 990e3},
-	} {
-		got := float64(h.quantile(tc.q))
-		if got < tc.want {
-			t.Fatalf("q%.2f = %.0f understates %.0f", tc.q, got, tc.want)
-		}
-		if got > tc.want*1.05 {
-			t.Fatalf("q%.2f = %.0f overstates %.0f by more than 5%%", tc.q, got, tc.want)
-		}
-	}
-	if m := h.mean(); m < 499e3 || m > 502e3 {
-		t.Fatalf("mean = %.0f, want ~500500", m)
-	}
-}
-
-// TestLatHistBucketsMonotonic walks latencies across several octaves and
-// asserts bucket indices and upper bounds never decrease, and that every
-// value is <= its bucket's upper bound.
-func TestLatHistBucketsMonotonic(t *testing.T) {
-	h := newLatHist()
-	prevIdx, prevUB := -1, int64(-1)
-	for ns := int64(1); ns < int64(10*time.Second); ns = ns*17/16 + 1 {
-		idx := h.bucket(ns)
-		if idx < prevIdx {
-			t.Fatalf("bucket(%d) = %d < previous %d", ns, idx, prevIdx)
-		}
-		ub := h.upperBound(idx)
-		if ub < ns {
-			t.Fatalf("upperBound(bucket(%d)) = %d understates the value", ns, ub)
-		}
-		if idx > prevIdx && ub <= prevUB {
-			t.Fatalf("upper bounds not increasing at bucket %d", idx)
-		}
-		prevIdx, prevUB = idx, ub
-	}
-}
-
-// TestLatHistMerge asserts merged worker histograms equal one combined
-// histogram.
-func TestLatHistMerge(t *testing.T) {
-	a, b, all := newLatHist(), newLatHist(), newLatHist()
-	for i := 1; i <= 100; i++ {
-		d := time.Duration(i*i) * time.Microsecond
-		if i%2 == 0 {
-			a.record(d)
-		} else {
-			b.record(d)
-		}
-		all.record(d)
-	}
-	a.merge(b)
-	if a.total != all.total || a.sum != all.sum {
-		t.Fatalf("merge totals %d/%d, want %d/%d", a.total, a.sum, all.total, all.sum)
-	}
-	for _, q := range []float64{0.5, 0.9, 0.99} {
-		if a.quantile(q) != all.quantile(q) {
-			t.Fatalf("q%.2f differs after merge", q)
-		}
-	}
-}
+// The histogram itself (bucket math, quantiles, merge) is tested where it
+// now lives, in internal/obs. These tests pin the loadtest-specific
+// contracts: the stdout format and the slowest-request tracking.
 
 // TestBenchLineParseable pins the stdout format contract with
 // cmd/benchstatjson: the line must look like a `go test -bench` result —
 // name, iterations, "ns/op", then metric pairs.
 func TestBenchLineParseable(t *testing.T) {
-	h := newLatHist()
-	h.record(250 * time.Microsecond)
-	h.record(750 * time.Microsecond)
+	h := obs.NewHistogram()
+	h.Observe(250 * time.Microsecond)
+	h.Observe(750 * time.Microsecond)
 	line := benchLine("overall", h, 123.4)
 	fields := strings.Fields(line)
 	if fields[0] != "BenchmarkLoadtest/overall" {
@@ -111,6 +37,42 @@ func TestBenchLineParseable(t *testing.T) {
 	}
 	if strings.Join(units, ",") != strings.Join(want, ",") {
 		t.Fatalf("metric units %v, want %v", units, want)
+	}
+}
+
+// TestBenchLineByteIdentical pins the exact rendered line for a known
+// histogram, so moving the histogram into internal/obs (or any later
+// refactor) cannot drift the stdout contract by a single byte.
+func TestBenchLineByteIdentical(t *testing.T) {
+	h := obs.NewHistogram()
+	h.Observe(250 * time.Microsecond)
+	h.Observe(750 * time.Microsecond)
+	got := benchLine("overall", h, 123.4)
+	want := "BenchmarkLoadtest/overall \t       2\t      500000 ns/op\t      251903 p50-ns\t      251903 p95-ns\t      251903 p99-ns\t     123.4 qps"
+	if got != want {
+		t.Fatalf("benchLine drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestRecordSlow checks the bounded slowest-request list: sorted
+// slowest-first, capped at slowestN, and merge keeps the global worst.
+func TestRecordSlow(t *testing.T) {
+	var a, b []slowReq
+	for i := 1; i <= 10; i++ {
+		a = recordSlow(a, slowReq{ns: int64(i), trace: "a"})
+		b = recordSlow(b, slowReq{ns: int64(i * 100), trace: "b"})
+	}
+	if len(a) != slowestN || a[0].ns != 10 || a[slowestN-1].ns != 6 {
+		t.Fatalf("a = %v", a)
+	}
+	merged := mergeSlow(a, b)
+	if len(merged) != slowestN {
+		t.Fatalf("merged length %d", len(merged))
+	}
+	for i, r := range merged {
+		if want := int64((10 - i) * 100); r.ns != want || r.trace != "b" {
+			t.Fatalf("merged[%d] = %+v, want ns=%d from b", i, r, want)
+		}
 	}
 }
 

@@ -11,10 +11,12 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/coord"
 	"repro/internal/experiments"
 	"repro/internal/method"
+	"repro/internal/obs"
 	"repro/internal/resultstore"
 )
 
@@ -106,6 +108,11 @@ func runRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Store operations run through latency histograms; the summary prints
+	// as its own stderr line so existing output stays parse-stable.
+	reg := obs.NewRegistry()
+	backend := resultstore.BackendKind(st.Location())
+	st = resultstore.Instrumented(st, reg, backend)
 	cfg := build()
 	cfg.Store = st
 	where := "in-memory"
@@ -114,7 +121,7 @@ func runRun(args []string) error {
 	}
 
 	if *worker != "" {
-		return runWorker(*worker, *workerName, *maxBatch, cfg, ids, st, where)
+		return runWorker(*worker, *workerName, *maxBatch, cfg, ids, st, where, reg, backend)
 	}
 
 	if *shard != "" {
@@ -139,6 +146,7 @@ func runRun(args []string) error {
 		stats := st.Stats()
 		fmt.Fprintf(os.Stderr, "dtrank run: shard %d/%d: %d of %d units into %s: %d hits, %d computed, %d corrupt\n",
 			index, count, len(mine), len(plan.Units), where, stats.Hits, stats.Puts, stats.Corrupt)
+		printStoreOps(reg, backend)
 		return nil
 	}
 
@@ -150,7 +158,44 @@ func runRun(args []string) error {
 	stats := st.Stats()
 	fmt.Fprintf(os.Stderr, "dtrank run: result store %s: %d hits, %d misses, %d computed, %d corrupt\n",
 		where, stats.Hits, stats.Misses, stats.Puts, stats.Corrupt)
+	printStoreOps(reg, backend)
 	return nil
+}
+
+// printStoreOps renders the instrumented store's per-op latency as its
+// own stderr line. Smoke scripts sed-parse the summary lines above, so
+// new detail must never ride on those lines.
+func printStoreOps(reg *obs.Registry, backend string) {
+	var parts []string
+	for _, op := range []string{"get", "put"} {
+		h := reg.Histogram("dtrank_store_op_seconds", obs.L("backend", backend), obs.L("op", op))
+		if h.Count() == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s p50 %s p99 %s (%d ops)", op,
+			time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)), h.Count()))
+	}
+	if len(parts) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dtrank run: store latency [%s]: %s\n", backend, strings.Join(parts, ", "))
+}
+
+// printCoordOps does the same for the worker's control-plane calls.
+func printCoordOps(reg *obs.Registry) {
+	var parts []string
+	for _, op := range []string{"lease", "heartbeat", "complete", "status"} {
+		h := reg.Histogram("dtrank_coord_client_seconds", obs.L("op", op))
+		if h.Count() == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s p50 %s p99 %s (%d ops)", op,
+			time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)), h.Count()))
+	}
+	if len(parts) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dtrank run: coord latency: %s\n", strings.Join(parts, ", "))
 }
 
 // runWorker is the -worker mode: plan the same unit set the coordinator
@@ -158,7 +203,7 @@ func runRun(args []string) error {
 // control plane until the plan is done. The plan fingerprint travels in
 // every grant, so a worker started with mismatched flags aborts before
 // executing a single wrong unit.
-func runWorker(workerURL, name string, maxBatch int, cfg experiments.Config, ids []string, st resultstore.Store, where string) error {
+func runWorker(workerURL, name string, maxBatch int, cfg experiments.Config, ids []string, st resultstore.Store, where string, reg *obs.Registry, backend string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if name == "" {
@@ -172,6 +217,7 @@ func runWorker(workerURL, name string, maxBatch int, cfg experiments.Config, ids
 	if err != nil {
 		return err
 	}
+	client.Instrument(reg)
 	plan, err := experiments.PlanSpecs(cfg, ids...)
 	if err != nil {
 		return err
@@ -197,6 +243,8 @@ func runWorker(workerURL, name string, maxBatch int, cfg experiments.Config, ids
 	stats := st.Stats()
 	fmt.Fprintf(os.Stderr, "dtrank run: worker %s: %d units in %d leases (%d duplicates, %d leases lost) into %s: %d hits, %d computed, %d corrupt\n",
 		name, ws.Units, ws.Leases, ws.Duplicates, ws.LeaseLost, where, stats.Hits, stats.Puts, stats.Corrupt)
+	printStoreOps(reg, backend)
+	printCoordOps(reg)
 	return err
 }
 

@@ -9,6 +9,7 @@
 //	        [-max-models N] [-rank-cache N] [-batch-window D] [-batch-max N]
 //	        [-registry dir] [-save] [-cache dir]
 //	        [-coordinate all|id,..] [-lease-ttl 30s] [-fast] [-draws D] [-maxk K]
+//	        [-debug-addr addr] [-log-format text|json] [-log-level info]
 //
 // Rankings are byte-identical to `dtrank rank -json` for the same seed,
 // family, application and method — the daemon is a cache in front of the
@@ -20,8 +21,17 @@
 // same model into one shared ensemble walk.
 //
 // Endpoints: POST /v1/rank, GET /v1/methods, GET /v1/machines,
-// POST /v1/snapshot (hot-swap the database from a CSV body), GET /healthz,
-// GET /debug/vars.
+// POST /v1/snapshot (hot-swap the database from a CSV body), GET /v1/status
+// (JSON health snapshot), GET /metrics (Prometheus text exposition),
+// GET /healthz, GET /debug/vars.
+//
+// Observability: every request gets a trace ID (or adopts a valid inbound
+// X-Dtrank-Trace header) that appears in the response header and in every
+// structured log line the request produces; -log-format selects text or
+// json lines on stderr and -log-level sets the floor (debug shows
+// per-request cache, fit and flush detail). -debug-addr starts a second,
+// operator-only listener exposing /debug/pprof/ and a /metrics mirror —
+// off by default so profiling is never reachable through the service port.
 //
 // With -cache the daemon additionally serves the experiment result store
 // under /v1/store/: sharded `dtrank run -shard i/n -cache
@@ -48,9 +58,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -61,6 +71,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -94,7 +105,14 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	fast := fs.Bool("fast", false, "plan the coordinated specs with reduced model budgets (must match the workers' -fast)")
 	draws := fs.Int("draws", 0, "random draws for coordinated Table 4 / Figure 8 units (0 = default; must match the workers' -draws)")
 	maxk := fs.Int("maxk", 0, "largest predictive-set size for coordinated Figure 8 units (0 = default; must match the workers' -maxk)")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof/ and a /metrics mirror on this second listener (empty = off; keep it off the service network)")
+	logFormat := fs.String("log-format", "text", "structured log encoding on stderr: text or json")
+	logLevel := fs.String("log-level", "info", "log level floor: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
 		return err
 	}
 	if *save && *registryDir == "" {
@@ -145,7 +163,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		if err != nil {
 			return fmt.Errorf("planning -coordinate specs: %w", err)
 		}
-		co, err = coord.New(plan.Fingerprint(), plan.Keys(), coord.Options{LeaseTTL: *leaseTTL})
+		co, err = coord.New(plan.Fingerprint(), plan.Keys(), coord.Options{LeaseTTL: *leaseTTL, Logger: logger})
 		if err != nil {
 			return err
 		}
@@ -159,31 +177,32 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		RankCache:   *rankCache,
 		BatchWindow: *batchWindow,
 		BatchMax:    *batchMax,
+		Logger:      logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	log.Printf("dtrankd: snapshot %s (%d benchmarks × %d machines)",
-		srv.SnapshotHash()[:12], matrix.NumBenchmarks(), matrix.NumMachines())
+	logger.Info("snapshot loaded", "hash", srv.SnapshotHash()[:12],
+		"benchmarks", matrix.NumBenchmarks(), "machines", matrix.NumMachines())
 	if *cacheDir != "" {
-		log.Printf("dtrankd: serving result store %s on /v1/store/", *cacheDir)
+		logger.Info("serving result store", "dir", *cacheDir, "prefix", "/v1/store/")
 	}
 	if co != nil {
 		st := co.Stats()
-		log.Printf("dtrankd: coordinating %d units of -coordinate %s on /v1/work/ (plan %.12s, lease TTL %s)",
-			st.Total, *coordinate, st.Plan, *leaseTTL)
+		logger.Info("coordinating work", "units", st.Total, "specs", *coordinate,
+			"plan", st.Plan[:12], "lease_ttl", *leaseTTL, "prefix", "/v1/work/")
 	}
 
 	if *registryDir != "" {
 		if n, err := srv.Registry().Load(ctx, *registryDir); err != nil {
 			if os.IsNotExist(err) {
-				log.Printf("dtrankd: no saved registry at %s, starting cold", *registryDir)
+				logger.Info("no saved registry, starting cold", "dir", *registryDir)
 			} else {
-				log.Printf("dtrankd: warm start: loaded %d models, errors: %v", n, err)
+				logger.Warn("warm start incomplete", "loaded", n, "err", err)
 			}
 		} else {
-			log.Printf("dtrankd: warm start: loaded %d models from %s", n, *registryDir)
+			logger.Info("warm start", "loaded", n, "dir", *registryDir)
 		}
 	}
 
@@ -197,23 +216,51 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	log.Printf("dtrankd: serving on %s", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String())
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		// Mount pprof explicitly on a private mux: a blank import would
+		// register it on http.DefaultServeMux, which the service listener
+		// never uses, and implicit registration hides the exposure.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", srv.Obs().Handler())
+		debugSrv = &http.Server{Handler: dmux}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug listener failed", "err", err)
+			}
+		}()
+		logger.Info("debug listener", "addr", dln.Addr().String(), "endpoints", "/debug/pprof/ /metrics")
+	}
 
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("dtrankd: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutdownCtx)
+	}
 	srv.Close() // unblock any fits still pending in the registry
 	if *save {
 		if n, err := srv.Registry().Save(*registryDir); err != nil {
-			log.Printf("dtrankd: saving registry: %v", err)
+			logger.Error("saving registry failed", "err", err)
 		} else {
-			log.Printf("dtrankd: saved %d models to %s", n, *registryDir)
+			logger.Info("saved registry", "models", n, "dir", *registryDir)
 		}
 	}
 	return shutdownErr

@@ -22,9 +22,11 @@ package coord
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resultstore"
 )
 
@@ -55,6 +57,10 @@ type Options struct {
 	MaxBatch int
 	// Now is the expiry clock, for tests; nil means time.Now.
 	Now func() time.Time
+	// Logger receives one structured line per grant, completion and
+	// expiry, each carrying the lease's trace ID so coordinator and
+	// worker logs are joinable; nil logs nothing.
+	Logger *slog.Logger
 }
 
 func (o Options) ttl() time.Duration {
@@ -74,7 +80,8 @@ func (o Options) maxBatch() int {
 // lease is one outstanding grant.
 type lease struct {
 	worker  string
-	units   []int // unit indices granted (some may since be done or re-owned)
+	trace   string // the grant's trace ID, echoed by worker log lines
+	units   []int  // unit indices granted (some may since be done or re-owned)
 	granted time.Time
 	expires time.Time
 }
@@ -84,6 +91,7 @@ type lease struct {
 type Coordinator struct {
 	opts Options
 	plan string
+	log  *slog.Logger
 
 	mu     sync.Mutex
 	keys   []resultstore.Key
@@ -123,6 +131,7 @@ func New(planFP string, keys []resultstore.Key, opts Options) (*Coordinator, err
 	c := &Coordinator{
 		opts:   opts,
 		plan:   planFP,
+		log:    obs.OrNop(opts.Logger),
 		keys:   append([]resultstore.Key(nil), keys...),
 		state:  make([]uint8, len(keys)),
 		owner:  make([]string, len(keys)),
@@ -156,6 +165,7 @@ func (c *Coordinator) sweep(now time.Time) {
 		if !now.After(l.expires) {
 			continue
 		}
+		requeued := 0
 		for _, u := range l.units {
 			if c.state[u] == stateLeased && c.owner[u] == id {
 				c.state[u] = statePending
@@ -163,10 +173,12 @@ func (c *Coordinator) sweep(now time.Time) {
 				c.leasedCount--
 				c.queue = append(c.queue, u)
 				c.unitsRecovered++
+				requeued++
 			}
 		}
 		delete(c.leases, id)
 		c.leasesExpired++
+		c.log.Warn("lease expired", "trace", l.trace, "lease", id, "worker", l.worker, "requeued", requeued)
 	}
 }
 
@@ -217,6 +229,11 @@ type Grant struct {
 	// RetryAfter suggests a wait before the next lease call when Units
 	// is empty and Done is unset.
 	RetryAfter time.Duration
+	// Trace is the 16-hex trace ID minted for this lease; the worker
+	// tags its log lines with it and echoes it on complete, so one unit
+	// batch's life is grep-able across coordinator and worker logs. Empty
+	// when no units were granted.
+	Trace string
 }
 
 // Lease grants up to max units (0 means no worker-side cap beyond the
@@ -250,7 +267,7 @@ func (c *Coordinator) Lease(worker string, max int) Grant {
 	}
 	c.seq++
 	id := fmt.Sprintf("%s-%d", worker, c.seq)
-	l := &lease{worker: worker, units: units, granted: now, expires: now.Add(c.opts.ttl())}
+	l := &lease{worker: worker, trace: obs.NewTraceID(), units: units, granted: now, expires: now.Add(c.opts.ttl())}
 	c.leases[id] = l
 	for _, u := range units {
 		c.state[u] = stateLeased
@@ -259,10 +276,12 @@ func (c *Coordinator) Lease(worker string, max int) Grant {
 	}
 	c.leasesGranted++
 	g.ID = id
+	g.Trace = l.trace
 	g.Units = make([]resultstore.Key, len(units))
 	for i, u := range units {
 		g.Units[i] = c.keys[u]
 	}
+	c.log.Info("lease granted", "trace", l.trace, "lease", id, "worker", worker, "units", len(units), "remaining", g.Remaining)
 	return g
 }
 
@@ -300,7 +319,11 @@ type CompleteResult struct {
 // mid-flight (and whose units may have been re-leased or even re-completed
 // by another worker) still completes successfully, because the results
 // are already in the content-addressed store and a duplicate is a no-op.
-func (c *Coordinator) Complete(id string, keys []resultstore.Key) (CompleteResult, error) {
+// trace is the grant's trace ID echoed by the worker (may be empty): for
+// a live lease the coordinator knows its own, but a late complete arrives
+// after the lease record is gone, and the echo is what keeps its log line
+// joinable.
+func (c *Coordinator) Complete(id string, keys []resultstore.Key, trace string) (CompleteResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.now()
@@ -335,6 +358,9 @@ func (c *Coordinator) Complete(id string, keys []resultstore.Key) (CompleteResul
 	}
 
 	if l, ok := c.leases[id]; ok {
+		if trace == "" {
+			trace = l.trace
+		}
 		// Update the observed unit cost from this batch's wall time.
 		if n := len(keys); n > 0 {
 			per := now.Sub(l.granted).Seconds() / float64(n)
@@ -350,6 +376,7 @@ func (c *Coordinator) Complete(id string, keys []resultstore.Key) (CompleteResul
 		c.lateCompletes++
 	}
 	res.Done = c.doneCount == len(c.keys)
+	c.log.Info("lease complete", "trace", trace, "lease", id, "completed", res.Completed, "duplicates", res.Duplicates, "done", res.Done)
 	return res, nil
 }
 

@@ -113,7 +113,7 @@ func TestCompleteIsIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := c.Lease("a", 0)
-	res, err := c.Complete(g.ID, g.Units)
+	res, err := c.Complete(g.ID, g.Units, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestCompleteIsIdempotent(t *testing.T) {
 	}
 	// The same units completed again (a recovered lease whose original
 	// worker was slow, not dead) count as duplicates, never as an error.
-	res, err = c.Complete(g.ID, g.Units)
+	res, err = c.Complete(g.ID, g.Units, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestCompleteAfterExpiryStillLands(t *testing.T) {
 	}
 	g := c.Lease("a", 0)
 	clk.Advance(11 * time.Second)
-	res, err := c.Complete(g.ID, g.Units)
+	res, err := c.Complete(g.ID, g.Units, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestCompleteRejectsUnknownUnit(t *testing.T) {
 	}
 	g := c.Lease("a", 0)
 	alien := resultstore.Key{Snapshot: "other", Spec: "x", Method: "m", Split: "s"}
-	if _, err := c.Complete(g.ID, []resultstore.Key{alien}); err == nil || !strings.Contains(err.Error(), "not in the plan") {
+	if _, err := c.Complete(g.ID, []resultstore.Key{alien}, ""); err == nil || !strings.Contains(err.Error(), "not in the plan") {
 		t.Fatalf("complete of an alien unit: %v", err)
 	}
 	// Validation failed before any mutation: the unit is still leased.
@@ -187,7 +187,7 @@ func TestAdaptiveBatchGrowsWithObservedCost(t *testing.T) {
 		t.Fatalf("cold-start batch %d, want 1", len(g.Units))
 	}
 	clk.Advance(1 * time.Second)
-	if _, err := c.Complete(g.ID, g.Units); err != nil {
+	if _, err := c.Complete(g.ID, g.Units, ""); err != nil {
 		t.Fatal(err)
 	}
 	// EWMA is now 1 s/unit; TTL/4 = 10 s → batch of 10.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/resultstore"
 )
 
@@ -46,6 +47,7 @@ type leaseRequest struct {
 // leaseResponse is the wire form of a Grant.
 type leaseResponse struct {
 	Lease     string            `json:"lease,omitempty"`
+	Trace     string            `json:"trace,omitempty"`
 	Units     []resultstore.Key `json:"units,omitempty"`
 	TTLMillis int64             `json:"ttl_ms"`
 	Plan      string            `json:"plan"`
@@ -64,9 +66,12 @@ type heartbeatResponse struct {
 	TTLMillis int64 `json:"ttl_ms"`
 }
 
-// completeRequest is the body of POST <base>/complete.
+// completeRequest is the body of POST <base>/complete. Trace echoes the
+// grant's trace ID so a complete arriving after the lease expired still
+// logs joinably on the coordinator side.
 type completeRequest struct {
 	Lease string            `json:"lease"`
+	Trace string            `json:"trace,omitempty"`
 	Units []resultstore.Key `json:"units"`
 }
 
@@ -121,6 +126,7 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		g := h.c.Lease(req.Worker, req.Max)
 		writeJSON(w, leaseResponse{
 			Lease:     g.ID,
+			Trace:     g.Trace,
 			Units:     g.Units,
 			TTLMillis: g.TTL.Milliseconds(),
 			Plan:      g.Plan,
@@ -146,7 +152,7 @@ func (h *HTTPHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			api.WriteError(w, http.StatusBadRequest, "", "decoding complete request: %v", err)
 			return
 		}
-		res, err := h.c.Complete(req.Lease, req.Units)
+		res, err := h.c.Complete(req.Lease, req.Units, req.Trace)
 		if err != nil {
 			api.WriteError(w, http.StatusBadRequest, "", "%v", err)
 			return
@@ -172,6 +178,21 @@ type Client struct {
 	// retry delay, doubling per attempt (default 100ms).
 	Attempts int
 	Backoff  time.Duration
+
+	ops map[string]*obs.Histogram // per-op call latency, set by Instrument
+}
+
+// Instrument records every protocol call's wall time (retries included)
+// into dtrank_coord_client_seconds{op} histograms in reg. Call it once
+// before the worker loop starts; it is not safe concurrently with calls.
+func (cl *Client) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	cl.ops = map[string]*obs.Histogram{}
+	for _, op := range []string{"lease", "heartbeat", "complete", "status"} {
+		cl.ops[op] = reg.Histogram("dtrank_coord_client_seconds", obs.L("op", op))
+	}
 }
 
 // NewClient parses a coordinator URL. A URL without a path (or with path
@@ -239,6 +260,9 @@ func IsLeaseLost(err error) bool {
 // call POSTs (or GETs, when in is nil) op and decodes the JSON response
 // into out, retrying transport failures and 5xx with exponential backoff.
 func (cl *Client) call(ctx context.Context, method, op string, in, out any) error {
+	if h := cl.ops[op]; h != nil {
+		defer func(t0 time.Time) { h.Observe(time.Since(t0)) }(time.Now())
+	}
 	var body []byte
 	if in != nil {
 		var err error
@@ -302,6 +326,7 @@ func (cl *Client) Lease(ctx context.Context, worker string, max int) (Grant, err
 	}
 	return Grant{
 		ID:         resp.Lease,
+		Trace:      resp.Trace,
 		Units:      resp.Units,
 		TTL:        time.Duration(resp.TTLMillis) * time.Millisecond,
 		Plan:       resp.Plan,
@@ -323,10 +348,11 @@ func (cl *Client) Heartbeat(ctx context.Context, leaseID string) (time.Duration,
 	return time.Duration(resp.TTLMillis) * time.Millisecond, nil
 }
 
-// Complete reports a batch of units as computed and stored.
-func (cl *Client) Complete(ctx context.Context, leaseID string, units []resultstore.Key) (CompleteResult, error) {
+// Complete reports a batch of units as computed and stored, echoing the
+// grant's trace ID (empty is allowed; the line just loses joinability).
+func (cl *Client) Complete(ctx context.Context, leaseID string, units []resultstore.Key, trace string) (CompleteResult, error) {
 	var res CompleteResult
-	if err := cl.call(ctx, http.MethodPost, "complete", completeRequest{Lease: leaseID, Units: units}, &res); err != nil {
+	if err := cl.call(ctx, http.MethodPost, "complete", completeRequest{Lease: leaseID, Trace: trace, Units: units}, &res); err != nil {
 		return CompleteResult{}, err
 	}
 	return res, nil

@@ -60,7 +60,7 @@ func TestClientRoundTrip(t *testing.T) {
 		if _, err := cl.Heartbeat(ctx, g.ID); err != nil {
 			t.Fatal(err)
 		}
-		res, err := cl.Complete(ctx, g.ID, g.Units)
+		res, err := cl.Complete(ctx, g.ID, g.Units, g.Trace)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +138,7 @@ func TestClientDoesNotRetryBadRequests(t *testing.T) {
 	}
 	calls.Store(0)
 	alien := resultstore.Key{Snapshot: "other", Spec: "x", Method: "m", Split: "s"}
-	_, err = cl.Complete(context.Background(), g.ID, []resultstore.Key{alien})
+	_, err = cl.Complete(context.Background(), g.ID, []resultstore.Key{alien}, "")
 	if err == nil || !strings.Contains(err.Error(), "not in the plan") {
 		t.Fatalf("complete of alien unit: %v", err)
 	}

@@ -1,0 +1,100 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/resultstore"
+)
+
+// TestTraceJoinsGrantAndComplete drives one lease through the wire
+// protocol and checks the joinability contract: the grant carries a valid
+// trace ID, the client echoes it on complete, and the coordinator's grant
+// and complete log lines carry the same ID — so `grep <id>` over the logs
+// reconstructs the batch's life.
+func TestTraceJoinsGrantAndComplete(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := obs.NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []resultstore.Key{{Snapshot: "s", Spec: "a", Method: "m", Split: "x", Seed: 1}}
+	c, err := New("fp", keys, Options{Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHTTPHandler(c))
+	defer ts.Close()
+	cl, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := cl.Lease(context.Background(), "w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.ValidTraceID(g.Trace) {
+		t.Fatalf("grant trace %q is not a valid trace ID", g.Trace)
+	}
+	if _, err := cl.Complete(context.Background(), g.ID, g.Units, g.Trace); err != nil {
+		t.Fatal(err)
+	}
+
+	var granted, completed bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var entry struct {
+			Msg   string `json:"msg"`
+			Trace string `json:"trace"`
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("coordinator log line is not JSON: %v\n%s", err, line)
+		}
+		switch entry.Msg {
+		case "lease granted":
+			granted = entry.Trace == g.Trace
+		case "lease complete":
+			completed = entry.Trace == g.Trace
+		}
+	}
+	if !granted || !completed {
+		t.Fatalf("grant/complete lines not joinable by trace %s (granted=%v completed=%v):\n%s",
+			g.Trace, granted, completed, buf.String())
+	}
+}
+
+// TestClientInstrumented checks that an instrumented client records one
+// observation per protocol call into the per-op histograms.
+func TestClientInstrumented(t *testing.T) {
+	keys := []resultstore.Key{{Snapshot: "s", Spec: "a", Method: "m", Split: "x", Seed: 1}}
+	c, err := New("fp", keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHTTPHandler(c))
+	defer ts.Close()
+	cl, err := NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cl.Instrument(reg)
+
+	g, err := cl.Lease(context.Background(), "w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Complete(context.Background(), g.ID, g.Units, g.Trace); err != nil {
+		t.Fatal(err)
+	}
+	lease := reg.Histogram("dtrank_coord_client_seconds", obs.L("op", "lease"))
+	complete := reg.Histogram("dtrank_coord_client_seconds", obs.L("op", "complete"))
+	if lease.Count() != 1 || complete.Count() != 1 {
+		t.Fatalf("op histograms lease=%d complete=%d, want 1/1", lease.Count(), complete.Count())
+	}
+}

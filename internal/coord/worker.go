@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resultstore"
 )
 
@@ -95,7 +96,7 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 			continue
 		}
 		stats.Leases++
-		w.logf("worker %s: leased %d units (%s, %d remaining)", w.Name, len(grant.Units), grant.ID, grant.Remaining)
+		w.logf("worker %s: leased %d units (%s, trace %s, %d remaining)", w.Name, len(grant.Units), grant.ID, grant.Trace, grant.Remaining)
 
 		lost, err := w.executeWithHeartbeat(ctx, grant)
 		if lost {
@@ -106,7 +107,7 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 			// units return to the queue for another worker.
 			return stats, fmt.Errorf("coord: worker %s executing lease %s: %w", w.Name, grant.ID, err)
 		}
-		res, err := w.Client.Complete(ctx, grant.ID, grant.Units)
+		res, err := w.Client.Complete(ctx, grant.ID, grant.Units, grant.Trace)
 		if err != nil {
 			return stats, err
 		}
@@ -156,7 +157,9 @@ func (w *Worker) executeWithHeartbeat(ctx context.Context, grant Grant) (lost bo
 			}
 		}
 	}()
-	err = w.Exec(ctx, grant.Units)
+	// Exec runs under the grant's trace ID, so anything it logs or times
+	// downstream (store puts, model fits) joins the lease's trace.
+	err = w.Exec(obs.WithTraceID(ctx, grant.Trace), grant.Units)
 	stopHB()
 	wg.Wait()
 	mu.Lock()

@@ -33,6 +33,26 @@ type Pool struct {
 	// return their token when their Map call drains, so the process-wide
 	// concurrency stays bounded across nested and concurrent Maps.
 	tokens chan struct{}
+
+	inflight  atomic.Int64
+	unitsDone atomic.Int64
+}
+
+// PoolStats is a point-in-time snapshot of a pool's activity, read by the
+// serving layer's metrics bridges. InFlight is the number of units
+// executing right now; UnitsDone counts units completed over the pool's
+// lifetime.
+type PoolStats struct {
+	InFlight  int64
+	UnitsDone int64
+}
+
+// Stats returns an activity snapshot. A nil pool reports Default().
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		p = Default()
+	}
+	return PoolStats{InFlight: p.inflight.Load(), UnitsDone: p.unitsDone.Load()}
 }
 
 // New returns a pool that runs at most workers units concurrently.
@@ -143,7 +163,11 @@ func (p *Pool) MapContext(ctx context.Context, n int, fn func(i int) error) erro
 			if i >= n {
 				return
 			}
-			if err := fn(i); err != nil {
+			p.inflight.Add(1)
+			err := fn(i)
+			p.inflight.Add(-1)
+			p.unitsDone.Add(1)
+			if err != nil {
 				failed.Store(true)
 				mu.Lock()
 				if i < errAt {

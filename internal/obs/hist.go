@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is an HDR-style log-bucketed duration histogram: 64
+// sub-buckets per power of two, so recorded values are off by at most
+// ~1.6% while the whole nanoseconds-to-minutes range fits in a few KB of
+// counters. Values below 64ns land in exact unit buckets. Quantiles
+// report bucket upper bounds, so they never understate.
+//
+// All operations are atomic: concurrent Observe calls from many
+// goroutines are safe and allocation-free. Quantile, Mean, Count and Sum
+// read a live histogram without stopping writers; under concurrent
+// writes they are approximate in the usual monitoring sense (each
+// counter is read atomically, the set is not a consistent cut).
+//
+// The type began life inside `dtrank loadtest` (PR 7); it moved here so
+// the serving layers record into the same buckets the load generator
+// reports, making client-side and server-side percentiles directly
+// comparable.
+type Histogram struct {
+	counts []atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64
+}
+
+// histSub is the per-octave resolution (relative error 1/histSub).
+const histSub = 64
+
+// NewHistogram returns an empty histogram. Instrument sites that register
+// with a Registry use Registry.Histogram instead; this constructor serves
+// private, unregistered histograms (e.g. per-worker load-generator
+// shards that merge after the run).
+func NewHistogram() *Histogram {
+	// Octaves 6..62 of 64 buckets each, after the 64 unit buckets.
+	return &Histogram{counts: make([]atomic.Int64, (63-6+1)*histSub)}
+}
+
+// bucket maps a nanosecond latency to its slot.
+func (h *Histogram) bucket(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	exp := bits.Len64(uint64(ns)) - 1
+	if exp < 6 {
+		return int(ns)
+	}
+	sub := int((uint64(ns) >> uint(exp-6)) & (histSub - 1))
+	i := (exp-6+1)*histSub + sub
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// upperBound returns the largest latency a slot can hold — quantiles
+// report it so they never understate.
+func (h *Histogram) upperBound(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	block := i/histSub - 1 // octave above the unit range
+	sub := i % histSub
+	return (int64(histSub+sub+1) << uint(block)) - 1
+}
+
+// Observe adds one duration observation.
+func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveNs(d.Nanoseconds())
+}
+
+// ObserveNs adds one observation in nanoseconds.
+func (h *Histogram) ObserveNs(ns int64) {
+	h.counts[h.bucket(ns)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(ns)
+}
+
+// Merge folds other into h (load-generator workers record privately,
+// then merge). other must be quiescent.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range other.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(other.total.Load())
+	h.sum.Add(other.sum.Load())
+}
+
+// Quantile returns the latency in nanoseconds at fraction q (0 < q <= 1)
+// of the recorded distribution, as a bucket upper bound.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return h.upperBound(i)
+		}
+	}
+	return h.upperBound(len(h.counts) - 1)
+}
+
+// Mean returns the exact average latency in nanoseconds.
+func (h *Histogram) Mean() float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(total)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observations in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }

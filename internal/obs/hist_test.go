@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The quantile/bucket/merge tests moved here from cmd/dtrank's private
+// latency histogram when it was promoted into this package (PR 8); they
+// pin the exact bucketing semantics the loadtest output depends on.
+
+// TestHistogramQuantiles checks the log-bucketed histogram against a
+// known distribution: quantiles must never understate (bucket upper
+// bounds) and stay within the ~1.6% bucket resolution plus one bucket.
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 µs, uniform: p50 ≈ 500µs, p99 ≈ 990µs.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64 // ns
+	}{
+		{0.50, 500e3},
+		{0.95, 950e3},
+		{0.99, 990e3},
+	} {
+		got := float64(h.Quantile(tc.q))
+		if got < tc.want {
+			t.Fatalf("q%.2f = %.0f understates %.0f", tc.q, got, tc.want)
+		}
+		if got > tc.want*1.05 {
+			t.Fatalf("q%.2f = %.0f overstates %.0f by more than 5%%", tc.q, got, tc.want)
+		}
+	}
+	if m := h.Mean(); m < 499e3 || m > 502e3 {
+		t.Fatalf("mean = %.0f, want ~500500", m)
+	}
+}
+
+// TestHistogramBucketsMonotonic walks latencies across several octaves
+// and asserts bucket indices and upper bounds never decrease, and that
+// every value is <= its bucket's upper bound.
+func TestHistogramBucketsMonotonic(t *testing.T) {
+	h := NewHistogram()
+	prevIdx, prevUB := -1, int64(-1)
+	for ns := int64(1); ns < int64(10*time.Second); ns = ns*17/16 + 1 {
+		idx := h.bucket(ns)
+		if idx < prevIdx {
+			t.Fatalf("bucket(%d) = %d < previous %d", ns, idx, prevIdx)
+		}
+		ub := h.upperBound(idx)
+		if ub < ns {
+			t.Fatalf("upperBound(bucket(%d)) = %d understates the value", ns, ub)
+		}
+		if idx > prevIdx && ub <= prevUB {
+			t.Fatalf("upper bounds not increasing at bucket %d", idx)
+		}
+		prevIdx, prevUB = idx, ub
+	}
+}
+
+// TestHistogramMerge asserts merged worker histograms equal one combined
+// histogram.
+func TestHistogramMerge(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		all.Observe(d)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() {
+		t.Fatalf("merge totals %d/%d, want %d/%d", a.Count(), a.Sum(), all.Count(), all.Sum())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%.2f differs after merge", q)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (run under -race) and checks nothing is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per+i+1) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var inBuckets int64
+	for i := range h.counts {
+		inBuckets += h.counts[i].Load()
+	}
+	if inBuckets != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", inBuckets, workers*per)
+	}
+}
+
+// TestHotPathAllocationFree pins the zero-allocation contract of every
+// hot-path operation: instrument sites hold their metric pointers, and
+// recording is pure atomics.
+func TestHotPathAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", L("kind", "x"))
+	g := reg.Gauge("test_depth")
+	h := reg.Histogram("test_op_seconds")
+	for name, fn := range map[string]func(){
+		"Counter.Add":         func() { c.Add(1) },
+		"Gauge.Set":           func() { g.Set(7) },
+		"Histogram.Observe":   func() { h.Observe(123 * time.Microsecond) },
+		"Histogram.ObserveNs": func() { h.ObserveNs(4096) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", name, allocs)
+		}
+	}
+}

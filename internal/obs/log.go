@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured-logger construction for the daemon's -log-format and
+// -log-level flags. Libraries take a *slog.Logger and default to
+// NopLogger when handed nil, so tests and benchmarks stay quiet and
+// allocation-free unless they opt in.
+
+// NewLogger builds a slog.Logger writing to w. format is "text" or
+// "json"; level is "debug", "info", "warn" or "error". Both are
+// case-insensitive; empty strings mean text at info.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (valid: debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (valid: text, json)", format)
+	}
+}
+
+// nopHandler drops every record without formatting it.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+var nop = slog.New(nopHandler{})
+
+// NopLogger returns a logger that discards everything with Enabled
+// reporting false, so callers guarded by the usual level check pay no
+// formatting cost at all.
+func NopLogger() *slog.Logger { return nop }
+
+// OrNop returns l, or the nop logger when l is nil — the standard
+// default inside libraries.
+func OrNop(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return nop
+	}
+	return l
+}

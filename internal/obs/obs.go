@@ -1,0 +1,256 @@
+// Package obs is the zero-dependency observability core shared by every
+// layer of the system: a metrics registry (counters, gauges and the
+// HDR-style log-bucketed duration histogram the load generator pioneered),
+// 16-hex trace IDs that flow through context and the X-Dtrank-Trace
+// header, and structured-logger construction for the -log-format /
+// -log-level daemon flags.
+//
+// The hot path is allocation-free by construction: instrument sites hold
+// the *Counter / *Gauge / *Histogram they obtained at registration time,
+// and Add / Set / Observe are plain atomic operations (pinned by
+// AllocsPerRun tests). Registration itself takes a mutex and allocates —
+// do it once at setup, not per event.
+//
+// The registry renders two ways: WritePrometheus emits the text
+// exposition format served on GET /metrics (histograms as summaries with
+// p50/p95/p99 quantiles in seconds), and callers holding metric pointers
+// read them directly for JSON snapshots such as GET /v1/status.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair of a metric series. Labels distinguish
+// series sharing a base name (per-endpoint latency, per-method fit cost)
+// while keeping cardinality bounded and chosen at registration time.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is a caller bug; counters only
+// go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind discriminates what a series renders as.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// series is one registered metric under its full name.
+type series struct {
+	name   string // base name, e.g. dtrank_http_requests_total
+	labels []Label
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64 // CounterFunc / GaugeFunc
+	hist    *Histogram
+}
+
+// seriesID renders the unique identity of a series: base name plus
+// labels in registration order.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	id := name + "{"
+	for i, l := range labels {
+		if i > 0 {
+			id += ","
+		}
+		id += l.Key + `="` + escapeLabel(l.Value) + `"`
+	}
+	return id + "}"
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// validMetricName reports whether name matches the Prometheus metric name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Registry holds named metric series. All methods are safe for concurrent
+// use; registration is idempotent — asking twice for the same name and
+// labels returns the same metric, so independent subsystems can share a
+// series without coordination. Registering one identity as two different
+// kinds panics: that is a wiring bug, not a runtime condition.
+type Registry struct {
+	mu     sync.Mutex
+	byID   map[string]*series
+	order  []*series // registration order; rendering sorts
+	frozen map[string]metricKind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: map[string]*series{}, frozen: map[string]metricKind{}}
+}
+
+// register installs (or returns) the series for an identity.
+func (r *Registry) register(name string, labels []Label, kind metricKind) *series {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validMetricName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l.Key, name))
+		}
+	}
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.frozen[name]; ok && prev != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, prev, kind))
+	}
+	r.frozen[name] = kind
+	if s, ok := r.byID[id]; ok {
+		return s
+	}
+	s := &series{name: name, labels: append([]Label(nil), labels...), kind: kind}
+	switch kind {
+	case kindCounter:
+		s.counter = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = NewHistogram()
+	}
+	r.byID[id] = s
+	r.order = append(r.order, s)
+	return s
+}
+
+// Counter returns the counter series for name and labels, creating it on
+// first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.register(name, labels, kindCounter).counter
+}
+
+// Gauge returns the gauge series for name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.register(name, labels, kindGauge).gauge
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// render time — the bridge for subsystems that already keep their own
+// atomic counters (the model registry, the response cache) and must not
+// count twice.
+func (r *Registry) CounterFunc(name string, fn func() float64, labels ...Label) {
+	s := r.register(name, labels, kindCounterFunc)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge series read from fn at render time.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	s := r.register(name, labels, kindGaugeFunc)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the duration-histogram series for name and labels,
+// creating it on first use. By convention the base name ends in _seconds:
+// observations are recorded in nanoseconds internally and rendered as
+// seconds in the Prometheus exposition.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.register(name, labels, kindHistogram).hist
+}
+
+// snapshot returns the registered series sorted by identity, for
+// deterministic rendering.
+func (r *Registry) snapshot() []*series {
+	r.mu.Lock()
+	out := append([]*series(nil), r.order...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return seriesID(out[i].name, out[i].labels) < seriesID(out[j].name, out[j].labels)
+	})
+	return out
+}

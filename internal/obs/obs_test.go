@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", L("k", "v"))
+	b := reg.Counter("x_total", L("k", "v"))
+	if a != b {
+		t.Fatal("same identity returned two counters")
+	}
+	c := reg.Counter("x_total", L("k", "other"))
+	if a == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	a.Add(2)
+	a.Inc()
+	if b.Value() != 3 || c.Value() != 0 {
+		t.Fatalf("values %d/%d, want 3/0", b.Value(), c.Value())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two kinds did not panic")
+		}
+	}()
+	reg.Gauge("x_total")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	for _, name := range []string{"", "9starts_with_digit", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", name)
+				}
+			}()
+			NewRegistry().Counter(name)
+		}()
+	}
+}
+
+func TestGaugeAddSet(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+// promLine matches one sample line of the text exposition format:
+// name{label="value",...} value
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+
+// TestPrometheusParseBack renders a populated registry and re-parses every
+// line: each non-comment line must match `name{labels} value`, no series
+// may appear twice, and every base name must carry exactly one # TYPE.
+func TestPrometheusParseBack(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dtrank_http_requests_total", L("route", "/v1/rank"), L("code", "2xx")).Add(12)
+	reg.Counter("dtrank_http_requests_total", L("route", "/v1/rank"), L("code", "5xx")).Add(1)
+	reg.Gauge("dtrank_engine_inflight").Set(3)
+	reg.GaugeFunc("dtrank_rankcache_entries", func() float64 { return 42 })
+	reg.CounterFunc("dtrank_registry_hits_total", func() float64 { return 7 })
+	h := reg.Histogram("dtrank_http_request_seconds", L("route", "/v1/rank"))
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	reg.Counter("weird_total", L("v", `quote " slash \ newline`+"\n")).Inc()
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[string]bool{}
+	typed := map[string]bool{}
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if typed[fields[2]] {
+				t.Fatalf("duplicate # TYPE for %s", fields[2])
+			}
+			typed[fields[2]] = true
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line does not parse as name{labels} value: %q", line)
+		}
+		id := line[:strings.LastIndexByte(line, ' ')]
+		if seen[id] {
+			t.Fatalf("duplicate series %q", id)
+		}
+		seen[id] = true
+		samples++
+	}
+	// 3 counters + 1 gauge + 2 func series + histogram (3 quantiles + sum + count).
+	if want := 3 + 1 + 2 + 5; samples != want {
+		t.Fatalf("rendered %d samples, want %d\n%s", samples, want, buf.String())
+	}
+	// The histogram's quantile values are seconds, not nanoseconds.
+	if !strings.Contains(buf.String(), `dtrank_http_request_seconds{route="/v1/rank",quantile="0.99"} 0.0`) {
+		t.Fatalf("p99 not rendered in seconds:\n%s", buf.String())
+	}
+}
+
+func TestPrometheusDeterministic(t *testing.T) {
+	build := func(order []int) string {
+		reg := NewRegistry()
+		for _, i := range order {
+			switch i {
+			case 0:
+				reg.Counter("b_total", L("x", "1")).Inc()
+			case 1:
+				reg.Gauge("a_depth").Set(5)
+			case 2:
+				reg.Counter("b_total", L("x", "0")).Inc()
+			}
+		}
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if build([]int{0, 1, 2}) != build([]int{2, 0, 1}) {
+		t.Fatal("exposition depends on registration order")
+	}
+}
+
+func TestTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if !ValidTraceID(id) {
+			t.Fatalf("NewTraceID produced invalid ID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q in 100 draws", id)
+		}
+		seen[id] = true
+	}
+	for _, bad := range []string{"", "short", "0123456789abcdeF", "0123456789abcdefg", "0123456789abcdef0", "xyzw456789abcdef"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true", bad)
+		}
+	}
+	ctx := WithTraceID(context.Background(), "0123456789abcdef")
+	if TraceID(ctx) != "0123456789abcdef" {
+		t.Fatal("context round-trip lost the trace ID")
+	}
+	if TraceID(context.Background()) != "" {
+		t.Fatal("empty context reported a trace ID")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept", "trace", "0123456789abcdef")
+	line := strings.TrimSpace(buf.String())
+	if strings.Contains(line, "dropped") {
+		t.Fatal("info line emitted at warn level")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("json log line does not parse: %v\n%s", err, line)
+	}
+	if rec["msg"] != "kept" || rec["trace"] != "0123456789abcdef" {
+		t.Fatalf("unexpected record %v", rec)
+	}
+
+	if _, err := NewLogger(&buf, "yaml", "info"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := NewLogger(&buf, "text", "loud"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if l, err := NewLogger(&buf, "", ""); err != nil || l == nil {
+		t.Fatal("empty format/level should default to text at info")
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	l := NopLogger()
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nop logger reports enabled")
+	}
+	l.Error("goes nowhere")
+	if OrNop(nil) != l {
+		t.Fatal("OrNop(nil) is not the nop logger")
+	}
+	real := slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))
+	if OrNop(real) != real {
+		t.Fatal("OrNop replaced a real logger")
+	}
+}

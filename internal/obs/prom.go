@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Prometheus text exposition (version 0.0.4) of a Registry. Counters and
+// gauges render as one `name{labels} value` line each; histograms render
+// as summaries — p50/p95/p99 quantile series plus `_sum` and `_count` —
+// because shipping every log bucket of a 3700-slot HDR histogram would
+// drown a scraper for no extra operational signal. Durations convert to
+// seconds on the way out (histograms record nanoseconds internally), per
+// the Prometheus base-unit convention the `_seconds` suffix promises.
+//
+// Output is deterministic: series sort by name then labels, and one
+// `# TYPE` comment precedes each base name's block.
+
+// summaryQuantiles are the quantile series a histogram exports.
+var summaryQuantiles = []float64{0.5, 0.95, 0.99}
+
+// WritePrometheus renders every registered series in the text exposition
+// format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	prevName := ""
+	for _, s := range r.snapshot() {
+		if s.name != prevName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind); err != nil {
+				return err
+			}
+			prevName = s.name
+		}
+		if err := writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving WritePrometheus — the body of
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func writeSeries(w io.Writer, s *series) error {
+	switch s.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesID(s.name, s.labels), s.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesID(s.name, s.labels), s.gauge.Value())
+		return err
+	case kindCounterFunc, kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesID(s.name, s.labels), formatFloat(s.fn()))
+		return err
+	case kindHistogram:
+		for _, q := range summaryQuantiles {
+			ql := append(append([]Label(nil), s.labels...), Label{Key: "quantile", Value: strconv.FormatFloat(q, 'g', -1, 64)})
+			ns := s.hist.Quantile(q)
+			if _, err := fmt.Fprintf(w, "%s %s\n", seriesID(s.name, ql), formatFloat(float64(ns)/1e9)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesID(s.name+"_sum", s.labels), formatFloat(float64(s.hist.Sum())/1e9)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesID(s.name+"_count", s.labels), s.hist.Count())
+		return err
+	}
+	return nil
+}
+
+// formatFloat renders a sample value: shortest round-trip form, no
+// exponent surprises for the integral values counters produce.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+)
+
+// Trace IDs join the log lines one request (or one leased work batch)
+// produces across processes: the serving middleware assigns an ID at
+// ingress — or adopts the one an upstream sent in the X-Dtrank-Trace
+// header — and the ID flows through context into every instrumented site
+// and back to the client in the response header. The work-stealing
+// protocol carries the same IDs in lease grants and complete bodies, so
+// `grep <id>` over coordinator and worker logs reconstructs one unit
+// batch's life end to end.
+
+// TraceHeader is the HTTP header carrying a trace ID, both inbound
+// (adopted when valid) and outbound (always set on responses).
+const TraceHeader = "X-Dtrank-Trace"
+
+// traceIDLen is the length of a trace ID in hex characters (64 bits).
+const traceIDLen = 16
+
+// traceKey is the context key type for trace IDs.
+type traceKey struct{}
+
+// traceState is the splitmix64 counter behind NewTraceID, seeded once
+// per process from crypto/rand (or the clock if the random source is
+// unavailable). A counter stream guarantees in-process uniqueness for
+// 2^64 draws; the random base keeps two processes' streams disjoint with
+// overwhelming probability — exactly the properties log joining needs,
+// with no per-request syscall.
+var traceState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	traceState.Store(binary.LittleEndian.Uint64(b[:]))
+}
+
+const hexDigits = "0123456789abcdef"
+
+// NewTraceID mints a 16-hex-character trace ID. IDs are unique, not
+// derived from request contents: two identical queries are two requests
+// with two distinct traces. Minting is a single atomic add, a splitmix64
+// scramble and one string allocation — cheap enough for every request.
+func NewTraceID() string {
+	x := traceState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	var out [traceIDLen]byte
+	for i := 0; i < 8; i++ {
+		v := byte(x >> (56 - 8*i))
+		out[i*2] = hexDigits[v>>4]
+		out[i*2+1] = hexDigits[v&0x0f]
+	}
+	return string(out[:])
+}
+
+// ValidTraceID reports whether s is a well-formed trace ID: exactly 16
+// lowercase hex characters. Anything else in an inbound header is
+// ignored and replaced with a fresh ID, so a client cannot inject log
+// noise or unbounded junk into trace-labelled records.
+func ValidTraceID(s string) bool {
+	if len(s) != traceIDLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// WithTraceID returns a context carrying the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the context's trace ID, or "" when none was assigned
+// (e.g. a library call outside any request).
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

@@ -1,0 +1,63 @@
+package resultstore
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// instrumented decorates a Store with per-operation latency histograms.
+type instrumented struct {
+	st  Store
+	get *obs.Histogram
+	put *obs.Histogram
+}
+
+// Instrumented wraps st so every Get and Put records its wall time into
+// dtrank_store_op_seconds{backend,op} histograms in reg. backend labels
+// the series ("mem", "dir", "http"); the wrapper changes no behaviour and
+// forwards Stats and Location untouched, so it can sit in front of any
+// backend — including the remote client, where the histogram then
+// measures store latency as the worker experiences it, network included.
+func Instrumented(st Store, reg *obs.Registry, backend string) Store {
+	if st == nil || reg == nil {
+		return st
+	}
+	return &instrumented{
+		st:  st,
+		get: reg.Histogram("dtrank_store_op_seconds", obs.L("backend", backend), obs.L("op", "get")),
+		put: reg.Histogram("dtrank_store_op_seconds", obs.L("backend", backend), obs.L("op", "put")),
+	}
+}
+
+func (i *instrumented) Get(key Key, v any) (bool, error) {
+	t0 := time.Now()
+	ok, err := i.st.Get(key, v)
+	i.get.Observe(time.Since(t0))
+	return ok, err
+}
+
+func (i *instrumented) Put(key Key, v, out any) error {
+	t0 := time.Now()
+	err := i.st.Put(key, v, out)
+	i.put.Observe(time.Since(t0))
+	return err
+}
+
+func (i *instrumented) Stats() Stats     { return i.st.Stats() }
+func (i *instrumented) Location() string { return i.st.Location() }
+
+// BackendKind classifies a store location for the Instrumented backend
+// label: "" is the in-memory store, an http(s) URL the remote client,
+// anything else a directory.
+func BackendKind(location string) string {
+	switch {
+	case location == "":
+		return "mem"
+	case strings.HasPrefix(location, "http://"), strings.HasPrefix(location, "https://"):
+		return "http"
+	default:
+		return "dir"
+	}
+}

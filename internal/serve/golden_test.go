@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/coord"
+	"repro/internal/obs"
 	"repro/internal/resultstore"
 )
 
@@ -229,9 +230,10 @@ func TestGoldenWorkBodyKeys(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("lease: HTTP %d: %s", rec.Code, rec.Body.String())
 	}
-	wantKeys(t, rec.Body.Bytes(), "lease", "units", "ttl_ms", "plan", "done", "remaining")
+	wantKeys(t, rec.Body.Bytes(), "lease", "trace", "units", "ttl_ms", "plan", "done", "remaining")
 	var grant struct {
 		Lease string            `json:"lease"`
+		Trace string            `json:"trace"`
 		Units []json.RawMessage `json:"units"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &grant); err != nil {
@@ -239,6 +241,9 @@ func TestGoldenWorkBodyKeys(t *testing.T) {
 	}
 	if len(grant.Units) == 0 {
 		t.Fatal("no units granted")
+	}
+	if !obs.ValidTraceID(grant.Trace) {
+		t.Fatalf("grant trace %q is not a valid trace ID", grant.Trace)
 	}
 	// A unit travels as its result-store key.
 	wantKeys(t, grant.Units[0], "snapshot", "spec", "method", "split", "seed")
@@ -284,4 +289,61 @@ func TestGoldenWorkBodyKeys(t *testing.T) {
 	if !bytes.Contains(rec.Body.Bytes(), []byte(`"done":false`)) {
 		t.Fatalf("empty grant reads done: %s", rec.Body.String())
 	}
+}
+
+// TestGoldenStatusBodyKeys pins the key sets of GET /v1/status: the
+// top-level snapshot, one endpoint row, and the nested subsystem objects.
+// Values vary per run; the shape is the contract documented in API.md.
+func TestGoldenStatusBodyKeys(t *testing.T) {
+	co, err := coord.New("fp", []resultstore.Key{{Snapshot: "s", Spec: "a", Method: "m", Split: "x", Seed: 1}}, coord.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(testWorld(t), nil, Options{Seed: 1, StoreDir: t.TempDir(), Coordinator: co})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	// Serve one ranking first so /v1/rank has a non-empty histogram.
+	if rec := post(t, h, "/v1/rank", `{"family":"Alpha","app":"benchB","method":"NN^T"}`); rec.Code != http.StatusOK {
+		t.Fatalf("rank: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec := get(t, h, "/v1/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	wantKeys(t, rec.Body.Bytes(),
+		"uptime_seconds", "snapshot", "models", "endpoints",
+		"registry", "rankcache", "batch", "engine", "store", "work")
+
+	var status struct {
+		Endpoints map[string]json.RawMessage `json:"endpoints"`
+		Rankcache json.RawMessage            `json:"rankcache"`
+		Batch     json.RawMessage            `json:"batch"`
+		Engine    json.RawMessage            `json:"engine"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	row, ok := status.Endpoints["/v1/rank"]
+	if !ok {
+		t.Fatalf("endpoints lacks /v1/rank: %v", status.Endpoints)
+	}
+	wantKeys(t, row, "count", "errors", "mean_ns", "p50_ns", "p95_ns", "p99_ns")
+	var rank struct {
+		Count int64 `json:"count"`
+		P99Ns int64 `json:"p99_ns"`
+	}
+	if err := json.Unmarshal(row, &rank); err != nil {
+		t.Fatal(err)
+	}
+	if rank.Count < 1 || rank.P99Ns <= 0 {
+		t.Fatalf("/v1/rank row not populated: %s", row)
+	}
+	wantKeys(t, status.Rankcache, "enabled", "entries", "hits", "misses", "evictions", "not_modified")
+	wantKeys(t, status.Batch, "enabled", "flushes", "batched_queries")
+	wantKeys(t, status.Engine, "inflight", "units_done")
 }

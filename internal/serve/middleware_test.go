@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTraceHeaderPropagation pins the X-Dtrank-Trace contract: a valid
+// inbound ID is adopted and echoed, an invalid or absent one is replaced
+// with a fresh valid ID, and two traceless requests get distinct IDs.
+func TestTraceHeaderPropagation(t *testing.T) {
+	srv, err := NewServer(testWorld(t), nil, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	const inbound = "00deadbeef00cafe"
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set(obs.TraceHeader, inbound)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(obs.TraceHeader); got != inbound {
+		t.Fatalf("valid inbound trace not adopted: got %q, want %q", got, inbound)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set(obs.TraceHeader, "NOT-A-TRACE-ID-!!")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	replaced := rec.Header().Get(obs.TraceHeader)
+	if !obs.ValidTraceID(replaced) || replaced == "NOT-A-TRACE-ID-!!" {
+		t.Fatalf("invalid inbound trace not replaced with a valid ID: %q", replaced)
+	}
+
+	first := get(t, h, "/healthz").Header().Get(obs.TraceHeader)
+	second := get(t, h, "/healthz").Header().Get(obs.TraceHeader)
+	if !obs.ValidTraceID(first) || !obs.ValidTraceID(second) {
+		t.Fatalf("generated traces invalid: %q, %q", first, second)
+	}
+	if first == second {
+		t.Fatalf("two traceless requests shared trace %q", first)
+	}
+}
+
+// TestAccessLogCarriesTrace captures the structured access log and checks
+// that a request's line carries its trace ID, route and status — the
+// joinability contract of the logging layer.
+func TestAccessLogCarriesTrace(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := obs.NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(testWorld(t), nil, Options{Seed: 1, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	const trace = "fedcba9876543210"
+	req := httptest.NewRequest(http.MethodPost, "/v1/rank", strings.NewReader(`{"family":"Alpha","app":"benchB","method":"NN^T"}`))
+	req.Header.Set(obs.TraceHeader, trace)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rank: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var entry struct {
+			Msg    string `json:"msg"`
+			Trace  string `json:"trace"`
+			Route  string `json:"route"`
+			Status int    `json:"status"`
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("access log line is not JSON: %v\n%s", err, line)
+		}
+		if entry.Msg == "http" && entry.Route == "/v1/rank" {
+			found = true
+			if entry.Trace != trace {
+				t.Fatalf("access line trace %q, want %q", entry.Trace, trace)
+			}
+			if entry.Status != http.StatusOK {
+				t.Fatalf("access line status %d, want 200", entry.Status)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no access line for /v1/rank in:\n%s", buf.String())
+	}
+}
+
+// BenchmarkMiddleware pins the per-request cost of the observability
+// wrapper in isolation (trace mint, response header, histogram, status
+// counter) — the number to watch when touching the request hot path.
+func BenchmarkMiddleware(b *testing.B) {
+	srv, err := NewServer(testWorld(b), nil, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	wrapped := srv.instrument("/healthz", inner)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wrapped.ServeHTTP(rec, req)
+	}
+}
+
+var metricsLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$`)
+
+// TestMetricsEndpoint drives one request through the handler, then checks
+// GET /metrics: parseable exposition, no duplicate series, and populated
+// per-endpoint series for the route that served traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, err := NewServer(testWorld(t), nil, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	if rec := post(t, h, "/v1/rank", `{"family":"Alpha","app":"benchB","method":"NN^T"}`); rec.Code != http.StatusOK {
+		t.Fatalf("rank: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !metricsLine.MatchString(line) {
+			t.Fatalf("unparseable metrics line: %q", line)
+		}
+		id := line[:strings.LastIndexByte(line, ' ')]
+		if seen[id] {
+			t.Fatalf("duplicate series %q", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []string{
+		`dtrank_http_requests_total{route="/v1/rank",code="2xx"} 1`,
+		`dtrank_http_request_seconds_count{route="/v1/rank"} 1`,
+		`dtrank_fit_seconds_count{method="NN^T"} 1`,
+		// The /metrics request itself is the second one counted.
+		`dtrank_requests_total 2`,
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("metrics output lacks %q:\n%s", want, rec.Body.String())
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/dataset"
 	"repro/internal/method"
+	"repro/internal/obs"
 	"repro/internal/resultstore"
 	"repro/internal/transpose"
 )
@@ -56,6 +58,17 @@ type Options struct {
 	// BatchMax flushes a forming batch early once this many queries
 	// joined (0 means DefaultBatchMax).
 	BatchMax int
+	// Obs is the metrics registry every handler, cache, batcher, fit and
+	// store instrument registers into, rendered on GET /metrics and
+	// snapshotted by GET /v1/status (dtrankd shares one registry across
+	// subsystems). nil means a private registry — the endpoints still
+	// work, they just expose only this server's series.
+	Obs *obs.Registry
+	// Logger receives one structured access line per request, each
+	// carrying the request's trace ID, plus debug lines from the cache,
+	// batcher and fit sites. nil logs nothing, which keeps tests and
+	// benchmarks quiet and unmeasured.
+	Logger *slog.Logger
 }
 
 // snapshot is an immutable (matrix, characteristics) pair plus its hash.
@@ -106,6 +119,13 @@ type Server struct {
 	work  *coord.HTTPHandler
 	start time.Time
 
+	obs       *obs.Registry
+	logger    *slog.Logger
+	logging   bool // false when no Options.Logger: skip per-request log plumbing
+	epm       map[string]*endpointMetrics
+	fitHist   map[string]*obs.Histogram
+	flushHist *obs.Histogram
+
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
@@ -129,6 +149,10 @@ func NewServer(m *dataset.Matrix, chars map[string][]float64, opts Options) (*Se
 		return nil, fmt.Errorf("serve: invalid snapshot: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		opts:    opts,
 		reg:     NewRegistry(opts.MaxModels),
@@ -136,6 +160,9 @@ func NewServer(m *dataset.Matrix, chars map[string][]float64, opts Options) (*Se
 		baseCtx: ctx,
 		cancel:  cancel,
 		calls:   map[callKey]*rankCall{},
+		obs:     reg,
+		logger:  obs.OrNop(opts.Logger),
+		logging: opts.Logger != nil,
 	}
 	if opts.RankCache >= 0 {
 		s.cache = newRankCache(opts.RankCache)
@@ -155,11 +182,17 @@ func NewServer(m *dataset.Matrix, chars map[string][]float64, opts Options) (*Se
 		s.work = coord.NewHTTPHandler(opts.Coordinator)
 	}
 	s.snap.Store(&snapshot{matrix: m, chars: chars, hash: m.Hash()})
+	s.registerMetrics(reg)
 	return s, nil
 }
 
 // Registry exposes the server's model registry (for warm start and save).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Obs exposes the server's metrics registry — the one GET /metrics
+// renders — so the daemon can register its own series (or a debug
+// listener can mount a second exposition handler) without a global.
+func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // SnapshotHash returns the hash of the currently served snapshot.
 func (s *Server) SnapshotHash() string { return s.snap.Load().hash }
@@ -409,7 +442,14 @@ func (s *Server) rankLeader(ctx context.Context, snap *snapshot, key Key, canon 
 		if !ok {
 			return nil, fmt.Errorf("serve: method %s does not implement the Fit/Predict API", canon)
 		}
-		return ft.Fit(fold)
+		t0 := time.Now()
+		m, err := ft.Fit(fold)
+		d := time.Since(t0)
+		if h := s.fitHist[canon]; h != nil {
+			h.Observe(d)
+		}
+		s.logger.Debug("model fit", "trace", obs.TraceID(ctx), "method", canon, "app", fold.AppName, "dur", d, "ok", err == nil)
+		return m, err
 	}
 	query := func(ctx context.Context, predicted []float64) error {
 		return s.reg.Query(ctx, key, fit, func(m transpose.Model) error {
@@ -436,10 +476,14 @@ func (s *Server) rankLeader(ctx context.Context, snap *snapshot, key Key, canon 
 		// from here on (BuildRankResponse copies what it keeps).
 		var err error
 		predicted, err = s.batch.predictTargets(ctx, s.baseCtx, key, func() ([]float64, error) {
+			t0 := time.Now()
 			dst := make([]float64, targets.NumMachines())
 			if err := query(s.baseCtx, dst); err != nil {
 				return nil, err
 			}
+			d := time.Since(t0)
+			s.flushHist.Observe(d)
+			s.logger.Debug("batch flush", "trace", obs.TraceID(ctx), "method", canon, "app", fold.AppName, "dur", d)
 			return dst, nil
 		})
 		if err != nil {
@@ -460,8 +504,15 @@ func (s *Server) rankLeader(ctx context.Context, snap *snapshot, key Key, canon 
 //	GET  /v1/methods   the served prediction methods
 //	GET  /v1/machines  the snapshot's machines (?family= filters)
 //	POST /v1/snapshot  hot-swap the performance database (CSV body)
+//	GET  /v1/status    JSON observability snapshot (per-endpoint p50/p95/p99)
 //	GET  /healthz      liveness plus snapshot hash and model count
-//	GET  /debug/vars   service counters
+//	GET  /metrics      Prometheus text exposition of the obs registry
+//	GET  /debug/vars   service counters (pre-obs compatibility view)
+//
+// Every route runs under the observability middleware: the response
+// carries an X-Dtrank-Trace header (adopted from a valid inbound header,
+// otherwise generated), latency and status land in per-route metrics, and
+// one structured access line goes to Options.Logger.
 //
 // With Options.StoreDir set, the experiment result store is additionally
 // served under /v1/store/ (GET/PUT one CRC-checked entry per unit, GET
@@ -475,17 +526,22 @@ func (s *Server) rankLeader(ctx context.Context, snap *snapshot, key Key, canon 
 // {"error":{"code":...,"message":...}} documented in API.md.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/rank", s.handleRank)
-	mux.HandleFunc("GET /v1/methods", s.handleMethods)
-	mux.HandleFunc("GET /v1/machines", s.handleMachines)
-	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	handle := func(pattern, route string, h http.Handler) {
+		mux.Handle(pattern, s.instrument(route, h))
+	}
+	handle("POST /v1/rank", "/v1/rank", http.HandlerFunc(s.handleRank))
+	handle("GET /v1/methods", "/v1/methods", http.HandlerFunc(s.handleMethods))
+	handle("GET /v1/machines", "/v1/machines", http.HandlerFunc(s.handleMachines))
+	handle("POST /v1/snapshot", "/v1/snapshot", http.HandlerFunc(s.handleSnapshot))
+	handle("GET /v1/status", "/v1/status", http.HandlerFunc(s.handleStatus))
+	handle("GET /healthz", "/healthz", http.HandlerFunc(s.handleHealthz))
+	handle("GET /metrics", "/metrics", s.obs.Handler())
+	handle("GET /debug/vars", "/debug/vars", http.HandlerFunc(s.handleVars))
 	if s.store != nil {
-		mux.Handle("/v1/store/", s.store)
+		handle("/v1/store/", "/v1/store/", s.store)
 	}
 	if s.work != nil {
-		mux.Handle("/v1/work/", s.work)
+		handle("/v1/work/", "/v1/work/", s.work)
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
@@ -530,7 +586,11 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		if canon, err := CanonicalMethod(req.Method); err == nil {
 			shape = queryShape(canon, req)
 			snapHash := s.snap.Load().hash
-			if body, ok := s.cache.get(shapeKey{snapshot: snapHash, shape: shape}); ok {
+			body, hit := s.cache.get(shapeKey{snapshot: snapHash, shape: shape})
+			if s.logging && s.logger.Enabled(r.Context(), slog.LevelDebug) {
+				s.logger.Debug("rankcache", "trace", obs.TraceID(r.Context()), "hit", hit, "shape", clip16(shape))
+			}
+			if hit {
 				s.rankOK.Add(1)
 				s.writeRanked(w, r, etagFor(snapHash, shape), body)
 				return

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# metrics-smoke: end-to-end check of the observability layer.
+#
+#   1. build dtrank and dtrankd
+#   2. start dtrankd (JSON logs, debug listener on a second port)
+#   3. drive a short `dtrank loadtest -trace` against it
+#   4. assert /metrics is parseable Prometheus exposition with a
+#      populated /v1/rank latency histogram, /v1/status reports a
+#      positive /v1/rank p99 under the SLO floor, the debug listener
+#      mirrors /metrics and serves /debug/pprof/, and a known trace ID
+#      round-trips into the daemon's JSON logs
+#
+# Mirrored by `make metrics-smoke` and the CI metrics-smoke job.
+set -euo pipefail
+
+SEED=3
+DURATION="${LOADTEST_DURATION:-2s}"
+WORKERS="${LOADTEST_WORKERS:-8}"
+P99="${LOADTEST_P99:-500ms}"
+
+dir=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+echo "metrics-smoke: building binaries" >&2
+go build -o "$dir/dtrank" ./cmd/dtrank
+go build -o "$dir/dtrankd" ./cmd/dtrankd
+
+port=$(( 20000 + RANDOM % 20000 ))
+dport=$(( port + 1 ))
+base="http://127.0.0.1:$port"
+dbase="http://127.0.0.1:$dport"
+echo "metrics-smoke: starting dtrankd on $base (debug on $dbase)" >&2
+"$dir/dtrankd" -addr "127.0.0.1:$port" -debug-addr "127.0.0.1:$dport" \
+    -seed "$SEED" -log-format json >"$dir/dtrankd.log" 2>&1 &
+pid=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "metrics-smoke: dtrankd died:" >&2
+        cat "$dir/dtrankd.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "metrics-smoke: daemon up" >&2
+
+"$dir/dtrank" loadtest -url "$base" -duration "$DURATION" -workers "$WORKERS" \
+    -methods "NN^T,MLP^T" -apps "gcc,mcf,libquantum" -trace >/dev/null
+
+# --- /metrics: every non-comment line must be `name{labels} value`. ---
+curl -fsS "$base/metrics" >"$dir/metrics.txt"
+bad=$(grep -v '^#' "$dir/metrics.txt" | grep -cvE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$' || true)
+if [ "$bad" -ne 0 ]; then
+    echo "metrics-smoke: $bad unparseable /metrics lines:" >&2
+    grep -v '^#' "$dir/metrics.txt" | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$' >&2
+    exit 1
+fi
+dups=$(grep -v '^#' "$dir/metrics.txt" | sed 's/ [^ ]*$//' | sort | uniq -d)
+if [ -n "$dups" ]; then
+    echo "metrics-smoke: duplicate series in /metrics:" >&2
+    echo "$dups" >&2
+    exit 1
+fi
+
+# The /v1/rank histogram must have carried the loadtest traffic.
+rank_count=$(sed -n 's/^dtrank_http_request_seconds_count{route="\/v1\/rank"} \([0-9]*\)$/\1/p' "$dir/metrics.txt")
+if [ -z "$rank_count" ] || [ "$rank_count" -le 0 ]; then
+    echo "metrics-smoke: /v1/rank histogram count = '${rank_count:-missing}', want > 0" >&2
+    exit 1
+fi
+echo "metrics-smoke: /metrics ok ($(grep -cv '^#' "$dir/metrics.txt") series, $rank_count /v1/rank observations)" >&2
+
+# --- /v1/status: positive /v1/rank p99 under the SLO floor. ---
+curl -fsS "$base/v1/status" >"$dir/status.json"
+p99=$(sed -n 's/.*"\/v1\/rank":{[^}]*"p99_ns":\([0-9]*\).*/\1/p' "$dir/status.json")
+if [ -z "$p99" ] || [ "$p99" -le 0 ]; then
+    echo "metrics-smoke: /v1/status /v1/rank p99_ns = '${p99:-missing}', want > 0:" >&2
+    cat "$dir/status.json" >&2
+    exit 1
+fi
+# P99 (e.g. 500ms) in nanoseconds, computed portably: strip the unit.
+case "$P99" in
+    *ms) floor_ns=$(( ${P99%ms} * 1000000 )) ;;
+    *s)  floor_ns=$(( ${P99%s} * 1000000000 )) ;;
+    *)   floor_ns=0 ;;
+esac
+if [ "$floor_ns" -gt 0 ] && [ "$p99" -ge "$floor_ns" ]; then
+    echo "metrics-smoke: /v1/status p99 ${p99}ns exceeds the $P99 floor" >&2
+    exit 1
+fi
+echo "metrics-smoke: /v1/status ok (/v1/rank p99 ${p99}ns < $P99)" >&2
+
+# --- Debug listener: /metrics mirror and pprof index. ---
+curl -fsS "$dbase/metrics" >"$dir/debug-metrics.txt"
+grep -q '^dtrank_http_request_seconds_count' "$dir/debug-metrics.txt" || {
+    echo "metrics-smoke: debug listener /metrics mirror missing histogram" >&2
+    exit 1
+}
+curl -fsS "$dbase/debug/pprof/" >/dev/null || {
+    echo "metrics-smoke: debug listener /debug/pprof/ unreachable" >&2
+    exit 1
+}
+echo "metrics-smoke: debug listener ok" >&2
+
+# --- Trace propagation: a known inbound ID must reach the access log. ---
+trace="feedfacecafef00d"
+curl -fsS -H "X-Dtrank-Trace: $trace" -o /dev/null "$base/healthz"
+if ! grep -q "\"trace\":\"$trace\"" "$dir/dtrankd.log"; then
+    echo "metrics-smoke: trace $trace not found in the daemon's JSON logs" >&2
+    tail -5 "$dir/dtrankd.log" >&2
+    exit 1
+fi
+echo "metrics-smoke: trace propagation ok ($trace joined request to log line)" >&2
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "metrics-smoke: OK" >&2
