@@ -4,7 +4,7 @@
 GO ?= go
 DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test bench bench-json examples serve serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke metrics-smoke lint staticcheck ci
+.PHONY: build test bench bench-json bench-gate examples serve serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke metrics-smoke lint staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ bench-json:
 		&& ./scripts/loadtest-smoke.sh ) \
 		| $(GO) run ./cmd/benchstatjson -o BENCH_$(DATE).json
 	@echo wrote BENCH_$(DATE).json
+
+# Perf-regression gate: run the fit-path benchmarks once and diff the
+# result against the newest committed BENCH_<date>.json with
+# `benchstatjson -diff`. Hard-fails when allocs/op grows by more than
+# MAX_REGRESS percent (default 10); ns/op regressions only warn.
+bench-gate:
+	./scripts/bench-gate.sh
 
 # Execute every example program end to end (not just compile them).
 examples:
@@ -93,4 +100,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
 	fi
 
-ci: lint staticcheck build test bench examples serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke metrics-smoke
+ci: lint staticcheck build test bench bench-gate examples serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke metrics-smoke

@@ -21,14 +21,25 @@ func benchConfig() experiments.Config {
 
 // BenchmarkRunFamilyCV compares the serial and parallel experiment
 // engine on the §6.2 family cross-validation (3 methods × 17 families ×
-// 29 leave-one-out folds). The parallel variant uses one worker per core;
-// both produce byte-identical results, so the ratio is pure speedup.
+// 29 leave-one-out folds). All worker counts produce byte-identical
+// results, so any ratio between sub-benchmarks is pure speedup.
+//
+// Interpreting serial ≈ parallel: the engine's workers are goroutines,
+// so wall-clock speedup is bounded by GOMAXPROCS, not by the -workers
+// flag. On a single-CPU host (GOMAXPROCS=1) every variant below runs the
+// same instruction stream under cooperative scheduling and the times
+// collapse to within noise — that is the expected reading of the
+// committed single-core BENCH snapshots, not a lost speedup. The
+// workers=2/workers=8 dimension exists so multi-core runs can measure
+// scaling directly (see README "Performance").
 func BenchmarkRunFamilyCV(b *testing.B) {
 	for _, bc := range []struct {
 		name    string
 		workers int
 	}{
 		{"serial", 1},
+		{"workers=2", 2},
+		{"workers=8", 8},
 		{"parallel", 0}, // 0 = GOMAXPROCS
 	} {
 		b.Run(bc.name, func(b *testing.B) {

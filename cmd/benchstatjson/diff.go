@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// diffOptions configures a snapshot comparison.
+type diffOptions struct {
+	// MaxRegress is the allocs/op regression threshold in percent; any
+	// matched benchmark whose allocation count grows by more than this
+	// fails the comparison.
+	MaxRegress float64
+	// WarnTimePct is the ns/op growth beyond which a warning line is
+	// printed. Time regressions never fail the comparison: single-shot
+	// bench times (-benchtime=1x, shared CI runners) are too noisy to
+	// gate on, while allocation counts are deterministic.
+	WarnTimePct float64
+}
+
+// diffRow is one matched benchmark in the comparison.
+type diffRow struct {
+	name              string
+	oldNs, newNs      float64
+	oldAllocs         *int64
+	newAllocs         *int64
+	allocRegressedPct float64 // > 0 when allocs grew
+}
+
+// cpuSuffix is the "-N" GOMAXPROCS suffix go test appends to benchmark
+// names (omitted when GOMAXPROCS is 1). Snapshots taken on machines with
+// different core counts must still match, so keys are compared with the
+// suffix stripped.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// diffKey identifies a benchmark across snapshots: package plus name
+// with the GOMAXPROCS suffix removed.
+func diffKey(r Result) string {
+	return r.Pkg + " " + cpuSuffix.ReplaceAllString(r.Name, "")
+}
+
+// runDiff compares two snapshot files and renders a delta table to w.
+// It returns the number of benchmarks whose allocs/op regressed beyond
+// opts.MaxRegress (0 means the gate passes).
+func runDiff(w io.Writer, oldPath, newPath string, opts diffOptions) (regressions int, err error) {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	oldByKey := map[string]Result{}
+	for _, r := range oldSnap.Results {
+		oldByKey[diffKey(r)] = r
+	}
+	var rows []diffRow
+	var onlyNew, onlyOld []string
+	seen := map[string]bool{}
+	for _, r := range newSnap.Results {
+		key := diffKey(r)
+		seen[key] = true
+		o, ok := oldByKey[key]
+		if !ok {
+			onlyNew = append(onlyNew, r.Pkg+" "+r.Name)
+			continue
+		}
+		row := diffRow{name: r.Pkg + " " + r.Name, oldNs: o.NsPerOp, newNs: r.NsPerOp,
+			oldAllocs: o.AllocsPerOp, newAllocs: r.AllocsPerOp}
+		if o.AllocsPerOp != nil && r.AllocsPerOp != nil && *o.AllocsPerOp > 0 && *r.AllocsPerOp > *o.AllocsPerOp {
+			row.allocRegressedPct = pctDelta(float64(*o.AllocsPerOp), float64(*r.AllocsPerOp))
+		}
+		rows = append(rows, row)
+	}
+	for key, o := range oldByKey {
+		if !seen[key] {
+			onlyOld = append(onlyOld, o.Pkg+" "+o.Name)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	sort.Strings(onlyNew)
+	sort.Strings(onlyOld)
+
+	fmt.Fprintf(w, "benchstatjson diff: %s (%s) -> %s (%s)\n\n",
+		oldPath, oldSnap.Date, newPath, newSnap.Date)
+	fmt.Fprintf(w, "%-56s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ%", "old allocs", "new allocs", "Δ%")
+	for _, row := range rows {
+		status := ""
+		if row.allocRegressedPct > opts.MaxRegress {
+			status = "  FAIL allocs/op"
+			regressions++
+		} else if opts.WarnTimePct > 0 && row.oldNs > 0 && pctDelta(row.oldNs, row.newNs) > opts.WarnTimePct {
+			status = "  WARN ns/op"
+		}
+		fmt.Fprintf(w, "%-56s %14.0f %14.0f %+7.1f%% %12s %12s %+7.1f%%%s\n",
+			row.name, row.oldNs, row.newNs, pctDelta(row.oldNs, row.newNs),
+			allocStr(row.oldAllocs), allocStr(row.newAllocs),
+			allocDelta(row.oldAllocs, row.newAllocs), status)
+	}
+	for _, key := range onlyNew {
+		fmt.Fprintf(w, "%-56s %s\n", key, "(new benchmark, no baseline)")
+	}
+	for _, key := range onlyOld {
+		fmt.Fprintf(w, "%-56s %s\n", key, "(baseline only, not in new run)")
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed allocs/op by more than %.1f%%\n", regressions, opts.MaxRegress)
+	} else {
+		fmt.Fprintf(w, "\nallocs/op within %.1f%% of baseline for all %d matched benchmark(s)\n", opts.MaxRegress, len(rows))
+	}
+	return regressions, nil
+}
+
+// pctDelta returns the percentage change from oldV to newV.
+func pctDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func allocStr(v *int64) string {
+	if v == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%d", *v)
+}
+
+func allocDelta(oldV, newV *int64) float64 {
+	if oldV == nil || newV == nil {
+		return 0
+	}
+	return pctDelta(float64(*oldV), float64(*newV))
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(snap.Results) == 0 {
+		return nil, fmt.Errorf("%s: snapshot holds no results", path)
+	}
+	return &snap, nil
+}

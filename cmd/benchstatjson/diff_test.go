@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name string, snap Snapshot) string {
+	t.Helper()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func allocs(n int64) *int64 { return &n }
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", Snapshot{Date: "2026-01-01", Results: []Result{
+		{Name: "BenchmarkA-8", Pkg: "repro/a", NsPerOp: 1000, AllocsPerOp: allocs(100)},
+		{Name: "BenchmarkB-8", Pkg: "repro/b", NsPerOp: 2000, AllocsPerOp: allocs(50)},
+	}})
+	newPath := writeSnap(t, dir, "new.json", Snapshot{Date: "2026-01-02", Results: []Result{
+		{Name: "BenchmarkA-8", Pkg: "repro/a", NsPerOp: 1100, AllocsPerOp: allocs(105)}, // +5% allocs
+		{Name: "BenchmarkB-8", Pkg: "repro/b", NsPerOp: 1900, AllocsPerOp: allocs(20)},  // improvement
+	}})
+	var sb strings.Builder
+	n, err := runDiff(&sb, oldPath, newPath, diffOptions{MaxRegress: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "within 10.0%") {
+		t.Fatalf("missing pass summary:\n%s", sb.String())
+	}
+}
+
+func TestDiffFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkA-8", Pkg: "repro/a", NsPerOp: 1000, AllocsPerOp: allocs(100)},
+	}})
+	newPath := writeSnap(t, dir, "new.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkA-8", Pkg: "repro/a", NsPerOp: 1000, AllocsPerOp: allocs(150)}, // +50%
+	}})
+	var sb strings.Builder
+	n, err := runDiff(&sb, oldPath, newPath, diffOptions{MaxRegress: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL allocs/op") {
+		t.Fatalf("missing FAIL marker:\n%s", sb.String())
+	}
+}
+
+func TestDiffTimeRegressionWarnsOnly(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkA-8", Pkg: "repro/a", NsPerOp: 1000, AllocsPerOp: allocs(100)},
+	}})
+	newPath := writeSnap(t, dir, "new.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkA-8", Pkg: "repro/a", NsPerOp: 5000, AllocsPerOp: allocs(100)}, // 5x slower, same allocs
+	}})
+	var sb strings.Builder
+	n, err := runDiff(&sb, oldPath, newPath, diffOptions{MaxRegress: 10, WarnTimePct: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("time regression must not gate: regressions = %d\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "WARN ns/op") {
+		t.Fatalf("missing WARN marker:\n%s", sb.String())
+	}
+}
+
+func TestDiffMatchesAcrossCPUSuffix(t *testing.T) {
+	// A baseline recorded on a 1-CPU machine (no -N suffix) must match a
+	// run from a multi-core CI runner (-4 suffix), and vice versa.
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkA/workers=8", Pkg: "repro", NsPerOp: 1000, AllocsPerOp: allocs(100)},
+	}})
+	newPath := writeSnap(t, dir, "new.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkA/workers=8-4", Pkg: "repro", NsPerOp: 1000, AllocsPerOp: allocs(200)}, // +100%
+	}})
+	var sb strings.Builder
+	n, err := runDiff(&sb, oldPath, newPath, diffOptions{MaxRegress: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("suffix-differing names must match and gate: regressions = %d\n%s", n, sb.String())
+	}
+	if strings.Contains(sb.String(), "no baseline") {
+		t.Fatalf("benchmark wrongly treated as unmatched:\n%s", sb.String())
+	}
+}
+
+func TestDiffReportsUnmatchedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkGone-8", Pkg: "repro/a", NsPerOp: 1, AllocsPerOp: allocs(1)},
+	}})
+	newPath := writeSnap(t, dir, "new.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkNew-8", Pkg: "repro/a", NsPerOp: 1, AllocsPerOp: allocs(1)},
+	}})
+	var sb strings.Builder
+	n, err := runDiff(&sb, oldPath, newPath, diffOptions{MaxRegress: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("unmatched benchmarks must not gate: %d\n%s", n, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "BenchmarkNew-8") || !strings.Contains(out, "no baseline") {
+		t.Fatalf("missing new-benchmark note:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkGone-8") || !strings.Contains(out, "baseline only") {
+		t.Fatalf("missing baseline-only note:\n%s", out)
+	}
+}
+
+func TestDiffRejectsEmptyOrBrokenSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	good := writeSnap(t, dir, "good.json", Snapshot{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 1},
+	}})
+	empty := writeSnap(t, dir, "empty.json", Snapshot{})
+	var sb strings.Builder
+	if _, err := runDiff(&sb, empty, good, diffOptions{MaxRegress: 10}); err == nil {
+		t.Fatal("want error for empty snapshot")
+	}
+	if _, err := runDiff(&sb, filepath.Join(dir, "missing.json"), good, diffOptions{MaxRegress: 10}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}

@@ -6,10 +6,18 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -benchtime=1x -run='^$' ./... | benchstatjson -o BENCH_2026-07-27.json
+//	benchstatjson -diff BENCH_old.json BENCH_new.json [-max-regress 10]
 //
 // Lines that are not benchmark results (test framework chatter, pkg
 // banners) populate the snapshot context (goos, goarch, cpu) or are
 // ignored, so the tool can be fed raw `go test` output.
+//
+// The -diff mode compares two snapshots benchmark by benchmark and
+// renders a delta table. Allocation regressions beyond -max-regress
+// percent make the command exit non-zero — allocs/op is deterministic,
+// so it is the CI perf gate. Time deltas are reported and, past the
+// same threshold, warned about, but never fail the comparison:
+// single-shot times on shared runners are too noisy to gate on.
 package main
 
 import (
@@ -57,7 +65,25 @@ type Snapshot struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	date := flag.String("date", "", "snapshot date (default today, YYYY-MM-DD)")
+	diff := flag.Bool("diff", false, "compare two snapshot files: benchstatjson -diff old.json new.json")
+	maxRegress := flag.Float64("max-regress", 10, "with -diff, fail when allocs/op grows by more than this percent")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchstatjson: -diff needs exactly two snapshot files")
+			os.Exit(2)
+		}
+		regressions, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1),
+			diffOptions{MaxRegress: *maxRegress, WarnTimePct: *maxRegress})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchstatjson:", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	snap, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchstatjson:", err)

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -88,9 +90,25 @@ func runRun(args []string) error {
 	worker := fs.String("worker", "", "join a 'dtrankd -coordinate' run as a work-stealing worker: lease, execute and complete unit batches from this daemon URL, rendering nothing (-cache defaults to the same URL)")
 	workerName := fs.String("worker-name", "", "worker name in lease ids and coordinator logs (default: host-pid)")
 	maxBatch := fs.Int("max-batch", 0, "cap the units requested per lease on top of the coordinator's adaptive sizing (0 = no cap)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file when the run finishes (inspect with `go tool pprof`)")
 	build := experimentFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
 	}
 	if *worker != "" && *shard != "" {
 		return errors.New("-worker and -shard are mutually exclusive: work stealing replaces fixed sharding")
@@ -160,6 +178,24 @@ func runRun(args []string) error {
 		where, stats.Hits, stats.Misses, stats.Puts, stats.Corrupt)
 	printStoreOps(reg, backend)
 	return nil
+}
+
+// writeMemProfile records the cumulative allocation profile — the
+// "allocs" profile counts every allocation since process start, which is
+// what an allocs/op hunt needs; `go tool pprof -sample_index=inuse_space`
+// recovers the live-heap view from the same file. Profile failures are
+// reported but never fail the run: the experiment results already exist.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtrank run: memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialise up-to-date allocation statistics
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "dtrank run: memprofile: %v\n", err)
+	}
 }
 
 // printStoreOps renders the instrumented store's per-op latency as its

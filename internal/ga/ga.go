@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/engine"
 )
@@ -130,8 +130,27 @@ type individual struct {
 	fitness float64
 }
 
+// newPopulation allocates cfg.Pop individuals whose genomes slice one
+// flat backing array: the whole evolutionary run works over two such
+// populations (current and next), so generations stop allocating
+// entirely — offspring are written into the next population's buffers
+// in place of the per-candidate copies the naive loop makes.
+func newPopulation(cfg Config) []individual {
+	flat := make([]float64, cfg.Pop*cfg.Genes)
+	pop := make([]individual, cfg.Pop)
+	for i := range pop {
+		pop[i].genome = flat[i*cfg.Genes : (i+1)*cfg.Genes]
+	}
+	return pop
+}
+
 // Run evolves a population against fit and returns the best genome found.
 // fit must return a finite value; NaN is treated as +Inf (worst).
+//
+// All randomness flows from cfg.Seed through a single generator in a
+// fixed draw order (selection, crossover decision, blend, mutation —
+// identical to the original per-candidate-allocation loop), so results
+// are bit-for-bit reproducible and independent of the buffer reuse.
 func Run(fit Fitness, cfg Config) (*Result, error) {
 	if fit == nil {
 		return nil, errors.New("ga: nil fitness function")
@@ -142,45 +161,55 @@ func Run(fit Fitness, cfg Config) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	pop := make([]individual, cfg.Pop)
+	pop := newPopulation(cfg)
 	for i := range pop {
-		g := make([]float64, cfg.Genes)
+		g := pop[i].genome
 		for j := range g {
 			g[j] = cfg.Lo + rng.Float64()*(cfg.Hi-cfg.Lo)
 		}
-		pop[i] = individual{genome: g}
 	}
 	evaluate(pop, fit, cfg)
 	sortByFitness(pop)
 
-	res := &Result{}
-	best := clone(pop[0])
+	res := &Result{History: make([]float64, 0, cfg.Generations)}
+	next := newPopulation(cfg)
+	// spare receives the second offspring of the final pair when the
+	// population size is odd: the original loop still draws and mutates
+	// that child before discarding it, so the buffer keeps the RNG
+	// stream aligned.
+	spare := make([]float64, cfg.Genes)
+	best := individual{genome: make([]float64, cfg.Genes), fitness: pop[0].fitness}
+	copy(best.genome, pop[0].genome)
 	stale := 0
 	for gen := 1; gen <= cfg.Generations; gen++ {
-		next := make([]individual, 0, cfg.Pop)
-		for i := 0; i < cfg.Elite; i++ {
-			next = append(next, clone(pop[i]))
+		n := 0
+		for ; n < cfg.Elite; n++ {
+			copy(next[n].genome, pop[n].genome)
+			next[n].fitness = pop[n].fitness
 		}
-		for len(next) < cfg.Pop {
+		for n < cfg.Pop {
 			p1 := tournament(pop, cfg.TournamentK, rng)
 			p2 := tournament(pop, cfg.TournamentK, rng)
-			c1 := append([]float64(nil), p1.genome...)
-			c2 := append([]float64(nil), p2.genome...)
+			c1 := next[n].genome
+			c2 := spare
+			if n+1 < cfg.Pop {
+				c2 = next[n+1].genome
+			}
+			copy(c1, p1.genome)
+			copy(c2, p2.genome)
 			if rng.Float64() < cfg.CrossoverRate {
 				blend(c1, c2, cfg, rng)
 			}
 			mutate(c1, cfg, rng)
 			mutate(c2, cfg, rng)
-			next = append(next, individual{genome: c1})
-			if len(next) < cfg.Pop {
-				next = append(next, individual{genome: c2})
-			}
+			n += 2
 		}
-		pop = next
+		pop, next = next, pop
 		evaluate(pop, fit, cfg)
 		sortByFitness(pop)
 		if pop[0].fitness < best.fitness {
-			best = clone(pop[0])
+			copy(best.genome, pop[0].genome)
+			best.fitness = pop[0].fitness
 			stale = 0
 		} else {
 			stale++
@@ -196,34 +225,43 @@ func Run(fit Fitness, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-func clone(ind individual) individual {
-	return individual{genome: append([]float64(nil), ind.genome...), fitness: ind.fitness}
-}
-
 func evaluate(pop []individual, fit Fitness, cfg Config) {
-	eval := func(i int) {
-		f := fit(pop[i].genome)
-		if math.IsNaN(f) {
-			f = math.Inf(1)
-		}
-		pop[i].fitness = f
-	}
 	if !cfg.Parallel {
 		for i := range pop {
-			eval(i)
+			f := fit(pop[i].genome)
+			if math.IsNaN(f) {
+				f = math.Inf(1)
+			}
+			pop[i].fitness = f
 		}
 		return
 	}
 	// The engine pool bounds the fan-out to the process-wide worker
 	// budget instead of spawning one goroutine per individual.
 	_ = cfg.Pool.Map(len(pop), func(i int) error {
-		eval(i)
+		f := fit(pop[i].genome)
+		if math.IsNaN(f) {
+			f = math.Inf(1)
+		}
+		pop[i].fitness = f
 		return nil
 	})
 }
 
+// sortByFitness orders the population best-first. Stable sorts are
+// permutation-identical regardless of algorithm, so the generic
+// allocation-free sort produces exactly the ordering the reflection-based
+// sort.SliceStable did.
 func sortByFitness(pop []individual) {
-	sort.SliceStable(pop, func(a, b int) bool { return pop[a].fitness < pop[b].fitness })
+	slices.SortStableFunc(pop, func(a, b individual) int {
+		if a.fitness < b.fitness {
+			return -1
+		}
+		if a.fitness > b.fitness {
+			return 1
+		}
+		return 0
+	})
 }
 
 func tournament(pop []individual, k int, rng *rand.Rand) individual {

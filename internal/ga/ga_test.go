@@ -225,3 +225,35 @@ func TestElitismProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunAllocsIndependentOfGenerations pins the double-buffered
+// evolution loop: generations reuse the two population buffers, so a
+// longer run must not allocate more than a short one (beyond the
+// History slice, preallocated to the generation budget).
+func TestRunAllocsIndependentOfGenerations(t *testing.T) {
+	fit := func(g []float64) float64 {
+		s := 0.0
+		for _, v := range g {
+			s += v * v
+		}
+		return s
+	}
+	measure := func(gens int) float64 {
+		cfg := Config{Genes: 6, Pop: 12, Generations: gens, Seed: 9}
+		if _, err := Run(fit, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := Run(fit, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := measure(3), measure(30)
+	// The longer run preallocates a larger History and may round its
+	// backing array up differently; allow that single slice's worth of
+	// slack but nothing per-generation.
+	if long > short+1 {
+		t.Fatalf("Run allocations grew with generations: %.1f at 3, %.1f at 30", short, long)
+	}
+}

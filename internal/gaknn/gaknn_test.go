@@ -222,3 +222,37 @@ func TestNormalise(t *testing.T) {
 		t.Fatal("constant dimension must normalise to zero")
 	}
 }
+
+// TestLooErrorAllocFree pins the GA fitness inner loop: once the
+// neighbour scratch pool is warm, one leave-one-out evaluation — the
+// function the GA calls tens of thousands of times per fit — allocates
+// nothing.
+func TestLooErrorAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector")
+	}
+	_, tgt, chars := clusteredWorld(t, 5)
+	bench := tgt.Benchmarks
+	vectors := make([][]float64, len(bench))
+	for i, name := range bench {
+		vectors[i] = chars[name]
+	}
+	zBench, _ := normalise(vectors, chars["a0"])
+	nt := tgt.NumMachines()
+	scores := rowMajor{data: make([]float64, len(bench)*nt), cols: nt}
+	for b := range bench {
+		tgt.CopyRowInto(b, scores.row(b))
+	}
+	p := fastNew(3, 3)
+	w := make([]float64, len(chars["a0"]))
+	for j := range w {
+		w[j] = 0.5
+	}
+	p.looError(w, zBench, scores) // warm the scratch pool
+	avg := testing.AllocsPerRun(100, func() {
+		p.looError(w, zBench, scores)
+	})
+	if avg != 0 {
+		t.Fatalf("looError allocates %.1f objects per evaluation at steady state, want 0", avg)
+	}
+}

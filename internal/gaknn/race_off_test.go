@@ -1,0 +1,7 @@
+//go:build !race
+
+package gaknn
+
+// raceEnabled reports whether the race detector is active, which makes
+// sync.Pool drop Puts at random and so breaks exact allocation counts.
+const raceEnabled = false

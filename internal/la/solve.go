@@ -9,14 +9,33 @@ import (
 // with partial pivoting. A is not modified.
 func Solve(a *Matrix, b []float64) ([]float64, error) {
 	n := a.rows
+	x := make([]float64, n)
+	if err := SolveInto(x, a, b, NewMatrix(n, n+1)); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto is Solve with caller-owned storage: the solution lands in x
+// (length n) and the elimination works in aug, an n×(n+1) scratch matrix
+// whose previous contents are overwritten (see ReuseMatrix for pooling
+// it). aug must not alias a. The pivoting and elimination sequence is
+// exactly Solve's, so results are bitwise identical.
+func SolveInto(x []float64, a *Matrix, b []float64, aug *Matrix) error {
+	n := a.rows
 	if a.cols != n {
-		return nil, fmt.Errorf("la: Solve on %d×%d matrix: %w", a.rows, a.cols, ErrShape)
+		return fmt.Errorf("la: Solve on %d×%d matrix: %w", a.rows, a.cols, ErrShape)
 	}
 	if len(b) != n {
-		return nil, fmt.Errorf("la: Solve rhs length %d, want %d: %w", len(b), n, ErrShape)
+		return fmt.Errorf("la: Solve rhs length %d, want %d: %w", len(b), n, ErrShape)
 	}
-	// Work on an augmented copy.
-	aug := NewMatrix(n, n+1)
+	if len(x) != n {
+		return fmt.Errorf("la: Solve solution length %d, want %d: %w", len(x), n, ErrShape)
+	}
+	if aug.rows != n || aug.cols != n+1 || aug.stride != n+1 {
+		return fmt.Errorf("la: Solve scratch %d×%d, want %d×%d: %w", aug.rows, aug.cols, n, n+1, ErrShape)
+	}
+	// Work on the augmented scratch.
 	for i := 0; i < n; i++ {
 		copy(aug.data[i*(n+1):i*(n+1)+n], a.row(i))
 		aug.data[i*(n+1)+n] = b[i]
@@ -30,7 +49,7 @@ func Solve(a *Matrix, b []float64) ([]float64, error) {
 			}
 		}
 		if pmax == 0 || math.IsNaN(pmax) {
-			return nil, fmt.Errorf("la: pivot %d: %w", k, ErrSingular)
+			return fmt.Errorf("la: pivot %d: %w", k, ErrSingular)
 		}
 		if p != k {
 			for j := k; j <= n; j++ {
@@ -49,7 +68,6 @@ func Solve(a *Matrix, b []float64) ([]float64, error) {
 		}
 	}
 	// Back substitution.
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := aug.At(i, n)
 		for j := i + 1; j < n; j++ {
@@ -57,10 +75,10 @@ func Solve(a *Matrix, b []float64) ([]float64, error) {
 		}
 		x[i] = s / aug.At(i, i)
 		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
-			return nil, fmt.Errorf("la: back-substitution row %d: %w", i, ErrSingular)
+			return fmt.Errorf("la: back-substitution row %d: %w", i, ErrSingular)
 		}
 	}
-	return x, nil
+	return nil
 }
 
 // QR holds the compact Householder QR factorisation of an m×n matrix with

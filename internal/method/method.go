@@ -116,6 +116,9 @@ var registry = []Descriptor{
 			if o.Fast {
 				p.Config.Epochs = 60
 			}
+			// Share the caller's token budget with ensemble training
+			// (nil means the process-wide default).
+			p.Pool = o.Pool
 			return p
 		},
 	},

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/la"
 )
 
 // Ensemble averages the predictions of independently initialised networks
@@ -21,19 +22,39 @@ type Ensemble struct {
 // unchanged and is therefore exactly equivalent to Train. Training is
 // deterministic: member seeds depend only on cfg.Seed and the member
 // index, never on scheduling.
+//
+// Members are split into one contiguous chunk per available worker;
+// chunks train concurrently and the members within a chunk train
+// together through TrainBatch's stacked kernels. Both axes are
+// bitwise-neutral — each member's weights depend only on its seed and
+// the instances — so results are identical for every worker count.
 func TrainEnsemble(inputs, targets [][]float64, cfg Config, n int, pool *engine.Pool) (*Ensemble, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("mlp: ensemble of %d networks", n)
 	}
-	nets, err := engine.Collect(pool, n, func(i int) (*Network, error) {
-		c := cfg
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = cfg.Seed
 		if n > 1 {
-			c.Seed = engine.Seed(cfg.Seed, int64(i))
+			seeds[i] = engine.Seed(cfg.Seed, int64(i))
 		}
-		return Train(inputs, targets, c)
+	}
+	chunks := pool.Workers()
+	if chunks > n {
+		chunks = n
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	groups, err := engine.Collect(pool, chunks, func(g int) ([]*Network, error) {
+		return TrainBatch(inputs, targets, cfg, seeds[g*n/chunks:(g+1)*n/chunks])
 	})
 	if err != nil {
 		return nil, err
+	}
+	nets := make([]*Network, 0, n)
+	for _, grp := range groups {
+		nets = append(nets, grp...)
 	}
 	return &Ensemble{Nets: nets}, nil
 }
@@ -131,11 +152,46 @@ func (f *Forward) ensure(n *Network) {
 	f.out = make([]float64, n.NOut)
 }
 
+// batchPad is the pooled scratch of the GEMM batch-prediction path: the
+// normalised input matrix, two ping-pong activation matrices, and the
+// member-sum accumulator. Everything is fully overwritten per call, so
+// reuse cannot change results; at steady state (fixed topology and batch
+// size) a batch allocates nothing.
+type batchPad struct {
+	x   *la.Matrix
+	act [2]*la.Matrix
+	acc []float64
+	out []float64
+}
+
+var batchPadPool = engine.NewScratch(func() *batchPad { return &batchPad{} })
+
+// gemmTopology reports whether every member shares Nets[0]'s shape and
+// carries flat kernel storage, i.e. whether the batch can run as member
+// GEMMs. Hand-assembled or freshly deserialised-without-Repack networks
+// fail the check and take the per-sample path instead.
+func (e *Ensemble) gemmTopology() bool {
+	net0 := e.Nets[0]
+	for _, net := range e.Nets {
+		if net.NIn != net0.NIn || net.NOut != net0.NOut || len(net.Layers) != len(net0.Layers) {
+			return false
+		}
+		for l := range net.Layers {
+			if net.Layers[l].wm == nil || len(net.Layers[l].W) != len(net0.Layers[l].W) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Predict1Batch predicts every input vector in one call, writing
-// predictions into dst (len(dst) == len(inputs)). One set of pooled
-// forward buffers serves the whole batch — at steady state the batch
-// allocates nothing. Results are bitwise identical to calling Predict1
-// per input.
+// predictions into dst (len(dst) == len(inputs)). The whole batch runs
+// as one matrix product per layer per member (X·Wᵀ with the bias
+// preloaded), over pooled scratch — at steady state the batch allocates
+// nothing. Each output element's accumulation chain is exactly the
+// per-sample forward pass's, and members accumulate in member order, so
+// results are bitwise identical to calling Predict1 per input.
 func (e *Ensemble) Predict1Batch(inputs [][]float64, dst []float64) error {
 	if len(dst) != len(inputs) {
 		return fmt.Errorf("mlp: Predict1Batch with %d inputs and %d output slots", len(inputs), len(dst))
@@ -143,6 +199,69 @@ func (e *Ensemble) Predict1Batch(inputs [][]float64, dst []float64) error {
 	if len(e.Nets) == 0 {
 		return errors.New("mlp: empty ensemble")
 	}
+	if !e.gemmTopology() {
+		return e.predict1BatchPerSample(inputs, dst)
+	}
+	net0 := e.Nets[0]
+	for _, net := range e.Nets {
+		if net.NOut != 1 {
+			return fmt.Errorf("mlp: Predict1 on ensemble with %d outputs", net.NOut)
+		}
+	}
+	for _, x := range inputs {
+		if len(x) != net0.NIn {
+			return fmt.Errorf("mlp: Predict with %d attributes, network has %d", len(x), net0.NIn)
+		}
+	}
+	nt := len(inputs)
+	p := batchPadPool.Get()
+	defer batchPadPool.Put(p)
+	p.acc = engine.GrowFloats(p.acc, nt)
+	p.out = engine.GrowFloats(p.out, 1)
+	p.x = la.ReuseMatrix(p.x, nt, net0.NIn)
+	for g, net := range e.Nets {
+		for i, x := range inputs {
+			net.In.applyInto(x, p.x.RowView(i))
+		}
+		cur := p.x
+		for l := range net.Layers {
+			ly := &net.Layers[l]
+			nxt := la.ReuseMatrix(p.act[l&1], nt, len(ly.W))
+			p.act[l&1] = nxt
+			for i := 0; i < nt; i++ {
+				copy(nxt.RowView(i), ly.B)
+			}
+			_ = cur.MulTAddInto(nxt, ly.wm)
+			if !ly.Linear {
+				for i := 0; i < nt; i++ {
+					row := nxt.RowView(i)
+					for j, s := range row {
+						row[j] = sigmoid(s)
+					}
+				}
+			}
+			cur = nxt
+		}
+		for i := 0; i < nt; i++ {
+			net.Out.invertInto(cur.RowView(i), p.out)
+			if g == 0 {
+				p.acc[i] = p.out[0]
+			} else {
+				p.acc[i] += p.out[0]
+			}
+		}
+	}
+	for i := range dst {
+		dst[i] = p.acc[i] / float64(len(e.Nets))
+	}
+	return nil
+}
+
+// predict1BatchPerSample is the pre-GEMM batch path: one pooled Forward,
+// per-sample member loops. It remains both the fallback for networks
+// without kernel storage and the reference the GEMM path is tested
+// against.
+func (e *Ensemble) predict1BatchPerSample(inputs [][]float64, dst []float64) error {
 	f := forwardScratch.Get()
 	defer forwardScratch.Put(f)
 	f.ensure(e.Nets[0])

@@ -14,6 +14,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/la"
 )
 
 // ErrNoData is returned when Train receives an empty training set.
@@ -81,6 +84,14 @@ func (c Config) validate() error {
 
 // layer holds the weights of one fully connected layer.
 // W[j] are the input weights of unit j; B[j] its bias.
+//
+// Weights live in one flat row-major backing array (wf) that the W rows
+// alias, with wm wrapping it as a la.Matrix: the training and batch
+// prediction kernels stream the flat storage while W keeps the
+// serialised shape (and the gob/JSON wire formats) unchanged. Layers
+// built elsewhere (hand-assembled, gob-decoded) may lack the flat
+// backing; every kernel path checks wm and falls back to the scalar
+// loops, so a non-repacked network is slower, never wrong.
 type layer struct {
 	W      [][]float64 `json:"w"`
 	B      []float64   `json:"b"`
@@ -88,6 +99,51 @@ type layer struct {
 	// momentum state (not serialised)
 	dW [][]float64 `json:"-"`
 	dB []float64   `json:"-"`
+	// flat kernel storage (rebuilt by Repack, never serialised)
+	wf  []float64  // W backing, row-major, stride = inputs
+	dwf []float64  // dW backing
+	wm  *la.Matrix // wf viewed as units×inputs
+}
+
+// newLayer allocates a units×prev layer with flat-backed weight and
+// momentum storage and the kernel view over it.
+func newLayer(units, prev int, linear bool) layer {
+	return newLayerOver(make([]float64, units*prev), make([]float64, units*prev), units, prev, linear)
+}
+
+// newLayerOver builds a units×prev layer whose weight and momentum rows
+// alias the given flat backing slices (each len units*prev). Stacked
+// batch training passes slices of a shared multi-member array so all
+// members' first-layer weights form one contiguous matrix.
+func newLayerOver(wf, dwf []float64, units, prev int, linear bool) layer {
+	ly := layer{
+		W:      make([][]float64, units),
+		B:      make([]float64, units),
+		Linear: linear,
+		dW:     make([][]float64, units),
+		dB:     make([]float64, units),
+		wf:     wf,
+		dwf:    dwf,
+	}
+	for j := range ly.W {
+		ly.W[j] = ly.wf[j*prev : (j+1)*prev]
+		ly.dW[j] = ly.dwf[j*prev : (j+1)*prev]
+	}
+	ly.wm, _ = la.NewMatrixFromFlat(units, prev, ly.wf)
+	return ly
+}
+
+// initWeights fills the layer with WEKA-style uniform [-0.5, 0.5)
+// initial weights, drawing from rng in the exact order of the original
+// trainer: unit by unit, the unit's input weights then its bias.
+func (ly *layer) initWeights(rng *rand.Rand) {
+	for j := range ly.W {
+		w := ly.W[j]
+		for k := range w {
+			w[k] = rng.Float64() - 0.5 // WEKA initialises in [-0.5, 0.5)
+		}
+		ly.B[j] = rng.Float64() - 0.5
+	}
 }
 
 // scaler maps a raw feature range to [-1, 1] and back.
@@ -113,6 +169,15 @@ func fitScaler(rows [][]float64) scaler {
 		}
 	}
 	return s
+}
+
+// clone deep-copies the scaler so networks sharing fitted ranges stay
+// independent.
+func (s scaler) clone() scaler {
+	return scaler{
+		Min: append([]float64(nil), s.Min...),
+		Max: append([]float64(nil), s.Max...),
+	}
 }
 
 func (s scaler) apply(x []float64) []float64 {
@@ -157,90 +222,161 @@ type Network struct {
 	NOut   int     `json:"nout"`
 }
 
-// Train fits a network to the given instances. inputs[i] is the attribute
-// vector of instance i and targets[i] its numeric target vector (usually one
-// element). All instances must share the same arity.
-func Train(inputs, targets [][]float64, cfg Config) (*Network, error) {
+// checkTrainingSet validates arity and returns the instance widths.
+func checkTrainingSet(inputs, targets [][]float64) (nIn, nOut int, err error) {
 	if len(inputs) == 0 || len(targets) == 0 {
-		return nil, ErrNoData
+		return 0, 0, ErrNoData
 	}
 	if len(inputs) != len(targets) {
-		return nil, fmt.Errorf("mlp: %d inputs but %d targets", len(inputs), len(targets))
+		return 0, 0, fmt.Errorf("mlp: %d inputs but %d targets", len(inputs), len(targets))
 	}
-	nIn, nOut := len(inputs[0]), len(targets[0])
+	nIn, nOut = len(inputs[0]), len(targets[0])
 	if nIn == 0 || nOut == 0 {
-		return nil, fmt.Errorf("mlp: zero-width instance (inputs %d, targets %d)", nIn, nOut)
+		return 0, 0, fmt.Errorf("mlp: zero-width instance (inputs %d, targets %d)", nIn, nOut)
 	}
 	for i := range inputs {
 		if len(inputs[i]) != nIn || len(targets[i]) != nOut {
-			return nil, fmt.Errorf("mlp: instance %d has inconsistent arity", i)
+			return 0, 0, fmt.Errorf("mlp: instance %d has inconsistent arity", i)
 		}
+	}
+	return nIn, nOut, nil
+}
+
+// hiddenSizes resolves cfg.Hidden, applying the WEKA "a" wildcard.
+func (c Config) hiddenSizes(nIn, nOut int) []int {
+	if len(c.Hidden) > 0 {
+		return c.Hidden
+	}
+	h := (nIn + nOut) / 2
+	if h < 1 {
+		h = 1
+	}
+	return []int{h}
+}
+
+// trainPad is the pooled per-trainer scratch: the normalised training
+// set, the instance order, and the per-layer activation and delta
+// buffers. Pooled via engine.Scratch so repeated fits (one per CV fold
+// unit) stop allocating once the pool is warm; every field is fully
+// rebuilt from the training set before use, so reuse cannot change
+// results.
+type trainPad struct {
+	xFlat, yFlat []float64
+	xs, ys       [][]float64
+	order        []int
+	acts, deltas [][]float64
+}
+
+var trainPadPool = engine.NewScratch(func() *trainPad { return &trainPad{} })
+
+// instances (re)builds the normalised instance views over the pad's flat
+// backing arrays.
+func (p *trainPad) instances(net *Network, inputs, targets [][]float64) {
+	n, nIn, nOut := len(inputs), net.NIn, net.NOut
+	p.xFlat = engine.GrowFloats(p.xFlat, n*nIn)
+	p.yFlat = engine.GrowFloats(p.yFlat, n*nOut)
+	p.xs = growRows(p.xs, n)
+	p.ys = growRows(p.ys, n)
+	for i := range inputs {
+		p.xs[i] = p.xFlat[i*nIn : (i+1)*nIn]
+		net.In.applyInto(inputs[i], p.xs[i])
+		p.ys[i] = p.yFlat[i*nOut : (i+1)*nOut]
+		net.Out.applyInto(targets[i], p.ys[i])
+	}
+	p.order = growInts(p.order, n)
+	for i := range p.order {
+		p.order[i] = i
+	}
+}
+
+// buffers (re)builds the per-layer activation and delta buffers for one
+// network shaped like net, scaled by stack (the number of members whose
+// activations share a buffer in stacked training; 1 for a single net).
+func (p *trainPad) buffers(net *Network, stack int) {
+	want := len(net.Layers) + 1
+	if cap(p.acts) < want {
+		p.acts = make([][]float64, want)
+		p.deltas = make([][]float64, want)
+	}
+	p.acts, p.deltas = p.acts[:want], p.deltas[:want]
+	p.acts[0] = engine.GrowFloats(p.acts[0], net.NIn)
+	p.deltas[0] = engine.GrowFloats(p.deltas[0], net.NIn)
+	for l, ly := range net.Layers {
+		p.acts[l+1] = engine.GrowFloats(p.acts[l+1], stack*len(ly.W))
+		p.deltas[l+1] = engine.GrowFloats(p.deltas[l+1], stack*len(ly.W))
+	}
+}
+
+func growRows(buf [][]float64, n int) [][]float64 {
+	if cap(buf) < n {
+		return make([][]float64, n)
+	}
+	return buf[:n]
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// newNetwork builds an untrained network with fitted scalers and
+// rng-initialised flat-backed layers, drawing from rng in the exact
+// order of the original trainer.
+func newNetwork(inputs, targets [][]float64, hidden []int, rng *rand.Rand) *Network {
+	nIn, nOut := len(inputs[0]), len(targets[0])
+	net := &Network{NIn: nIn, NOut: nOut}
+	net.In = fitScaler(inputs)
+	net.Out = fitScaler(targets)
+	prev := nIn
+	for _, h := range hidden {
+		ly := newLayer(h, prev, false)
+		ly.initWeights(rng)
+		net.Layers = append(net.Layers, ly)
+		prev = h
+	}
+	out := newLayer(nOut, prev, true)
+	out.initWeights(rng)
+	net.Layers = append(net.Layers, out)
+	return net
+}
+
+// Train fits a network to the given instances. inputs[i] is the attribute
+// vector of instance i and targets[i] its numeric target vector (usually one
+// element). All instances must share the same arity.
+//
+// The trainer runs WEKA-style online back-propagation through the la
+// package's fused kernels (MulVecAddInto forward, MulVecTInto deltas,
+// MomentumAxpy updates) over pooled scratch: per-sample update order and
+// per-element accumulation order are exactly the original scalar loops',
+// so trained weights are bit-identical to them, and a warm trainer's
+// allocation count is independent of epochs and sample count.
+func Train(inputs, targets [][]float64, cfg Config) (*Network, error) {
+	if _, _, err := checkTrainingSet(inputs, targets); err != nil {
+		return nil, err
 	}
 	cfg.fillDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	hidden := cfg.Hidden
-	if len(hidden) == 0 {
-		h := (nIn + nOut) / 2
-		if h < 1 {
-			h = 1
-		}
-		hidden = []int{h}
-	}
-
-	net := &Network{NIn: nIn, NOut: nOut}
-	net.In = fitScaler(inputs)
-	net.Out = fitScaler(targets)
-
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	sizes := append(append([]int{nIn}, hidden...), nOut)
-	for l := 1; l < len(sizes); l++ {
-		ly := layer{Linear: l == len(sizes)-1}
-		ly.W = make([][]float64, sizes[l])
-		ly.dW = make([][]float64, sizes[l])
-		ly.B = make([]float64, sizes[l])
-		ly.dB = make([]float64, sizes[l])
-		for j := range ly.W {
-			ly.W[j] = make([]float64, sizes[l-1])
-			ly.dW[j] = make([]float64, sizes[l-1])
-			for k := range ly.W[j] {
-				ly.W[j][k] = rng.Float64() - 0.5 // WEKA initialises in [-0.5, 0.5)
-			}
-			ly.B[j] = rng.Float64() - 0.5
-		}
-		net.Layers = append(net.Layers, ly)
-	}
+	net := newNetwork(inputs, targets, cfg.hiddenSizes(len(inputs[0]), len(targets[0])), rng)
 
-	// Pre-normalise the training set once, into two flat backing arrays
-	// (one allocation each) instead of one slice per instance.
-	xs := make([][]float64, len(inputs))
-	ys := make([][]float64, len(targets))
-	xFlat := make([]float64, len(inputs)*nIn)
-	yFlat := make([]float64, len(targets)*nOut)
-	for i := range inputs {
-		xs[i] = xFlat[i*nIn : (i+1)*nIn]
-		net.In.applyInto(inputs[i], xs[i])
-		ys[i] = yFlat[i*nOut : (i+1)*nOut]
-		net.Out.applyInto(targets[i], ys[i])
-	}
-
-	order := make([]int, len(xs))
-	for i := range order {
-		order[i] = i
-	}
-	acts := net.newActivations()
-	deltas := net.newActivations()
+	pad := trainPadPool.Get()
+	defer trainPadPool.Put(pad)
+	pad.instances(net, inputs, targets)
+	pad.buffers(net, 1)
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
 		lr := cfg.LearningRate
 		if cfg.Decay {
 			lr /= float64(epoch)
 		}
 		if cfg.Shuffle {
-			rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+			rng.Shuffle(len(pad.order), func(a, b int) { pad.order[a], pad.order[b] = pad.order[b], pad.order[a] })
 		}
-		for _, i := range order {
-			net.backprop(xs[i], ys[i], lr, cfg.Momentum, acts, deltas)
+		for _, i := range pad.order {
+			net.backprop(pad.xs[i], pad.ys[i], lr, cfg.Momentum, pad.acts, pad.deltas)
 		}
 	}
 	return net, nil
@@ -258,28 +394,49 @@ func (n *Network) newActivations() [][]float64 {
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
-// forward computes activations in place; acts[0] must hold the (normalised)
-// input.
-func (n *Network) forward(acts [][]float64) {
-	for l := range n.Layers {
-		ly := &n.Layers[l]
-		in, out := acts[l], acts[l+1]
+// applyLayer runs one layer over in/out: bias preload, fused
+// matrix-vector accumulation in ascending-k order, then the activation.
+// Identical arithmetic to the original per-unit scalar loop (sigmoid is
+// applied per element after the sums, which computes the same values).
+// Layers without flat kernel storage (hand-assembled or gob-decoded
+// networks) take the scalar path.
+func applyLayer(ly *layer, in, out []float64) {
+	copy(out, ly.B)
+	if ly.wm != nil {
+		_ = ly.wm.MulVecAddInto(out, in)
+	} else {
 		for j := range ly.W {
-			s := ly.B[j]
-			w := ly.W[j]
+			s := out[j]
 			for k, v := range in {
-				s += w[k] * v
+				s += ly.W[j][k] * v
 			}
-			if ly.Linear {
-				out[j] = s
-			} else {
-				out[j] = sigmoid(s)
-			}
+			out[j] = s
+		}
+	}
+	if !ly.Linear {
+		for j, s := range out {
+			out[j] = sigmoid(s)
 		}
 	}
 }
 
-// backprop performs one online gradient step with momentum.
+// forward computes activations in place; acts[0] must hold the (normalised)
+// input.
+func (n *Network) forward(acts [][]float64) {
+	for l := range n.Layers {
+		n.Layers[l].forwardInto(acts[l], acts[l+1])
+	}
+}
+
+// forwardInto applies the layer to one input vector.
+func (ly *layer) forwardInto(in, out []float64) {
+	applyLayer(ly, in, out)
+}
+
+// backprop performs one online gradient step with momentum. The three
+// phases — forward, delta propagation, weight update — run on the la
+// kernels; the per-element accumulation chains match the original
+// scalar loops bit for bit (see the kernel parity tests in internal/la).
 func (n *Network) backprop(x, y []float64, lr, momentum float64, acts, deltas [][]float64) {
 	copy(acts[0], x)
 	n.forward(acts)
@@ -292,33 +449,46 @@ func (n *Network) backprop(x, y []float64, lr, momentum float64, acts, deltas []
 	}
 	// Hidden layers: delta_j = o_j (1 - o_j) Σ_k w_kj delta_k.
 	for l := last - 1; l >= 1; l-- {
-		next := &n.Layers[l]
-		act := acts[l]
-		for j := range act {
-			s := 0.0
-			for k := range next.W {
-				s += next.W[k][j] * deltas[l+1][k]
-			}
-			deltas[l][j] = act[j] * (1 - act[j]) * s
-		}
+		n.Layers[l].backpropDeltas(acts[l], deltas[l+1], deltas[l])
 	}
 	// Weight updates with momentum.
 	for l := range n.Layers {
-		ly := &n.Layers[l]
-		in := acts[l]
-		d := deltas[l+1]
-		for j := range ly.W {
-			g := lr * d[j]
-			w, dw := ly.W[j], ly.dW[j]
-			for k, v := range in {
-				upd := g*v + momentum*dw[k]
-				w[k] += upd
-				dw[k] = upd
+		n.Layers[l].update(acts[l], deltas[l+1], lr, momentum)
+	}
+}
+
+// backpropDeltas pushes the next layer's deltas (dNext) through this
+// layer's weights and modulates by the sigmoid derivative, writing the
+// activation-level deltas into dst. Σ_k w_kj·d_k accumulates k-ascending
+// (MulVecTInto), then multiplies by o·(1−o) — multiplication order
+// differs from the original `o·(1−o)·Σ` only by operand order of one
+// product, which IEEE-754 multiplication keeps bit-identical.
+func (ly *layer) backpropDeltas(act, dNext, dst []float64) {
+	if ly.wm != nil {
+		_ = ly.wm.MulVecTInto(dst, dNext)
+	} else {
+		for j := range dst {
+			s := 0.0
+			for k := range ly.W {
+				s += ly.W[k][j] * dNext[k]
 			}
-			upd := g + momentum*ly.dB[j]
-			ly.B[j] += upd
-			ly.dB[j] = upd
+			dst[j] = s
 		}
+	}
+	for j, a := range act {
+		dst[j] *= a * (1 - a)
+	}
+}
+
+// update applies one momentum gradient step to every unit's weights and
+// bias via the fused MomentumAxpy kernel.
+func (ly *layer) update(in, d []float64, lr, momentum float64) {
+	for j := range ly.W {
+		g := lr * d[j]
+		la.MomentumAxpy(ly.W[j], ly.dW[j], in, g, momentum)
+		upd := g + momentum*ly.dB[j]
+		ly.B[j] += upd
+		ly.dB[j] = upd
 	}
 }
 
@@ -400,22 +570,40 @@ func (n *Network) MarshalJSON() ([]byte, error) {
 	return json.Marshal((*alias)(n))
 }
 
-// UnmarshalJSON restores a network serialised with MarshalJSON and
-// reallocates the transient momentum buffers.
+// UnmarshalJSON restores a network serialised with MarshalJSON,
+// repacking the weights into kernel storage and reallocating the
+// transient momentum buffers.
 func (n *Network) UnmarshalJSON(b []byte) error {
 	type alias Network
 	if err := json.Unmarshal(b, (*alias)(n)); err != nil {
 		return err
 	}
+	n.Repack()
+	return nil
+}
+
+// Repack rebuilds the flat kernel storage of every layer from the
+// serialised W rows — weight values are copied, not changed — and
+// reallocates the momentum buffers. Deserialisers (JSON here, the gob
+// model codec in internal/transpose) call it so restored networks take
+// the batched kernel paths; it must not be called concurrently with
+// prediction on the same network.
+func (n *Network) Repack() {
 	for l := range n.Layers {
 		ly := &n.Layers[l]
-		ly.dW = make([][]float64, len(ly.W))
-		for j := range ly.W {
-			ly.dW[j] = make([]float64, len(ly.W[j]))
+		units := len(ly.W)
+		prev := 0
+		if units > 0 {
+			prev = len(ly.W[0])
 		}
-		ly.dB = make([]float64, len(ly.B))
+		fresh := newLayer(units, prev, ly.Linear)
+		for j, w := range ly.W {
+			copy(fresh.W[j], w)
+		}
+		fresh.B = ly.B
+		ly.W, ly.dW, ly.dB = fresh.W, fresh.dW, fresh.dB
+		ly.wf, ly.dwf, ly.wm = fresh.wf, fresh.dwf, fresh.wm
 	}
-	return nil
 }
 
 // RMSE returns the root-mean-square error of the network on a labelled set.

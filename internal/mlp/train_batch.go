@@ -1,0 +1,171 @@
+package mlp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/la"
+)
+
+// TrainBatch trains one network per seed on the same instances, with the
+// members' weight matrices stacked per layer into shared flat storage so
+// the first-layer forward pass of every member runs as ONE fused
+// matrix–vector product per sample (the batched-GEMM form of WEKA-style
+// online back-propagation; deeper layers run per member because their
+// inputs diverge). Member b's trained weights are bit-identical to
+// Train(inputs, targets, cfg with Seed=seeds[b]): members are
+// independent networks over the same normalised instances, and stacking
+// changes memory layout, never arithmetic or update order.
+//
+// Shuffled training (cfg.Shuffle) draws a distinct instance order per
+// member, which cannot be sample-stacked; it falls back to sequential
+// per-member training, as does a single-seed batch.
+func TrainBatch(inputs, targets [][]float64, cfg Config, seeds []int64) ([]*Network, error) {
+	g := len(seeds)
+	if g == 0 {
+		return nil, fmt.Errorf("mlp: TrainBatch with no seeds")
+	}
+	nIn, nOut, err := checkTrainingSet(inputs, targets)
+	if err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if g == 1 || cfg.Shuffle {
+		nets := make([]*Network, g)
+		for b, seed := range seeds {
+			c := cfg
+			c.Seed = seed
+			n, err := Train(inputs, targets, c)
+			if err != nil {
+				return nil, err
+			}
+			nets[b] = n
+		}
+		return nets, nil
+	}
+
+	hidden := cfg.hiddenSizes(nIn, nOut)
+	sizes := append(append(make([]int, 0, len(hidden)+2), nIn), hidden...)
+	sizes = append(sizes, nOut)
+	nl := len(sizes) - 1
+
+	// Stacked per-layer weight and momentum backing: member b's layer l
+	// occupies rows [b·units, (b+1)·units) of stack[l].
+	stack := make([]*la.Matrix, nl)
+	stackDW := make([][]float64, nl)
+	backing := make([][]float64, nl)
+	for l := 0; l < nl; l++ {
+		units, prev := sizes[l+1], sizes[l]
+		backing[l] = make([]float64, g*units*prev)
+		stackDW[l] = make([]float64, g*units*prev)
+		stack[l], _ = la.NewMatrixFromFlat(g*units, prev, backing[l])
+	}
+
+	// Scalers depend only on the instances, so every member gets the
+	// same values; each net owns copies so returned models stay
+	// independent.
+	in, out := fitScaler(inputs), fitScaler(targets)
+	nets := make([]*Network, g)
+	for b := range nets {
+		net := &Network{NIn: nIn, NOut: nOut, In: in.clone(), Out: out.clone()}
+		rng := rand.New(rand.NewSource(seeds[b]))
+		for l := 0; l < nl; l++ {
+			units, prev := sizes[l+1], sizes[l]
+			o := b * units * prev
+			ly := newLayerOver(backing[l][o:o+units*prev], stackDW[l][o:o+units*prev],
+				units, prev, l == nl-1)
+			ly.initWeights(rng)
+			net.Layers = append(net.Layers, ly)
+		}
+		nets[b] = net
+	}
+
+	pad := trainPadPool.Get()
+	defer trainPadPool.Put(pad)
+	pad.instances(nets[0], inputs, targets)
+	pad.buffers(nets[0], g)
+	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate
+		if cfg.Decay {
+			lr /= float64(epoch)
+		}
+		for _, i := range pad.order {
+			stackedStep(nets, stack, pad.xs[i], pad.ys[i], lr, cfg.Momentum, pad.acts, pad.deltas)
+		}
+	}
+	return nets, nil
+}
+
+// stackedStep runs one online gradient step for every member at once.
+// acts[l+1] and deltas[l+1] hold all members' layer-l outputs
+// back-to-back; per-member slices of them feed the same kernels the
+// single-network trainer uses, so each member's arithmetic is exactly
+// its solo trainer's.
+func stackedStep(nets []*Network, stack []*la.Matrix, x, y []float64, lr, momentum float64, acts, deltas [][]float64) {
+	g := len(nets)
+	nl := len(nets[0].Layers)
+	copy(acts[0], x)
+
+	// Forward. Layer 0 reads the shared input, so all members run as one
+	// stacked matrix–vector product: bias preload per member block, then
+	// a single fused MulVecAddInto over the stacked weight matrix.
+	for l := 0; l < nl; l++ {
+		out := acts[l+1]
+		units := len(nets[0].Layers[l].W)
+		if l == 0 {
+			for b := 0; b < g; b++ {
+				copy(out[b*units:(b+1)*units], nets[b].Layers[0].B)
+			}
+			_ = stack[0].MulVecAddInto(out, acts[0])
+			if !nets[0].Layers[0].Linear {
+				for j, s := range out {
+					out[j] = sigmoid(s)
+				}
+			}
+			continue
+		}
+		prev := len(nets[0].Layers[l-1].W)
+		for b := 0; b < g; b++ {
+			applyLayer(&nets[b].Layers[l], acts[l][b*prev:(b+1)*prev], out[b*units:(b+1)*units])
+		}
+	}
+
+	// Deltas: output layer then hidden layers, per member block.
+	outUnits := len(nets[0].Layers[nl-1].W)
+	outAct, outDelta := acts[nl], deltas[nl]
+	for b := 0; b < g; b++ {
+		for j := 0; j < outUnits; j++ {
+			outDelta[b*outUnits+j] = y[j] - outAct[b*outUnits+j]
+		}
+	}
+	for l := nl - 1; l >= 1; l-- {
+		units := len(nets[0].Layers[l].W)
+		prev := len(nets[0].Layers[l-1].W)
+		for b := 0; b < g; b++ {
+			nets[b].Layers[l].backpropDeltas(
+				acts[l][b*prev:(b+1)*prev],
+				deltas[l+1][b*units:(b+1)*units],
+				deltas[l][b*prev:(b+1)*prev])
+		}
+	}
+
+	// Momentum updates, member by member over the stacked backing.
+	for l := 0; l < nl; l++ {
+		units := len(nets[0].Layers[l].W)
+		in := acts[l]
+		prev := nets[0].NIn
+		if l > 0 {
+			prev = len(nets[0].Layers[l-1].W)
+		}
+		for b := 0; b < g; b++ {
+			mIn := in
+			if l > 0 {
+				mIn = in[b*prev : (b+1)*prev]
+			}
+			nets[b].Layers[l].update(mIn, deltas[l+1][b*units:(b+1)*units], lr, momentum)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package mlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// batchTrainingSet builds a small deterministic regression set.
+func batchTrainingSet(n int) (inputs, targets [][]float64) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64() * 4, rng.Float64() * 9, rng.Float64()*2 - 1}
+		inputs = append(inputs, x)
+		targets = append(targets, []float64{0.5*x[0] - x[1] + 3*x[2]})
+	}
+	return inputs, targets
+}
+
+// requireSameNetwork fails unless the two networks have bit-for-bit
+// identical weights, biases, and scalers.
+func requireSameNetwork(t *testing.T, ctx string, got, want *Network) {
+	t.Helper()
+	if len(got.Layers) != len(want.Layers) {
+		t.Fatalf("%s: %d layers, want %d", ctx, len(got.Layers), len(want.Layers))
+	}
+	same := func(name string, g, w []float64) {
+		t.Helper()
+		if len(g) != len(w) {
+			t.Fatalf("%s: %s length %d, want %d", ctx, name, len(g), len(w))
+		}
+		for i := range g {
+			if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+				t.Fatalf("%s: %s[%d] = %v, want %v", ctx, name, i, g[i], w[i])
+			}
+		}
+	}
+	for l := range got.Layers {
+		gl, wl := got.Layers[l], want.Layers[l]
+		if len(gl.W) != len(wl.W) || gl.Linear != wl.Linear {
+			t.Fatalf("%s: layer %d shape mismatch", ctx, l)
+		}
+		for j := range gl.W {
+			same("W", gl.W[j], wl.W[j])
+		}
+		same("B", gl.B, wl.B)
+	}
+	same("In.Min", got.In.Min, want.In.Min)
+	same("In.Max", got.In.Max, want.In.Max)
+	same("Out.Min", got.Out.Min, want.Out.Min)
+	same("Out.Max", got.Out.Max, want.Out.Max)
+}
+
+// TestTrainBatchMatchesPerSample pins the stacked batch trainer to the
+// sequential trainer bit for bit, across batch sizes, depths, and the
+// decayed-learning-rate schedule.
+func TestTrainBatchMatchesPerSample(t *testing.T) {
+	inputs, targets := batchTrainingSet(19)
+	seeds := []int64{11, 22, 33, 44, 55}
+	cfgs := map[string]Config{
+		"default": {LearningRate: 0.3, Momentum: 0.2, Epochs: 25},
+		"deep":    {LearningRate: 0.25, Momentum: 0.1, Epochs: 15, Hidden: []int{5, 3}},
+		"decay":   {LearningRate: 0.3, Momentum: 0.2, Epochs: 12, Decay: true},
+	}
+	for name, cfg := range cfgs {
+		for _, k := range []int{1, 2, 3, 5} {
+			nets, err := TrainBatch(inputs, targets, cfg, seeds[:k])
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			for b, net := range nets {
+				c := cfg
+				c.Seed = seeds[b]
+				want, err := Train(inputs, targets, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameNetwork(t, name, net, want)
+			}
+		}
+	}
+}
+
+// TestTrainBatchShuffleFallsBack asserts shuffled training (whose
+// per-member instance orders cannot be stacked) still matches the
+// sequential trainer exactly.
+func TestTrainBatchShuffleFallsBack(t *testing.T) {
+	inputs, targets := batchTrainingSet(13)
+	cfg := Config{LearningRate: 0.3, Momentum: 0.2, Epochs: 10, Shuffle: true}
+	seeds := []int64{7, 8, 9}
+	nets, err := TrainBatch(inputs, targets, cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, net := range nets {
+		c := cfg
+		c.Seed = seeds[b]
+		want, err := Train(inputs, targets, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameNetwork(t, "shuffle", net, want)
+	}
+}
+
+// TestTrainBatchErrors covers the argument-validation paths.
+func TestTrainBatchErrors(t *testing.T) {
+	inputs, targets := batchTrainingSet(5)
+	if _, err := TrainBatch(inputs, targets, DefaultConfig(1), nil); err == nil {
+		t.Fatal("want error for empty seed list")
+	}
+	if _, err := TrainBatch(nil, nil, DefaultConfig(1), []int64{1}); err == nil {
+		t.Fatal("want error for empty training set")
+	}
+	bad := DefaultConfig(1)
+	bad.LearningRate = -1
+	if _, err := TrainBatch(inputs, targets, bad, []int64{1, 2}); err == nil {
+		t.Fatal("want config validation error")
+	}
+}
+
+// TestTrainAllocsIndependentOfEpochs asserts the trainer's allocation
+// count does not scale with training length: the epoch loop runs
+// entirely on pooled scratch, so doubling the epochs must not add a
+// single allocation.
+func TestTrainAllocsIndependentOfEpochs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector")
+	}
+	inputs, targets := batchTrainingSet(16)
+	measure := func(epochs int) float64 {
+		cfg := Config{LearningRate: 0.3, Momentum: 0.2, Epochs: epochs, Seed: 3}
+		if _, err := Train(inputs, targets, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := Train(inputs, targets, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short, long := measure(2), measure(40)
+	if long > short {
+		t.Fatalf("Train allocations grew with epochs: %0.1f at 2 epochs, %0.1f at 40", short, long)
+	}
+}

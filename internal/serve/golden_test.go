@@ -316,11 +316,12 @@ func TestGoldenStatusBodyKeys(t *testing.T) {
 		t.Fatalf("status: HTTP %d: %s", rec.Code, rec.Body.String())
 	}
 	wantKeys(t, rec.Body.Bytes(),
-		"uptime_seconds", "snapshot", "models", "endpoints",
+		"uptime_seconds", "snapshot", "models", "endpoints", "fits",
 		"registry", "rankcache", "batch", "engine", "store", "work")
 
 	var status struct {
 		Endpoints map[string]json.RawMessage `json:"endpoints"`
+		Fits      map[string]json.RawMessage `json:"fits"`
 		Rankcache json.RawMessage            `json:"rankcache"`
 		Batch     json.RawMessage            `json:"batch"`
 		Engine    json.RawMessage            `json:"engine"`
@@ -346,4 +347,22 @@ func TestGoldenStatusBodyKeys(t *testing.T) {
 	wantKeys(t, status.Rankcache, "enabled", "entries", "hits", "misses", "evictions", "not_modified")
 	wantKeys(t, status.Batch, "enabled", "flushes", "batched_queries")
 	wantKeys(t, status.Engine, "inflight", "units_done")
+
+	// The ranking above fitted an NN^T model, so its fit histogram must be
+	// populated; every registered method gets a row either way.
+	fitRow, ok := status.Fits["NN^T"]
+	if !ok {
+		t.Fatalf("fits lacks NN^T: %v", status.Fits)
+	}
+	wantKeys(t, fitRow, "count", "mean_ns", "p50_ns", "p95_ns", "p99_ns")
+	var fit struct {
+		Count int64 `json:"count"`
+		P99Ns int64 `json:"p99_ns"`
+	}
+	if err := json.Unmarshal(fitRow, &fit); err != nil {
+		t.Fatal(err)
+	}
+	if fit.Count < 1 || fit.P99Ns <= 0 {
+		t.Fatalf("NN^T fit row not populated: %s", fitRow)
+	}
 }

@@ -186,6 +186,17 @@ type endpointStatus struct {
 	P99Ns  int64   `json:"p99_ns"`
 }
 
+// fitStatus is one method's model-fit latency row in /v1/status, read
+// from the same dtrank_fit_seconds histogram /metrics renders. The key
+// set is part of the API contract (golden-tested).
+type fitStatus struct {
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+}
+
 // handleStatus serves GET /v1/status: a one-call JSON snapshot of the
 // daemon's health — uptime, served snapshot, per-endpoint latency
 // percentiles and every subsystem's counters. It reads the same metric
@@ -211,11 +222,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			P99Ns:  m.hist.Quantile(0.99),
 		}
 	}
+	fits := make(map[string]fitStatus, len(s.fitHist))
+	for name, h := range s.fitHist {
+		fits[name] = fitStatus{
+			Count:  h.Count(),
+			MeanNs: h.Mean(),
+			P50Ns:  h.Quantile(0.50),
+			P95Ns:  h.Quantile(0.95),
+			P99Ns:  h.Quantile(0.99),
+		}
+	}
 	status := map[string]any{
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 		"snapshot":       s.snap.Load().hash,
 		"models":         s.reg.Len(),
 		"endpoints":      endpoints,
+		"fits":           fits,
 		"registry":       s.reg.Stats(),
 		"rankcache": map[string]any{
 			"enabled":      s.cache != nil,

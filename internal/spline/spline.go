@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/la"
 	"repro/internal/stats"
 )
@@ -104,32 +105,82 @@ func Fit(x, y []float64, opts Options) (*Model, error) {
 	return best, nil
 }
 
+// fitScratch carries every transient buffer of one fixed-knot fit —
+// design matrix, normal equations, elimination scratch, coefficients and
+// LOO fold copies — so the selection loops (LOO cross-validation,
+// BestFit candidate sweeps) run allocation-free. All fields are fully
+// overwritten per fit, so pooled reuse cannot change results.
+type fitScratch struct {
+	design *la.Matrix // n×p truncated-power design matrix
+	xt     *la.Matrix // p×n transpose
+	xtx    *la.Matrix // p×p normal matrix
+	aug    *la.Matrix // p×(p+1) elimination scratch
+	xty    []float64
+	coef   []float64
+	knots  []float64
+	sorted []float64 // quantileKnots sort buffer
+	pred   []float64
+	xs, ys []float64 // leave-one-out fold copies
+}
+
+var fitScratchPool = engine.NewScratch(func() *fitScratch { return &fitScratch{} })
+
+// fitCore is a fitted configuration whose knots and coef slices alias
+// scratch storage: valid until the scratch's next fit, materialised into
+// a Model only for fits that are actually kept.
+type fitCore struct {
+	knots []float64
+	coef  []float64
+	r2    float64
+	rss   float64
+	n     int
+}
+
+// materialise copies the scratch-backed fit into a retainable Model.
+func (c fitCore) materialise() *Model {
+	return &Model{
+		Knots: append([]float64(nil), c.knots...),
+		Coef:  append([]float64(nil), c.coef...),
+		R2:    c.r2,
+		RSS:   c.rss,
+		N:     c.n,
+	}
+}
+
 // looError computes the leave-one-out cross-validation SSE of a fixed-knot
 // spline configuration. Folds that fail to fit (degenerate after removal)
 // count the squared deviation from the training mean instead.
 func looError(x, y []float64, opts Options) (float64, error) {
+	s := fitScratchPool.Get()
+	defer fitScratchPool.Put(s)
+	return looErrorCore(x, y, opts, s)
+}
+
+// looErrorCore is looError on caller-owned scratch: the n inner fits are
+// allocation-free, which is what makes AutoKnots selection affordable
+// inside the ablation sweeps.
+func looErrorCore(x, y []float64, opts Options, s *fitScratch) (float64, error) {
 	n := len(x)
 	if n < 3 {
 		return math.Inf(1), nil
 	}
-	xs := make([]float64, 0, n-1)
-	ys := make([]float64, 0, n-1)
+	s.xs = engine.GrowFloats(s.xs, n-1)
+	s.ys = engine.GrowFloats(s.ys, n-1)
 	sse := 0.0
 	for i := 0; i < n; i++ {
-		xs = xs[:0]
-		ys = ys[:0]
+		xs, ys := s.xs[:0], s.ys[:0]
 		for j := 0; j < n; j++ {
 			if j != i {
 				xs = append(xs, x[j])
 				ys = append(ys, y[j])
 			}
 		}
-		m, err := fitFixed(xs, ys, opts)
+		c, err := fitFixedCore(xs, ys, opts, s)
 		var pred float64
 		if err != nil {
 			pred = stats.Mean(ys)
 		} else {
-			pred = m.Predict(x[i])
+			pred = evalCoef(x[i], c.knots, c.coef)
 		}
 		d := y[i] - pred
 		sse += d * d
@@ -140,15 +191,30 @@ func looError(x, y []float64, opts Options) (float64, error) {
 // fitFixed fits with exactly opts.Knots interior knots (shrunk only when
 // the sample cannot support them).
 func fitFixed(x, y []float64, opts Options) (*Model, error) {
+	s := fitScratchPool.Get()
+	defer fitScratchPool.Put(s)
+	c, err := fitFixedCore(x, y, opts, s)
+	if err != nil {
+		return nil, err
+	}
+	return c.materialise(), nil
+}
+
+// fitFixedCore runs one fixed-knot least-squares fit entirely in scratch
+// storage. The kernel sequence — design fill, transpose, normal
+// equations, ridge shift, pivoted solve, residual pass — is the
+// allocation-free twin of the original fitFixed and is bitwise identical
+// to it (each la kernel is parity-tested against its allocating form).
+func fitFixedCore(x, y []float64, opts Options, s *fitScratch) (fitCore, error) {
 	if len(x) != len(y) {
-		return nil, fmt.Errorf("spline: %d x values but %d y values", len(x), len(y))
+		return fitCore{}, fmt.Errorf("spline: %d x values but %d y values", len(x), len(y))
 	}
 	n := len(x)
 	if opts.Knots < 0 {
-		return nil, fmt.Errorf("spline: negative knot count %d", opts.Knots)
+		return fitCore{}, fmt.Errorf("spline: negative knot count %d", opts.Knots)
 	}
 	if opts.Ridge < 0 || math.IsNaN(opts.Ridge) {
-		return nil, fmt.Errorf("spline: negative ridge penalty %v", opts.Ridge)
+		return fitCore{}, fmt.Errorf("spline: negative ridge penalty %v", opts.Ridge)
 	}
 	k := opts.Knots
 	p := 4 + k
@@ -163,68 +229,68 @@ func fitFixed(x, y []float64, opts Options) (*Model, error) {
 		p = 4 + k
 	}
 	if n < 2 {
-		return nil, fmt.Errorf("spline: %d observations: %w", n, ErrTooFew)
+		return fitCore{}, fmt.Errorf("spline: %d observations: %w", n, ErrTooFew)
 	}
 	lo, _ := stats.Min(x)
 	hi, _ := stats.Max(x)
 	if hi-lo < 1e-12 {
-		return nil, ErrDegenerate
+		return fitCore{}, ErrDegenerate
 	}
 	// Degenerate to straight-line fit when only 2-4 points are available.
 	if n < 5 {
 		p = 2
 		k = 0
 	}
-	knots := quantileKnots(x, k)
+	knots := quantileKnotsInto(x, k, s)
 
-	design := la.NewMatrix(n, p)
+	s.design = la.ReuseMatrix(s.design, n, p)
+	design := s.design
 	for i, xi := range x {
 		// Fill the design row in place through a zero-copy row view.
 		basisInto(xi, knots, design.RowView(i))
 	}
-	var coef []float64
-	var err error
+	s.coef = engine.GrowFloats(s.coef, p)
 	if opts.Ridge > 0 {
-		xt := design.T()
-		xtx, merr := xt.Mul(design)
-		if merr != nil {
-			return nil, merr
+		s.xt = la.ReuseMatrix(s.xt, p, n)
+		if err := design.TInto(s.xt); err != nil {
+			return fitCore{}, err
+		}
+		s.xtx = la.ReuseMatrix(s.xtx, p, p)
+		if err := s.xt.MulInto(s.xtx, design); err != nil {
+			return fitCore{}, err
 		}
 		scale := opts.Ridge * float64(n)
 		for j := 1; j < p; j++ {
-			xtx.Add(j, j, scale)
+			s.xtx.Add(j, j, scale)
 		}
-		xty, merr := xt.MulVec(y)
-		if merr != nil {
-			return nil, merr
+		s.xty = engine.GrowFloats(s.xty, p)
+		if err := s.xt.MulVecInto(s.xty, y); err != nil {
+			return fitCore{}, err
 		}
-		coef, err = la.Solve(xtx, xty)
+		s.aug = la.ReuseMatrix(s.aug, p, p+1)
+		if err := la.SolveInto(s.coef, s.xtx, s.xty, s.aug); err != nil {
+			return fitCore{}, fmt.Errorf("spline: fit: %w", err)
+		}
 	} else {
-		coef, err = la.LeastSquares(design, y)
+		coef, err := la.LeastSquares(design, y)
+		if err != nil {
+			return fitCore{}, fmt.Errorf("spline: fit: %w", err)
+		}
+		copy(s.coef, coef)
 	}
-	if err != nil {
-		return nil, fmt.Errorf("spline: fit: %w", err)
-	}
-	m := &Model{Knots: knots, Coef: coef, N: n}
-	pred := make([]float64, n)
+	c := fitCore{knots: knots, coef: s.coef, n: n}
+	s.pred = engine.GrowFloats(s.pred, n)
 	for i, xi := range x {
-		pred[i] = m.Predict(xi)
-		r := y[i] - pred[i]
-		m.RSS += r * r
+		s.pred[i] = evalCoef(xi, knots, s.coef)
+		r := y[i] - s.pred[i]
+		c.rss += r * r
 	}
-	r2, err := stats.RSquared(y, pred)
+	r2, err := stats.RSquared(y, s.pred)
 	if err != nil {
-		return nil, err
+		return fitCore{}, err
 	}
-	m.R2 = r2
-	return m, nil
-}
-
-// basis evaluates the truncated-power basis of dimension p at x.
-func basis(x float64, knots []float64, p int) []float64 {
-	row := make([]float64, p)
-	basisInto(x, knots, row)
-	return row
+	c.r2 = r2
+	return c, nil
 }
 
 // basisInto evaluates the basis into row (len(row) = dimension p),
@@ -255,12 +321,25 @@ func basisInto(x float64, knots []float64, row []float64) {
 
 // quantileKnots places k interior knots at evenly spaced quantiles of x.
 func quantileKnots(x []float64, k int) []float64 {
+	s := fitScratchPool.Get()
+	defer fitScratchPool.Put(s)
+	return append([]float64(nil), quantileKnotsInto(x, k, s)...)
+}
+
+// quantileKnotsInto is quantileKnots into scratch storage: the returned
+// slice aliases s.knots and is valid until s's next fit.
+func quantileKnotsInto(x []float64, k int, s *fitScratch) []float64 {
 	if k <= 0 {
 		return nil
 	}
-	sorted := append([]float64(nil), x...)
+	s.sorted = engine.GrowFloats(s.sorted, len(x))
+	sorted := s.sorted
+	copy(sorted, x)
 	sort.Float64s(sorted)
-	knots := make([]float64, 0, k)
+	if cap(s.knots) < k {
+		s.knots = make([]float64, 0, k)
+	}
+	knots := s.knots[:0]
 	for j := 1; j <= k; j++ {
 		q := float64(j) / float64(k+1)
 		pos := q * float64(len(sorted)-1)
@@ -281,9 +360,24 @@ func quantileKnots(x []float64, k int) []float64 {
 
 // Predict evaluates the fitted spline at x.
 func (m *Model) Predict(x float64) float64 {
-	row := basis(x, m.Knots, len(m.Coef))
+	return evalCoef(x, m.Knots, m.Coef)
+}
+
+// evalCoef evaluates the basis expansion Σ_j coef_j·b_j(x) through a
+// stack-resident basis row — the allocation-free core of Predict, also
+// used by the LOO and residual loops, which call it millions of times
+// per ablation sweep. Arithmetic and accumulation order are exactly the
+// original basis-then-dot sequence.
+func evalCoef(x float64, knots, coef []float64) float64 {
+	var buf [16]float64
+	row := buf[:]
+	if len(coef) > len(buf) {
+		row = make([]float64, len(coef))
+	}
+	row = row[:len(coef)]
+	basisInto(x, knots, row)
 	y := 0.0
-	for j, c := range m.Coef {
+	for j, c := range coef {
 		y += c * row[j]
 	}
 	return y
@@ -308,23 +402,36 @@ func BestFit(candidates [][]float64, y []float64, opts Options) (int, *Model, er
 	}
 	selOpts := opts
 	selOpts.AutoKnots = false
+	// The selection sweep runs on scratch-backed core fits: no candidate
+	// is materialised, only its (R², RSS) score is kept. The winner is
+	// refitted once afterwards — a deterministic recomputation of the
+	// same inputs, so the returned model is identical to fitting every
+	// candidate eagerly, at a small fraction of the allocations.
+	s := fitScratchPool.Get()
 	bestIdx := -1
-	var best *Model
+	var bestR2, bestRSS float64
 	var firstErr error
 	for i, x := range candidates {
-		m, err := Fit(x, y, selOpts)
+		c, err := fitFixedCore(x, y, selOpts, s)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		if best == nil || m.R2 > best.R2 || (m.R2 == best.R2 && m.RSS < best.RSS) {
-			bestIdx, best = i, m
+		if bestIdx < 0 || c.r2 > bestR2 || (c.r2 == bestR2 && c.rss < bestRSS) {
+			bestIdx, bestR2, bestRSS = i, c.r2, c.rss
 		}
 	}
-	if best == nil {
+	fitScratchPool.Put(s)
+	if bestIdx < 0 {
 		return -1, nil, fmt.Errorf("spline: BestFit: all %d candidates failed: %w", len(candidates), firstErr)
+	}
+	best, err := Fit(candidates[bestIdx], y, selOpts)
+	if err != nil {
+		// Unreachable for the winning candidate (same inputs just fitted),
+		// kept for defence in depth.
+		return -1, nil, fmt.Errorf("spline: BestFit: refit of winner %d: %w", bestIdx, err)
 	}
 	if opts.AutoKnots {
 		refit, err := Fit(candidates[bestIdx], y, opts)

@@ -226,3 +226,44 @@ func TestFitAffineProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBestFitAllocsIndependentOfCandidates pins the scratch-based
+// candidate sweep: once the fit scratch pool is warm, scoring more
+// candidates must not add allocations beyond the single winner
+// materialisation — the property that collapsed the ablation benchmark's
+// allocation count.
+func TestBestFitAllocsIndependentOfCandidates(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector")
+	}
+	y := make([]float64, 40)
+	mk := func(n int) [][]float64 {
+		cands := make([][]float64, n)
+		for c := range cands {
+			col := make([]float64, len(y))
+			for i := range col {
+				col[i] = float64(i) + float64(c)*0.1
+			}
+			cands[c] = col
+		}
+		return cands
+	}
+	for i := range y {
+		y[i] = 2*float64(i) + 1
+	}
+	opts := DefaultOptions()
+	measure := func(cands [][]float64) float64 {
+		if _, _, err := BestFit(cands, y, opts); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, _, err := BestFit(cands, y, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	few, many := measure(mk(2)), measure(mk(12))
+	if many > few {
+		t.Fatalf("BestFit allocations grew with candidate count: %.1f for 2, %.1f for 12", few, many)
+	}
+}

@@ -284,6 +284,9 @@ func decodeMLPTModel(r io.Reader) (Model, error) {
 		if n == nil {
 			return nil, fmt.Errorf("MLP^T payload ensemble member %d is nil", i)
 		}
+		// Gob carries only the serialised weight rows; rebuild the flat
+		// kernel storage so decoded models predict on the GEMM path.
+		n.Repack()
 	}
 	if wire.Tgt == nil {
 		return nil, fmt.Errorf("MLP^T payload without target machines")

@@ -304,7 +304,7 @@ func (m *MLPT) Fit(f Fold) (Model, error) {
 	if members < 1 {
 		members = 1
 	}
-	net, err := mlp.TrainEnsemble(inputs, targets, m.Config, members, nil)
+	net, err := mlp.TrainEnsemble(inputs, targets, m.Config, members, m.Pool)
 	if err != nil {
 		return nil, fmt.Errorf("transpose: MLP^T training: %w", err)
 	}
