@@ -4,7 +4,7 @@
 GO ?= go
 DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test bench bench-json bench-gate examples serve serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke metrics-smoke lint staticcheck ci
+.PHONY: build test bench bench-json bench-gate examples serve serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke metrics-smoke report-smoke lint staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,13 @@ loadtest-smoke:
 metrics-smoke:
 	./scripts/metrics-smoke.sh
 
+# End-to-end report-serving check: dtrankd over an empty shared store, a
+# cold GET /v1/reports/{spec} that computes its missing units, CLI
+# renders cmp'd byte-identical to the served bodies for every spec, a
+# warm render served from the report cache, and an If-None-Match 304.
+report-smoke:
+	./scripts/report-smoke.sh
+
 lint:
 	$(GO) vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -100,4 +107,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
 	fi
 
-ci: lint staticcheck build test bench bench-gate examples serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke metrics-smoke
+ci: lint staticcheck build test bench bench-gate examples serve-smoke cache-smoke shard-smoke worksteal-smoke loadtest-smoke metrics-smoke report-smoke

@@ -61,14 +61,15 @@ func runDiff(w io.Writer, oldPath, newPath string, opts diffOptions) (regression
 		oldByKey[diffKey(r)] = r
 	}
 	var rows []diffRow
-	var onlyNew, onlyOld []string
+	var onlyNew []Result
+	var onlyOld []string
 	seen := map[string]bool{}
 	for _, r := range newSnap.Results {
 		key := diffKey(r)
 		seen[key] = true
 		o, ok := oldByKey[key]
 		if !ok {
-			onlyNew = append(onlyNew, r.Pkg+" "+r.Name)
+			onlyNew = append(onlyNew, r)
 			continue
 		}
 		row := diffRow{name: r.Pkg + " " + r.Name, oldNs: o.NsPerOp, newNs: r.NsPerOp,
@@ -84,7 +85,9 @@ func runDiff(w io.Writer, oldPath, newPath string, opts diffOptions) (regression
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
-	sort.Strings(onlyNew)
+	sort.Slice(onlyNew, func(i, j int) bool {
+		return onlyNew[i].Pkg+" "+onlyNew[i].Name < onlyNew[j].Pkg+" "+onlyNew[j].Name
+	})
 	sort.Strings(onlyOld)
 
 	fmt.Fprintf(w, "benchstatjson diff: %s (%s) -> %s (%s)\n\n",
@@ -104,8 +107,12 @@ func runDiff(w io.Writer, oldPath, newPath string, opts diffOptions) (regression
 			allocStr(row.oldAllocs), allocStr(row.newAllocs),
 			allocDelta(row.oldAllocs, row.newAllocs), status)
 	}
-	for _, key := range onlyNew {
-		fmt.Fprintf(w, "%-56s %s\n", key, "(new benchmark, no baseline)")
+	// New-only benchmarks get full value rows — the snapshot's first
+	// appearance of a series is data, not an omission — but they never
+	// gate: there is nothing to regress against yet.
+	for _, r := range onlyNew {
+		fmt.Fprintf(w, "%-56s %14s %14.0f %8s %12s %12s %8s  NEW (no baseline)\n",
+			r.Pkg+" "+r.Name, "-", r.NsPerOp, "-", "-", allocStr(r.AllocsPerOp), "-")
 	}
 	for _, key := range onlyOld {
 		fmt.Fprintf(w, "%-56s %s\n", key, "(baseline only, not in new run)")

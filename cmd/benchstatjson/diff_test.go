@@ -117,7 +117,7 @@ func TestDiffReportsUnmatchedBenchmarks(t *testing.T) {
 		{Name: "BenchmarkGone-8", Pkg: "repro/a", NsPerOp: 1, AllocsPerOp: allocs(1)},
 	}})
 	newPath := writeSnap(t, dir, "new.json", Snapshot{Results: []Result{
-		{Name: "BenchmarkNew-8", Pkg: "repro/a", NsPerOp: 1, AllocsPerOp: allocs(1)},
+		{Name: "BenchmarkNew-8", Pkg: "repro/a", NsPerOp: 4242, AllocsPerOp: allocs(17)},
 	}})
 	var sb strings.Builder
 	n, err := runDiff(&sb, oldPath, newPath, diffOptions{MaxRegress: 10})
@@ -128,8 +128,21 @@ func TestDiffReportsUnmatchedBenchmarks(t *testing.T) {
 		t.Fatalf("unmatched benchmarks must not gate: %d\n%s", n, sb.String())
 	}
 	out := sb.String()
-	if !strings.Contains(out, "BenchmarkNew-8") || !strings.Contains(out, "no baseline") {
-		t.Fatalf("missing new-benchmark note:\n%s", out)
+	// A new benchmark is a full value-bearing row — its ns/op and
+	// allocs/op appear, marked NEW — not a bare mention.
+	var newRow string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkNew-8") {
+			newRow = line
+		}
+	}
+	if newRow == "" {
+		t.Fatalf("missing new-benchmark row:\n%s", out)
+	}
+	for _, want := range []string{"NEW", "no baseline", "4242", "17"} {
+		if !strings.Contains(newRow, want) {
+			t.Fatalf("new-benchmark row %q missing %q\n%s", newRow, want, out)
+		}
 	}
 	if !strings.Contains(out, "BenchmarkGone-8") || !strings.Contains(out, "baseline only") {
 		t.Fatalf("missing baseline-only note:\n%s", out)

@@ -17,10 +17,13 @@ import (
 	"repro/internal/serve"
 )
 
-// loadQuery is one request shape of the loadtest mix.
+// loadQuery is one request shape of the loadtest mix: a POST /v1/rank
+// body, or a GET when path is set (the /v1/reports/{spec} mix). method is
+// the reporting label either way.
 type loadQuery struct {
 	method string
 	body   []byte
+	path   string // non-empty: GET this path instead of posting a ranking
 }
 
 // slowReq is one of the slowest observed requests, kept with its trace ID
@@ -135,7 +138,7 @@ func runLoadtestWorkers(client *http.Client, base string, queries []loadQuery, w
 				}
 				q := queries[i%len(queries)]
 				t0 := time.Now()
-				trace, err := postRank(client, base, q.body)
+				trace, err := issueQuery(client, base, q)
 				lat := time.Since(t0)
 				if err != nil {
 					o.errors++
@@ -169,10 +172,17 @@ func runLoadtestWorkers(client *http.Client, base string, queries []loadQuery, w
 	return res
 }
 
-// postRank issues one /v1/rank request, drains the response and returns
-// the request's X-Dtrank-Trace header.
-func postRank(client *http.Client, base string, body []byte) (string, error) {
-	resp, err := client.Post(base+"/v1/rank", "application/json", bytes.NewReader(body))
+// issueQuery issues one request of the mix — POST /v1/rank, or GET for
+// path-shaped queries — drains the response and returns the request's
+// X-Dtrank-Trace header.
+func issueQuery(client *http.Client, base string, q loadQuery) (string, error) {
+	var resp *http.Response
+	var err error
+	if q.path != "" {
+		resp, err = client.Get(base + q.path)
+	} else {
+		resp, err = client.Post(base+"/v1/rank", "application/json", bytes.NewReader(q.body))
+	}
 	if err != nil {
 		return "", err
 	}
@@ -197,7 +207,9 @@ func benchLine(name string, h *obs.Histogram, qps float64) string {
 
 // runLoadtest is the `dtrank loadtest` subcommand: an SLO-gated load
 // generator for a live dtrankd. Closed-loop workers drive a configurable
-// method/application mix, latency is captured in log-bucketed histograms,
+// method/application mix — plus, with -reports, a GET /v1/reports/{spec}
+// mix exercising the report render cache — latency is captured in
+// log-bucketed histograms,
 // and the results print as benchmark-shaped lines on stdout so
 // `... | benchstatjson` folds them into a BENCH_<date>.json snapshot
 // next to the go test -bench entries. With -slo-p99 the command exits
@@ -214,6 +226,7 @@ func runLoadtest(args []string) error {
 	apps := fs.String("apps", "gcc,mcf,libquantum", "comma-separated applications of interest, cycled through the mix")
 	methods := fs.String("methods", "NN^T,MLP^T", "comma-separated method mix, cycled per request (repeat a name to weight it)")
 	top := fs.Int("top", 10, "ranking length requested")
+	reports := fs.String("reports", "", "comma-separated spec ids mixed in as GET /v1/reports/{spec} requests (empty = rankings only)")
 	warmup := fs.Bool("warmup", true, "issue one unmeasured request per query shape first (pays cold fits outside the histogram)")
 	sloP99 := fs.Duration("slo-p99", 0, "fail when overall p99 exceeds this (0 = no gate)")
 	minCacheHits := fs.Int64("min-cache-hits", 0, "fail unless the daemon reports at least this many rankcache_hits after the run")
@@ -245,14 +258,23 @@ func runLoadtest(args []string) error {
 			queries = append(queries, loadQuery{method: canon, body: body})
 		}
 	}
+	for _, spec := range strings.Split(*reports, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		queries = append(queries, loadQuery{method: "report:" + spec, path: "/v1/reports/" + spec})
+	}
 	if len(queries) == 0 {
-		return fmt.Errorf("empty query mix (check -methods and -apps)")
+		return fmt.Errorf("empty query mix (check -methods, -apps and -reports)")
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	if *warmup {
+		// Report warmups pay the first render (plan, compute missing units,
+		// render) outside the histogram, exactly like cold rank fits.
 		for _, q := range queries {
-			if _, err := postRank(client, base, q.body); err != nil {
+			if _, err := issueQuery(client, base, q); err != nil {
 				return fmt.Errorf("warmup %s: %w", q.method, err)
 			}
 		}

@@ -25,7 +25,8 @@
 //	                                              dtrankd -coordinate daemon instead
 //	dtrank cache  <ls|verify|prune> -cache dir    result-store lifecycle
 //	dtrank loadtest [-url http://host:8117] [-duration 3s] [-workers 8]
-//	                [-qps Q] [-methods M,..] [-apps A,..] [-slo-p99 D]
+//	                [-qps Q] [-methods M,..] [-apps A,..] [-reports S,..]
+//	                [-slo-p99 D]
 //	                                              SLO-gated load generator for a
 //	                                              live dtrankd; emits p50/p95/p99
 //	                                              and QPS as benchmark-shaped
@@ -165,8 +166,9 @@ commands:
   cache   result-store lifecycle: ls, verify, prune (-keep N / -max-age d /
           -max-bytes B)
   loadtest drive a live dtrankd (-url) with closed-loop workers and a
-          configurable method/app mix; prints p50/p95/p99 and achieved QPS
-          as benchmark-shaped lines for benchstatjson, and gates on
+          configurable method/app mix, plus -reports spec ids mixed in as
+          GET /v1/reports/{spec}; prints p50/p95/p99 and achieved QPS as
+          benchmark-shaped lines for benchstatjson, and gates on
           -slo-p99 / -min-cache-hits for CI smoke runs
   methods list the prediction-method registry (names, aliases, capabilities)
 

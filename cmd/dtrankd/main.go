@@ -6,7 +6,8 @@
 // Usage:
 //
 //	dtrankd [-addr :8117] [-seed N] [-data file.csv] [-workers N]
-//	        [-max-models N] [-rank-cache N] [-batch-window D] [-batch-max N]
+//	        [-max-models N] [-rank-cache N] [-report-cache N]
+//	        [-batch-window D] [-batch-max N]
 //	        [-registry dir] [-save] [-cache dir]
 //	        [-coordinate all|id,..] [-lease-ttl 30s] [-fast] [-draws D] [-maxk K]
 //	        [-debug-addr addr] [-log-format text|json] [-log-level info]
@@ -21,9 +22,23 @@
 // same model into one shared ensemble walk.
 //
 // Endpoints: POST /v1/rank, GET /v1/methods, GET /v1/machines,
+// GET /v1/reports (catalogue), GET /v1/reports/{spec} (rendered report),
 // POST /v1/snapshot (hot-swap the database from a CSV body), GET /v1/status
 // (JSON health snapshot), GET /metrics (Prometheus text exposition),
 // GET /healthz, GET /debug/vars.
+//
+// GET /v1/reports/{spec} serves the paper's tables, figures and ablations
+// rendered against the served snapshot, byte-identical to `dtrank run
+// -spec <id>` with the same -seed, -fast, -draws and -maxk (those flags
+// set the report budget whether or not -coordinate is on). A render
+// computes only the units missing from the -cache store — a daemon whose
+// store was warmed by CLI runs, shards or workers recomputes nothing —
+// and the rendered body is cached (-report-cache bounds the LRU) under a
+// strong ETag, so pollers revalidating with If-None-Match get 304 without
+// any work. Accept: application/json selects a structured envelope
+// carrying the same text. In -data mode the CSV has no workload
+// characteristics, so specs that exercise the GA-kNN baseline fail at
+// render time; the MLP^T-only specs still serve.
 //
 // Observability: every request gets a trace ID (or adopts a valid inbound
 // X-Dtrank-Trace header) that appears in the response header and in every
@@ -95,6 +110,7 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	workers := fs.Int("workers", 0, "worker pool bound for fitting (0 = all cores)")
 	maxModels := fs.Int("max-models", serve.DefaultMaxModels, "registry LRU bound")
 	rankCache := fs.Int("rank-cache", serve.DefaultRankCacheSize, "rendered-response cache bound in entries (-1 disables the cache and ETag/304 revalidation)")
+	reportCache := fs.Int("report-cache", serve.DefaultReportCacheSize, "rendered-report cache bound in entries for /v1/reports/ (-1 disables the cache and ETag/304 revalidation)")
 	batchWindow := fs.Duration("batch-window", serve.DefaultBatchWindow, "micro-batching window for concurrent MLP^T cache misses (-1ns disables batching)")
 	batchMax := fs.Int("batch-max", serve.DefaultBatchMax, "flush a forming micro-batch early at this many queries")
 	registryDir := fs.String("registry", "", "warm-start the model registry from this directory")
@@ -102,9 +118,9 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 	cacheDir := fs.String("cache", "", "serve the experiment result store under /v1/store/ from this directory (the merge point of 'dtrank run -shard -cache http://this-daemon')")
 	coordinate := fs.String("coordinate", "", "coordinate a work-stealing run of these comma-separated spec ids (or 'all') under /v1/work/; requires -cache, workers join with 'dtrank run -worker http://this-daemon'")
 	leaseTTL := fs.Duration("lease-ttl", coord.DefaultLeaseTTL, "work lease time-to-live; a worker silent for this long forfeits its units back to the queue")
-	fast := fs.Bool("fast", false, "plan the coordinated specs with reduced model budgets (must match the workers' -fast)")
-	draws := fs.Int("draws", 0, "random draws for coordinated Table 4 / Figure 8 units (0 = default; must match the workers' -draws)")
-	maxk := fs.Int("maxk", 0, "largest predictive-set size for coordinated Figure 8 units (0 = default; must match the workers' -maxk)")
+	fast := fs.Bool("fast", false, "reduced model budgets for /v1/reports/ renders and coordinated specs (must match the workers' -fast)")
+	draws := fs.Int("draws", 0, "random draws for Table 4 / Figure 8 units in reports and coordinated specs (0 = default; must match the workers' -draws)")
+	maxk := fs.Int("maxk", 0, "largest predictive-set size for Figure 8 units in reports and coordinated specs (0 = default; must match the workers' -maxk)")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof/ and a /metrics mirror on this second listener (empty = off; keep it off the service network)")
 	logFormat := fs.String("log-format", "text", "structured log encoding on stderr: text or json")
 	logLevel := fs.String("log-level", "info", "log level floor: debug, info, warn or error")
@@ -175,6 +191,10 @@ func run(ctx context.Context, args []string, ready chan<- net.Addr) error {
 		StoreDir:    *cacheDir,
 		Coordinator: co,
 		RankCache:   *rankCache,
+		ReportCache: *reportCache,
+		ReportFast:  *fast,
+		ReportDraws: *draws,
+		ReportMaxK:  *maxk,
 		BatchWindow: *batchWindow,
 		BatchMax:    *batchMax,
 		Logger:      logger,

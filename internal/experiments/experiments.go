@@ -30,6 +30,15 @@ type Config struct {
 	// Synth overrides dataset synthesis options; zero value means
 	// synth.DefaultOptions(Seed).
 	Synth *synth.Options
+	// Data, when set, is used as the run's dataset instead of synthesising
+	// one — only Matrix and Characteristics are consumed. Unit keys embed
+	// the injected data's fingerprint, so a run over a dataset that equals
+	// the synthesised one (same matrix bytes, same characteristics)
+	// addresses the very same store units and renders byte-identical
+	// output; any other dataset addresses a disjoint key space. This is
+	// how dtrankd renders reports against its served snapshot while
+	// staying interchangeable with `dtrank run` over a shared store.
+	Data *synth.Data
 	// RandomDraws is the number of random predictive-set draws averaged in
 	// Table 4 and Figure 8 (the paper averages 50 in Figure 8).
 	RandomDraws int
@@ -125,9 +134,13 @@ func (c *Config) store() resultstore.Store {
 // synthesises the dataset once instead of once per spec.
 func (c *Config) dataset() (*synth.Data, string, error) {
 	if c.ds == nil {
-		data, err := synth.Generate(c.synthOptions())
-		if err != nil {
-			return nil, "", err
+		data := c.Data
+		if data == nil {
+			var err error
+			data, err = synth.Generate(c.synthOptions())
+			if err != nil {
+				return nil, "", err
+			}
 		}
 		c.ds = &runDataset{data: data, fp: datasetFingerprint(data)}
 	}

@@ -194,3 +194,90 @@ func BenchmarkServeRank(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkServeReports measures the report-serving fast path on the
+// cheapest registered spec with a pre-warmed result store: the render
+// path (response-cache miss — plan, read every unit from the store,
+// render and encode, but compute nothing), the cached path (the handler
+// writes stored bytes), and conditional revalidation (the 304
+// short-circuit, which touches neither cache nor store). The cached/render
+// ratio is the report cache's whole point; 304/cached shows what pollers
+// holding an ETag save on top — the BENCH snapshot records all three.
+func BenchmarkServeReports(b *testing.B) {
+	data, err := synth.Generate(synth.DefaultOptions(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(data.Matrix, data.Characteristics, Options{
+		Seed:        1,
+		StoreDir:    b.TempDir(),
+		ReportFast:  true,
+		ReportDraws: 2,
+		ReportMaxK:  3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	get := func(header map[string]string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, "/v1/reports/"+cheapSpec, nil)
+		for k, v := range header {
+			req.Header.Set(k, v)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	// Prime outside any timer: computes the spec's units into the store
+	// and fills the response cache.
+	first := get(nil)
+	if first.Code != http.StatusOK {
+		b.Fatalf("HTTP %d: %s", first.Code, first.Body.String())
+	}
+	etag := first.Header().Get("ETag")
+
+	b.Run("render", func(b *testing.B) {
+		// Response-cache miss over a fully warm store: every iteration
+		// re-plans, re-reads and re-renders, computing nothing.
+		before := srv.reportUnitsComputed.Load()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.reports.purge()
+			if rec := get(nil); rec.Code != http.StatusOK {
+				b.Fatalf("HTTP %d", rec.Code)
+			}
+		}
+		b.StopTimer()
+		if n := srv.reportUnitsComputed.Load() - before; n != 0 {
+			b.Fatalf("render benchmark computed %d units, want 0 (warm store)", n)
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		if rec := get(nil); rec.Code != http.StatusOK {
+			b.Fatal("prime failed")
+		}
+		before := srv.reports.hits.Load()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec := get(nil); rec.Code != http.StatusOK {
+				b.Fatalf("HTTP %d", rec.Code)
+			}
+		}
+		b.StopTimer()
+		if hits := srv.reports.hits.Load() - before; hits < int64(b.N) {
+			b.Fatalf("only %d cache hits in %d requests", hits, b.N)
+		}
+	})
+
+	b.Run("revalidate-304", func(b *testing.B) {
+		header := map[string]string{"If-None-Match": etag}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rec := get(header); rec.Code != http.StatusNotModified {
+				b.Fatalf("HTTP %d, want 304", rec.Code)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/experiments"
 	"repro/internal/method"
 	"repro/internal/obs"
 )
@@ -26,6 +27,8 @@ var endpointRoutes = []string{
 	"/v1/methods",
 	"/v1/machines",
 	"/v1/snapshot",
+	"/v1/reports",
+	"/v1/reports/",
 	"/v1/status",
 	"/v1/store/",
 	"/v1/work/",
@@ -118,6 +121,10 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 		s.fitHist[info.Name] = reg.Histogram("dtrank_fit_seconds", obs.L("method", info.Name))
 	}
 	s.flushHist = reg.Histogram("dtrank_batch_flush_seconds")
+	s.reportHist = map[string]*obs.Histogram{}
+	for _, id := range experiments.SpecIDs() {
+		s.reportHist[id] = reg.Histogram("dtrank_report_render_seconds", obs.L("spec", id))
+	}
 
 	reg.CounterFunc("dtrank_requests_total", func() float64 { return float64(s.requests.Load()) })
 	reg.CounterFunc("dtrank_rank_ok_total", func() float64 { return float64(s.rankOK.Load()) })
@@ -142,6 +149,18 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	if s.batch != nil {
 		reg.CounterFunc("dtrank_batch_flushes_total", func() float64 { return float64(s.batch.flushes.Load()) })
 		reg.CounterFunc("dtrank_batched_queries_total", func() float64 { return float64(s.batch.batched.Load()) })
+	}
+	reg.CounterFunc("dtrank_report_renders_total", func() float64 { return float64(s.reportRenders.Load()) })
+	reg.CounterFunc("dtrank_report_errors_total", func() float64 { return float64(s.reportErrors.Load()) })
+	reg.CounterFunc("dtrank_report_coalesced_total", func() float64 { return float64(s.reportCoalesced.Load()) })
+	reg.CounterFunc("dtrank_report_units_computed_total", func() float64 { return float64(s.reportUnitsComputed.Load()) })
+	reg.CounterFunc("dtrank_report_units_hit_total", func() float64 { return float64(s.reportUnitsHit.Load()) })
+	if s.reports != nil {
+		reg.GaugeFunc("dtrank_reportcache_entries", func() float64 { return float64(s.reports.len()) })
+		reg.CounterFunc("dtrank_reportcache_hits_total", func() float64 { return float64(s.reports.hits.Load()) })
+		reg.CounterFunc("dtrank_reportcache_misses_total", func() float64 { return float64(s.reports.misses.Load()) })
+		reg.CounterFunc("dtrank_reportcache_evictions_total", func() float64 { return float64(s.reports.evictions.Load()) })
+		reg.CounterFunc("dtrank_reportcache_not_modified_total", func() float64 { return float64(s.reports.notModified.Load()) })
 	}
 	if s.store != nil {
 		for _, op := range []string{"gets", "get_misses", "puts", "rejected"} {
@@ -252,6 +271,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			"flushes":         batchCtr(s.batch, func(b *batcher) int64 { return b.flushes.Load() }),
 			"batched_queries": batchCtr(s.batch, func(b *batcher) int64 { return b.batched.Load() }),
 		},
+		"reports": map[string]any{
+			"cache_enabled":  s.reports != nil,
+			"entries":        rcacheLen(s.reports),
+			"hits":           rcacheCtr(s.reports, func(c *reportCache) int64 { return c.hits.Load() }),
+			"misses":         rcacheCtr(s.reports, func(c *reportCache) int64 { return c.misses.Load() }),
+			"evictions":      rcacheCtr(s.reports, func(c *reportCache) int64 { return c.evictions.Load() }),
+			"not_modified":   rcacheCtr(s.reports, func(c *reportCache) int64 { return c.notModified.Load() }),
+			"renders":        s.reportRenders.Load(),
+			"errors":         s.reportErrors.Load(),
+			"coalesced":      s.reportCoalesced.Load(),
+			"units_computed": s.reportUnitsComputed.Load(),
+			"units_hit":      s.reportUnitsHit.Load(),
+		},
 		"engine": map[string]any{
 			"inflight":   engine.Default().Stats().InFlight,
 			"units_done": engine.Default().Stats().UnitsDone,
@@ -285,4 +317,18 @@ func batchCtr(b *batcher, read func(*batcher) int64) int64 {
 		return 0
 	}
 	return read(b)
+}
+
+func rcacheLen(c *reportCache) int {
+	if c == nil {
+		return 0
+	}
+	return c.len()
+}
+
+func rcacheCtr(c *reportCache, read func(*reportCache) int64) int64 {
+	if c == nil {
+		return 0
+	}
+	return read(c)
 }

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultReportCacheSize is the report render cache's entry bound when
+// Options leave it zero. Reports are few (one per spec × budget ×
+// representation) but each render is orders of magnitude more expensive
+// than a ranking, so a small bound already pins the whole working set.
+const DefaultReportCacheSize = 64
+
+// reportKey identifies one cached rendered report: the snapshot hash pins
+// the data, spec and budget pin the render, and the representation
+// distinguishes the text/plain body from the application/json one (they
+// are different entities with different ETags).
+type reportKey struct {
+	snapshot string
+	spec     string
+	budget   string
+	repr     string
+}
+
+// reportShape digests the (spec, budget, representation) tuple into the
+// shape half of the report's entity tag, with the same injective
+// length-prefixed encoding queryShape uses. The snapshot half comes from
+// the served snapshot hash, so the full tag is computable from the
+// request alone — which is what lets If-None-Match revalidation answer
+// 304 without planning, executing or rendering anything.
+func reportShape(spec, budget, repr string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, s := range []string{spec, budget, repr} {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// reportEntry is one rendered report body under its LRU slot.
+type reportEntry struct {
+	key  reportKey
+	body []byte
+	elem *list.Element
+}
+
+// reportCache is a bounded LRU of fully rendered report bodies. A hit
+// skips plan, execute, render and encode entirely — the handler writes
+// the stored bytes. Entries are immutable once stored; SwapSnapshot
+// purges the cache wholesale in the same critical section that purges the
+// rank cache, so nothing rendered against a replaced snapshot can ever be
+// served for the new one.
+type reportCache struct {
+	max int
+
+	mu    sync.Mutex
+	ll    *list.List // MRU at the front
+	byKey map[reportKey]*reportEntry
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	evictions   atomic.Int64
+	notModified atomic.Int64
+}
+
+// newReportCache returns a cache bounded to max rendered bodies (max <= 0
+// means DefaultReportCacheSize).
+func newReportCache(max int) *reportCache {
+	if max <= 0 {
+		max = DefaultReportCacheSize
+	}
+	return &reportCache{max: max, ll: list.New(), byKey: map[reportKey]*reportEntry{}}
+}
+
+// get returns the cached body for k, counting a hit or miss. The returned
+// slice is shared and must not be modified.
+func (c *reportCache) get(k reportKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byKey[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(e.elem)
+	c.hits.Add(1)
+	return e.body, true
+}
+
+// put stores a rendered body under k, evicting least-recently-used
+// entries beyond the bound. The caller must not modify body afterwards.
+func (c *reportCache) put(k reportKey, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byKey[k]; ok {
+		// A racing render already cached this key; both produced the same
+		// deterministic bytes, keep the incumbent.
+		c.ll.MoveToFront(e.elem)
+		return
+	}
+	e := &reportEntry{key: k, body: body}
+	e.elem = c.ll.PushFront(e)
+	c.byKey[k] = e
+	for len(c.byKey) > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*reportEntry)
+		c.ll.Remove(back)
+		delete(c.byKey, victim.key)
+		c.evictions.Add(1)
+	}
+}
+
+// purge empties the cache (snapshot hot-swap invalidation).
+func (c *reportCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byKey = map[reportKey]*reportEntry{}
+}
+
+// len returns the number of cached bodies.
+func (c *reportCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}

@@ -58,6 +58,22 @@ type Options struct {
 	// BatchMax flushes a forming batch early once this many queries
 	// joined (0 means DefaultBatchMax).
 	BatchMax int
+	// ReportCache bounds the rendered-report cache in entries (dtrankd's
+	// -report-cache flag): a bounded LRU of fully rendered
+	// /v1/reports/{spec} bodies — one entry per (snapshot, spec, budget,
+	// representation) — purged on snapshot hot-swap in the same critical
+	// section as the rank cache. 0 means DefaultReportCacheSize; negative
+	// disables the cache and report ETag/304 revalidation (every request
+	// renders).
+	ReportCache int
+	// ReportFast, ReportDraws and ReportMaxK set the report pipeline's
+	// training budget (dtrankd's -fast, -draws and -maxk flags). They
+	// must match the flags of any `dtrank run` sharing StoreDir: budget
+	// is part of every unit key, and parity with the CLI render holds
+	// per budget.
+	ReportFast  bool
+	ReportDraws int
+	ReportMaxK  int
 	// Obs is the metrics registry every handler, cache, batcher, fit and
 	// store instrument registers into, rendered on GET /metrics and
 	// snapshotted by GET /v1/status (dtrankd shares one registry across
@@ -110,21 +126,24 @@ type callKey struct {
 // a model registry fitting each query shape once, and the HTTP handlers
 // in front of them.
 type Server struct {
-	opts  Options
-	reg   *Registry
-	snap  atomic.Pointer[snapshot]
-	cache *rankCache // nil when Options.RankCache < 0
-	batch *batcher   // nil when Options.BatchWindow < 0
-	store *resultstore.HTTPHandler
-	work  *coord.HTTPHandler
-	start time.Time
+	opts    Options
+	reg     *Registry
+	snap    atomic.Pointer[snapshot]
+	cache   *rankCache   // nil when Options.RankCache < 0
+	batch   *batcher     // nil when Options.BatchWindow < 0
+	reports *reportCache // nil when Options.ReportCache < 0
+	rstore  resultstore.Store
+	store   *resultstore.HTTPHandler
+	work    *coord.HTTPHandler
+	start   time.Time
 
-	obs       *obs.Registry
-	logger    *slog.Logger
-	logging   bool // false when no Options.Logger: skip per-request log plumbing
-	epm       map[string]*endpointMetrics
-	fitHist   map[string]*obs.Histogram
-	flushHist *obs.Histogram
+	obs        *obs.Registry
+	logger     *slog.Logger
+	logging    bool // false when no Options.Logger: skip per-request log plumbing
+	epm        map[string]*endpointMetrics
+	fitHist    map[string]*obs.Histogram
+	flushHist  *obs.Histogram
+	reportHist map[string]*obs.Histogram
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -132,11 +151,25 @@ type Server struct {
 	cmu   sync.Mutex
 	calls map[callKey]*rankCall
 
-	requests   atomic.Int64
-	rankOK     atomic.Int64
-	rankErrors atomic.Int64
-	coalesced  atomic.Int64
-	swaps      atomic.Int64
+	rmu    sync.Mutex
+	rcalls map[reportCallKey]*reportCall
+
+	// swapMu serialises snapshot hot-swaps: the snapshot store, registry
+	// eviction and both response-cache purges of one swap form a single
+	// critical section, so two racing swaps can never interleave into a
+	// state where a cache still holds bodies of an evicted snapshot.
+	swapMu sync.Mutex
+
+	requests            atomic.Int64
+	rankOK              atomic.Int64
+	rankErrors          atomic.Int64
+	coalesced           atomic.Int64
+	swaps               atomic.Int64
+	reportRenders       atomic.Int64
+	reportErrors        atomic.Int64
+	reportCoalesced     atomic.Int64
+	reportUnitsComputed atomic.Int64
+	reportUnitsHit      atomic.Int64
 }
 
 // NewServer builds a Server over the given performance matrix and optional
@@ -160,6 +193,7 @@ func NewServer(m *dataset.Matrix, chars map[string][]float64, opts Options) (*Se
 		baseCtx: ctx,
 		cancel:  cancel,
 		calls:   map[callKey]*rankCall{},
+		rcalls:  map[reportCallKey]*reportCall{},
 		obs:     reg,
 		logger:  obs.OrNop(opts.Logger),
 		logging: opts.Logger != nil,
@@ -170,6 +204,9 @@ func NewServer(m *dataset.Matrix, chars map[string][]float64, opts Options) (*Se
 	if opts.BatchWindow >= 0 {
 		s.batch = newBatcher(opts.BatchWindow, opts.BatchMax)
 	}
+	if opts.ReportCache >= 0 {
+		s.reports = newReportCache(opts.ReportCache)
+	}
 	if opts.StoreDir != "" {
 		h, err := resultstore.NewHTTPHandler(opts.StoreDir)
 		if err != nil {
@@ -177,6 +214,21 @@ func NewServer(m *dataset.Matrix, chars map[string][]float64, opts Options) (*Se
 			return nil, fmt.Errorf("serve: result store: %w", err)
 		}
 		s.store = h
+		// Report renders read and write the same directory /v1/store/
+		// serves: units a worker merged through the daemon feed reports,
+		// units a report computed feed `dtrank run -cache dir`. The store
+		// is content-addressed and CRC-checked, so the two access paths
+		// interoperate safely.
+		rst, err := resultstore.Open(opts.StoreDir)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("serve: report store: %w", err)
+		}
+		s.rstore = rst
+	} else {
+		// No configured directory: reports still serve, cached in memory
+		// across renders for the process lifetime.
+		s.rstore = resultstore.New()
 	}
 	if opts.Coordinator != nil {
 		s.work = coord.NewHTTPHandler(opts.Coordinator)
@@ -217,10 +269,19 @@ func (s *Server) SwapSnapshot(m *dataset.Matrix, chars map[string][]float64) (st
 		return "", fmt.Errorf("serve: invalid snapshot: %w", err)
 	}
 	next := &snapshot{matrix: m, chars: chars, hash: m.Hash()}
+	// One critical section for the whole swap: the snapshot pointer, the
+	// registry eviction and both response-cache purges land together, so
+	// a concurrent swap cannot interleave and leave a cache holding
+	// bodies rendered against an already-evicted snapshot.
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
 	s.snap.Store(next)
 	s.reg.EvictSnapshotsExcept(next.hash)
 	if s.cache != nil {
 		s.cache.purge()
+	}
+	if s.reports != nil {
+		s.reports.purge()
 	}
 	s.swaps.Add(1)
 	return next.hash, nil
@@ -500,14 +561,18 @@ func (s *Server) rankLeader(ctx context.Context, snap *snapshot, key Key, canon 
 
 // Handler returns the server's HTTP API:
 //
-//	POST /v1/rank      rank a family's machines for an application
-//	GET  /v1/methods   the served prediction methods
-//	GET  /v1/machines  the snapshot's machines (?family= filters)
-//	POST /v1/snapshot  hot-swap the performance database (CSV body)
-//	GET  /v1/status    JSON observability snapshot (per-endpoint p50/p95/p99)
-//	GET  /healthz      liveness plus snapshot hash and model count
-//	GET  /metrics      Prometheus text exposition of the obs registry
-//	GET  /debug/vars   service counters (pre-obs compatibility view)
+//	POST /v1/rank            rank a family's machines for an application
+//	GET  /v1/methods         the served prediction methods
+//	GET  /v1/machines        the snapshot's machines (?family= filters)
+//	POST /v1/snapshot        hot-swap the performance database (CSV body)
+//	GET  /v1/reports         the renderable experiment specs
+//	GET  /v1/reports/{spec}  the spec rendered against the current snapshot
+//	                         (text/plain byte-identical to `dtrank run`,
+//	                         application/json via Accept; ETag + 304)
+//	GET  /v1/status          JSON observability snapshot (per-endpoint p50/p95/p99)
+//	GET  /healthz            liveness plus snapshot hash and model count
+//	GET  /metrics            Prometheus text exposition of the obs registry
+//	GET  /debug/vars         service counters (pre-obs compatibility view)
 //
 // Every route runs under the observability middleware: the response
 // carries an X-Dtrank-Trace header (adopted from a valid inbound header,
@@ -533,6 +598,8 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/methods", "/v1/methods", http.HandlerFunc(s.handleMethods))
 	handle("GET /v1/machines", "/v1/machines", http.HandlerFunc(s.handleMachines))
 	handle("POST /v1/snapshot", "/v1/snapshot", http.HandlerFunc(s.handleSnapshot))
+	handle("GET /v1/reports", "/v1/reports", http.HandlerFunc(s.handleReports))
+	handle("GET /v1/reports/{spec}", "/v1/reports/", http.HandlerFunc(s.handleReport))
 	handle("GET /v1/status", "/v1/status", http.HandlerFunc(s.handleStatus))
 	handle("GET /healthz", "/healthz", http.HandlerFunc(s.handleHealthz))
 	handle("GET /metrics", "/metrics", s.obs.Handler())
@@ -754,6 +821,23 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	vars["rankcache_not_modified"] = notModified
 	vars["batch_flushes"] = flushes
 	vars["batched_queries"] = batched
+	var rHits, rMisses, rEvictions, rNotModified int64
+	var rEntries int
+	if s.reports != nil {
+		rHits, rMisses = s.reports.hits.Load(), s.reports.misses.Load()
+		rEvictions, rNotModified = s.reports.evictions.Load(), s.reports.notModified.Load()
+		rEntries = s.reports.len()
+	}
+	vars["reportcache_entries"] = rEntries
+	vars["reportcache_hits"] = rHits
+	vars["reportcache_misses"] = rMisses
+	vars["reportcache_evictions"] = rEvictions
+	vars["reportcache_not_modified"] = rNotModified
+	vars["report_renders"] = s.reportRenders.Load()
+	vars["report_errors"] = s.reportErrors.Load()
+	vars["report_coalesced"] = s.reportCoalesced.Load()
+	vars["report_units_computed"] = s.reportUnitsComputed.Load()
+	vars["report_units_hit"] = s.reportUnitsHit.Load()
 	if s.store != nil {
 		vars["store"] = s.store.Stats()
 	}

@@ -28,12 +28,19 @@ fi
 new=$(mktemp -t bench-gate.XXXXXX)
 trap 'rm -f "$new"' EXIT
 
-# Fit-path packages only: the gate watches training/fitting allocations.
-# Serving throughput has its own gate (the loadtest smoke).
-echo "bench-gate: running fit-path benchmarks"
-go test -bench=. -benchmem -benchtime=1x -run='^$' \
+# Fit-path packages plus the report pipeline: the gate watches
+# training/fitting allocations and the report render/cache/304 paths
+# (their allocs/op are as deterministic as the fits'). The serve package
+# is filtered to the report benchmarks on purpose — the HTTP rank-serving
+# benches measure real sockets, whose single-shot alloc counts are not
+# gate-stable. Serving throughput has its own gate (the loadtest smoke).
+echo "bench-gate: running fit-path and report-path benchmarks"
+{ go test -bench=. -benchmem -benchtime=1x -run='^$' \
     . ./internal/la ./internal/mlp ./internal/spline ./internal/ga \
     ./internal/knn ./internal/cluster ./internal/perfmodel \
+    ./internal/experiments ; \
+  go test -bench='^BenchmarkServeReports$' -benchmem -benchtime=1x -run='^$' \
+    ./internal/serve ; } \
     | go run ./cmd/benchstatjson -o "$new"
 
 echo "bench-gate: comparing against $baseline (max allocs/op regression ${MAX_REGRESS}%)"
